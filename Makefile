@@ -1,0 +1,31 @@
+# Convenience targets for the futility-scaling reproduction.
+
+.PHONY: install test bench bench-smoke bench-paper figures report examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	REPRO_BENCH_SCALE=smoke pytest benchmarks/ --benchmark-only
+
+bench-paper:
+	REPRO_BENCH_SCALE=paper pytest benchmarks/ --benchmark-only
+
+figures:
+	python -m repro.experiments all
+
+report:
+	python -m repro.analysis.report benchmarks/results REPORT.md
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python "$$f" || exit 1; done
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,45 @@
+"""Shared mini-drivers for the ablation benchmarks.
+
+Ablations probe the design choices DESIGN.md section 5 calls out, on a
+two-partition pressure scenario: symmetric insertion, asymmetric 3:1
+targets, so the scheme must actively scale futility to hold the split.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.cache.arrays import CacheArray, RandomCandidatesArray
+from repro.cache.cache import PartitionedCache
+from repro.core.futility import FutilityRanking
+from repro.core.schemes.base import PartitioningScheme
+
+NUM_LINES = 2048
+TARGETS = (1536, 512)
+ACCESSES = 60_000
+ADDRESS_SPACE = 6_000
+
+
+def run_two_partition(array: CacheArray, ranking: FutilityRanking,
+                      scheme: PartitioningScheme, *,
+                      targets: Tuple[int, int] = TARGETS,
+                      accesses: int = ACCESSES,
+                      seed: int = 0) -> PartitionedCache:
+    """Drive the standard ablation scenario and return the cache."""
+    cache = PartitionedCache(array, ranking, scheme, 2,
+                             targets=list(targets))
+    rng = random.Random(seed)
+    next_use_state: Optional[List] = None
+    for _ in range(accesses):
+        part = rng.randrange(2)
+        addr = part * 10**9 + rng.randrange(ADDRESS_SPACE)
+        cache.access(addr, part)
+    return cache
+
+
+def sizing_error(cache: PartitionedCache) -> float:
+    """Mean |actual - target| / target over partitions."""
+    errors = [abs(a - t) / t for a, t in zip(cache.actual_sizes,
+                                             cache.targets) if t > 0]
+    return sum(errors) / len(errors)

@@ -1,0 +1,52 @@
+"""Shared infrastructure for the figure-reproduction benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation: it runs the corresponding experiment driver once (via
+``benchmark.pedantic`` so pytest-benchmark reports its wall time), prints
+the paper-style rows, saves them under ``benchmarks/results/``, and asserts
+the figure's defining qualitative properties.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke``, ``scaled``
+(default) or ``paper``.  ``paper`` uses the publication's exact parameters
+and takes hours in pure Python; ``scaled`` shrinks capacities and working
+sets by the same factor and finishes in minutes while preserving every
+qualitative shape (see DESIGN.md section 4).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "scaled")
+    if scale not in ("smoke", "scaled", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be smoke|scaled|paper, "
+                         f"got {scale!r}")
+    return scale
+
+
+def config_for(config_cls):
+    """Instantiate a figure config at the selected bench scale."""
+    return getattr(config_cls, bench_scale())()
+
+
+@pytest.fixture
+def report():
+    """Print a figure's regenerated rows and persist them to results/."""
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

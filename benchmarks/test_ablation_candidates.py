@@ -1,0 +1,69 @@
+"""Ablation: replacement-candidate count R.
+
+Both of FS's properties depend on R: associativity (analytic AEF of an
+unscaled partition is R/(R+1)) and enforceability (the feasibility bound
+I >= S**R).  Sweeps R over {2, 4, 8, 16, 32} on the random-candidates
+array and checks the measured AEF tracks the analytic curve while sizing
+error stays bounded."""
+
+from ablation_common import run_two_partition, sizing_error, NUM_LINES
+from conftest import run_once
+
+from repro.cache.arrays import RandomCandidatesArray
+from repro.core.futility import LRURanking
+from repro.core.scaling import analytic_aef, solve_scaling_factors
+from repro.core.schemes.futility_scaling import FutilityScalingScheme
+from repro.errors import InfeasiblePartitioningError
+from repro.experiments.common import format_table
+
+SWEEP = (2, 4, 8, 16, 32)
+SIZES = (0.75, 0.25)
+INSERTIONS = (0.5, 0.5)
+
+
+def run_sweep():
+    rows = []
+    for r in SWEEP:
+        try:
+            alphas = solve_scaling_factors(list(SIZES), list(INSERTIONS), r)
+        except InfeasiblePartitioningError:
+            # The Section IV-B bound in action: at small R a 75% partition
+            # cannot be held with a 50% insertion share (0.75**R > 0.5).
+            rows.append((r, None, None, None, None))
+            continue
+        cache = run_two_partition(
+            RandomCandidatesArray(NUM_LINES, r, seed=r),
+            LRURanking(), FutilityScalingScheme(alphas=alphas))
+        predicted = analytic_aef(alphas, list(SIZES), r, 0)
+        rows.append((r, alphas[1], cache.stats.aef(0), predicted,
+                     sizing_error(cache)))
+    return rows
+
+
+def test_ablation_candidates(benchmark, report):
+    rows = run_once(benchmark, run_sweep)
+    table_rows = []
+    for r, a, m, p, e in rows:
+        if a is None:
+            table_rows.append([r] + ["infeasible (I < S**R)"] * 4)
+        else:
+            table_rows.append([r, f"{a:.3f}", f"{m:.3f}", f"{p:.3f}",
+                               f"{e:.3f}"])
+    report("ablation_candidates", format_table(
+        ["R", "alpha_2", "AEF p1 (measured)", "AEF p1 (analytic)",
+         "sizing err"],
+        table_rows,
+        title="Ablation: candidate count R (FS, static Eq.1 alphas, "
+              "75/25 split at I=0.5)"))
+    feasible = [(r, a, m, p, e) for r, a, m, p, e in rows if a is not None]
+    infeasible = [r for r, a, *_ in rows if a is None]
+    # The bound kicks in exactly where theory says: 0.75**R > 0.5 <=> R=2.
+    assert infeasible == [r for r in SWEEP if SIZES[0] ** r > INSERTIONS[0]]
+    for r, alpha, measured, predicted, err in feasible:
+        assert abs(measured - predicted) < 0.05
+        assert err < 0.25
+    # More candidates -> better associativity, monotone across the sweep.
+    aefs = [m for _, _, m, _, _ in feasible]
+    assert aefs == sorted(aefs)
+    benchmark.extra_info["aef_min_r"] = round(aefs[0], 3)
+    benchmark.extra_info["aef_r32"] = round(aefs[-1], 3)

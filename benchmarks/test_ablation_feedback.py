@@ -1,0 +1,61 @@
+"""Ablations: feedback vs analytical alphas, and shift quantization.
+
+1. **Feedback vs Eq. (1)** — how closely Algorithm 2's register-driven
+   controller tracks the closed-form scaling factors: both must hold the
+   targets; the feedback design trades a little sizing/associativity
+   precision for needing no knowledge of insertion rates.
+2. **Quantized (power-of-two shifts, the 3-bit hardware register) vs a
+   finer changing ratio** — the hardware quantization costs little.
+"""
+
+from ablation_common import NUM_LINES, TARGETS, run_two_partition, sizing_error
+from conftest import run_once
+
+from repro.cache.arrays import RandomCandidatesArray
+from repro.core.futility import LRURanking
+from repro.core.scaling import solve_scaling_factors
+from repro.core.schemes.futility_scaling import (
+    FeedbackFutilityScalingScheme,
+    FutilityScalingScheme,
+)
+from repro.experiments.common import format_table
+
+
+def run_variants():
+    sizes = [t / NUM_LINES for t in TARGETS]
+    alphas = solve_scaling_factors(sizes, [0.5, 0.5], 16)
+    variants = [
+        ("analytic Eq.(1)", FutilityScalingScheme(alphas=alphas)),
+        ("feedback 2x (hw)", FeedbackFutilityScalingScheme()),
+        ("feedback 1.3x", FeedbackFutilityScalingScheme(changing_ratio=1.3,
+                                                        max_level=20)),
+        ("feedback 4x", FeedbackFutilityScalingScheme(changing_ratio=4.0)),
+    ]
+    rows = []
+    for label, scheme in variants:
+        cache = run_two_partition(
+            RandomCandidatesArray(NUM_LINES, 16, seed=9), LRURanking(),
+            scheme, seed=4)
+        rows.append((label, sizing_error(cache), cache.stats.aef(0),
+                     cache.stats.aef(1)))
+    return rows, alphas
+
+
+def test_ablation_feedback(benchmark, report):
+    rows, alphas = run_once(benchmark, run_variants)
+    report("ablation_feedback", format_table(
+        ["controller", "sizing err", "AEF p0", "AEF p1"],
+        [[label, f"{e:.3f}", f"{a0:.3f}", f"{a1:.3f}"]
+         for label, e, a0, a1 in rows],
+        title=(f"Ablation: feedback vs analytic alphas "
+               f"(Eq.1 alpha_2 = {alphas[1]:.3f})")))
+    by = {label: (e, a0, a1) for label, e, a0, a1 in rows}
+    # Every controller holds the 3:1 split.
+    for label, (err, _, _) in by.items():
+        assert err < 0.2, label
+    # The analytic alphas are the precision reference.
+    assert by["analytic Eq.(1)"][0] < 0.1
+    # Hardware 2x quantization is competitive with the finer ratio.
+    assert abs(by["feedback 2x (hw)"][0] - by["feedback 1.3x"][0]) < 0.15
+    benchmark.extra_info["sizing_errors"] = {label: round(e, 3)
+                                             for label, (e, _, _) in by.items()}

@@ -1,0 +1,88 @@
+"""Ablation: every enforcement scheme on one QoS scenario.
+
+An extension beyond the paper's Fig. 7 scheme set: adds the
+placement-based way-partitioning baseline (Section II-B) and the
+unpartitioned shared cache, so the full design space is on one table —
+including way-partitioning's resize flushes when targets change mid-run
+(the placement-scheme penalty replacement-based schemes avoid).
+"""
+
+from conftest import run_once
+
+from repro.cache.arrays import (
+    FullyAssociativeArray,
+    SetAssociativeArray,
+)
+from repro.cache.cache import PartitionedCache
+from repro.core.futility import CoarseTimestampLRURanking, LRURanking
+from repro.core.schemes.base import make_scheme
+from repro.experiments.common import format_table, mixed_traces, \
+    prefill_to_targets
+from repro.sim.engine import MultiprogramSimulator
+
+TOTAL_LINES = 8192
+WAYS = 16
+THREADS = 8
+SUBJECT_LINES = 1024
+TRACE_LENGTH = 30_000
+INSTRUCTION_LIMIT = 200_000
+SCALE = 0.25
+
+SCHEMES = ("unpartitioned", "way-partition", "pf", "vantage", "prism",
+           "fs-feedback", "full-assoc")
+
+
+def run_scheme(name):
+    scheme = make_scheme(name)
+    if name == "full-assoc":
+        array = FullyAssociativeArray(TOTAL_LINES)
+        ranking = LRURanking()
+    else:
+        array = SetAssociativeArray(TOTAL_LINES, WAYS)
+        ranking = (LRURanking() if name in ("unpartitioned", "way-partition")
+                   else CoarseTimestampLRURanking())
+    rest = (TOTAL_LINES - SUBJECT_LINES) // (THREADS - 1)
+    targets = [SUBJECT_LINES] + [rest] * (THREADS - 1)
+    targets[-1] += TOTAL_LINES - sum(targets)
+    traces = mixed_traces(["gromacs"] + ["lbm"] * (THREADS - 1),
+                          TRACE_LENGTH, scale=SCALE, seed=3)
+    cache = PartitionedCache(array, ranking, scheme, THREADS,
+                             targets=targets)
+    prefill_to_targets(cache, traces)
+    # Mid-run retarget exercises smooth vs flush-based resizing.
+    result = MultiprogramSimulator(
+        cache, traces, instruction_limit=INSTRUCTION_LIMIT).run()
+    cache.set_targets([SUBJECT_LINES + 256] + [rest] * (THREADS - 2)
+                      + [TOTAL_LINES - (SUBJECT_LINES + 256)
+                         - rest * (THREADS - 2)])
+    subject = result.threads[0]
+    return (name, cache.stats.mean_occupancy(0) / SUBJECT_LINES,
+            subject.ipc, cache.stats.aef(0), cache.stats.flushes)
+
+
+def run_all():
+    return [run_scheme(name) for name in SCHEMES]
+
+
+def test_ablation_schemes(benchmark, report):
+    rows = run_once(benchmark, run_all)
+    report("ablation_schemes", format_table(
+        ["scheme", "subject occ/target", "subject IPC", "subject AEF",
+         "resize flushes"],
+        [[n, f"{o:.3f}", f"{i:.3f}", f"{a:.3f}", f] for n, o, i, a, f in rows],
+        title=(f"Ablation: all schemes, {THREADS}-thread QoS scenario "
+               f"(gromacs subject vs lbm polluters) + one resize")))
+    by = {n: (o, i, a, f) for n, o, i, a, f in rows}
+    # Partitioning protects the subject vs the shared baseline.
+    assert by["fs-feedback"][0] > by["unpartitioned"][0]
+    assert by["pf"][0] > 0.9
+    # Only the placement scheme pays resize flushes.
+    for name in SCHEMES:
+        if name == "way-partition":
+            assert by[name][3] > 0
+        else:
+            assert by[name][3] == 0
+    # FS keeps associativity above PF on this many-partition cache.
+    assert by["fs-feedback"][2] > by["pf"][2]
+    benchmark.extra_info["subject_ipc"] = {n: round(i, 3)
+                                           for n, (o, i, a, f) in by.items()}

@@ -1,0 +1,35 @@
+"""Extension: smooth resizing measured (the paper's property 1).
+
+The paper asserts replacement-based schemes resize with "no data flushing
+or migrating" while placement-based schemes pay a large penalty
+(Section II); this bench measures both sides of that claim on a 3:1 -> 1:3
+allocation flip."""
+
+from conftest import config_for, run_once
+
+from repro.experiments import ResizingConfig, format_resizing, run_resizing
+
+
+def test_ext_resizing(benchmark, report):
+    config = config_for(ResizingConfig)
+    result = run_once(benchmark, run_resizing, config)
+    report("ext_resizing", format_resizing(result))
+
+    way = result.cells.get("way-partition")
+    for name, cell in result.cells.items():
+        if name == "way-partition":
+            # The placement scheme invalidates every transferred way.
+            assert cell.flushed_lines > 0
+        else:
+            # Replacement-based schemes flush nothing...
+            assert cell.flushed_lines == 0
+            # ...and the shrinking thread's post-flip miss rate barely
+            # moves (smooth hand-over).
+            assert cell.disruption < 0.05
+    if way is not None:
+        smooth = [c.disruption for n, c in result.cells.items()
+                  if n != "way-partition"]
+        # The flush translates into a much larger post-flip miss spike.
+        assert way.disruption > max(smooth) + 0.02
+    benchmark.extra_info["disruption"] = {
+        n: round(c.disruption, 3) for n, c in result.cells.items()}

@@ -1,0 +1,39 @@
+"""Figure 2: PF's partitioning-induced associativity loss.
+
+Regenerates all three panels — the associativity CDF/AEF of partition 1
+for mcf (2a), and the misses (2b) and IPC (2c) of partition 1 for all
+eight benchmarks, normalized to N=1 — as the number of equal partitions
+grows.
+
+Paper shapes asserted: AEF decays from ~0.95 toward the 0.5 worst case;
+the associativity-sensitive benchmark's misses rise (paper: +37% for mcf
+at N=32) and IPC falls (-24%); streaming lbm/libquantum are flat.
+"""
+
+from conftest import config_for, run_once
+
+from repro.experiments import Fig2Config, format_fig2, run_fig2
+
+
+def test_fig2(benchmark, report):
+    config = config_for(Fig2Config)
+    result = run_once(benchmark, run_fig2, config)
+    report("fig2", format_fig2(result))
+
+    series = result.points[config.cdf_benchmark]
+    ns = sorted(series)
+    aefs = [series[n].aef for n in ns]
+    # 2a: monotone-ish associativity decay from near the analytic ceiling.
+    assert aefs[0] > 0.85
+    assert aefs[-1] < aefs[0] - 0.15
+    benchmark.extra_info["aef_n1"] = round(aefs[0], 3)
+    benchmark.extra_info["aef_max_n"] = round(aefs[-1], 3)
+
+    # 2b/2c for the extreme benchmarks.
+    top = ns[-1]
+    if "mcf" in result.points:
+        assert result.normalized_misses("mcf")[top] > 1.1
+        assert result.normalized_ipc("mcf")[top] < 0.95
+    if "lbm" in result.points:
+        assert abs(result.normalized_misses("lbm")[top] - 1.0) < 0.1
+        assert result.normalized_ipc("lbm")[top] > 0.95

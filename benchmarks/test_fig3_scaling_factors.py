@@ -1,0 +1,27 @@
+"""Figure 3: Equation (1) scaling factors over the paper's exact sweep.
+
+Purely analytical — also cross-validates the closed form against the
+N-partition numerical solver at every point and checks the worked example
+from the text (a 1%-insertion partition can hold ~75% of the cache at
+R=16)."""
+
+from conftest import config_for, run_once
+
+from repro.experiments import Fig3Config, format_fig3, run_fig3
+
+
+def test_fig3(benchmark, report):
+    config = config_for(Fig3Config)
+    result = run_once(benchmark, run_fig3, config)
+    report("fig3", format_fig3(result))
+
+    # Closed form == solver everywhere.
+    assert result.max_solver_error < 1e-6
+    # The paper's I=0.01 example.
+    assert abs(result.holdable_at_1pct - 0.75) < 0.01
+    # Monotonicity in I2 at fixed S2 (the fan of curves in the figure).
+    s2 = config.size_fractions[0]
+    column = [result.alphas[i2][s2] for i2 in config.insertion_rates]
+    assert column == sorted(column)
+    benchmark.extra_info["alpha_at_I0.9_S0.2"] = round(
+        result.alphas[max(config.insertion_rates)][s2], 3)

@@ -1,0 +1,34 @@
+"""Figure 4: FS vs PF associativity at controlled size ratios.
+
+Two mcf threads on a random-candidates cache (R=16), equal insertion
+rates, splits 9/1 and 6/4.  Paper shapes asserted: FS's unscaled partition
+keeps the analytic R/(R+1) associativity at every split; its scaled
+partition degrades only mildly (with its alpha); PF's small partition
+collapses (paper: AEF 0.86 -> 0.63 as the split goes 6/4 -> 9/1)."""
+
+from conftest import config_for, run_once
+
+from repro.experiments import Fig4Config, format_fig4, run_fig4
+
+
+def test_fig4(benchmark, report):
+    config = config_for(Fig4Config)
+    result = run_once(benchmark, run_fig4, config)
+    report("fig4", format_fig4(result))
+
+    by = {(m.scheme, m.split): m for m in result.measurements}
+    for split in config.size_splits:
+        fs = by[("fs", split)]
+        pf = by[("pf", split)]
+        # FS unscaled partition at the analytic ceiling.
+        assert abs(fs.aef[0] - 16 / 17) < 0.03
+        # Measured FS AEFs track the analytic predictions.
+        assert abs(fs.aef[1] - fs.analytic_aef[1]) < 0.04
+        # FS beats PF on the small partition.
+        small = 1 if split[1] < split[0] else 0
+        assert fs.aef[small] > pf.aef[small]
+    if (("pf", (0.9, 0.1)) in by) and (("pf", (0.6, 0.4)) in by):
+        # PF: smaller partition -> worse associativity (0.63 vs 0.86).
+        assert by[("pf", (0.9, 0.1))].aef[1] < by[("pf", (0.6, 0.4))].aef[1]
+    benchmark.extra_info["fs_aef_small"] = round(
+        by[("fs", config.size_splits[0])].aef[1], 3)

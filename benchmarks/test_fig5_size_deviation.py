@@ -1,0 +1,30 @@
+"""Figure 5: sizing precision of FS vs PF.
+
+Equal split on the random-candidates cache; insertion splits 9/1 and 5/5.
+Paper shapes asserted: PF's MAD is below one line; FS is statistically
+centered with a bounded temporal deviation that is *worst at I=0.5*
+(I(1-I) maximal) and still a small fraction of the partition (paper:
+MAD 67.4 lines on a 16K-line partition, < 0.5%)."""
+
+from conftest import config_for, run_once
+
+from repro.experiments import Fig5Config, format_fig5, run_fig5
+
+
+def test_fig5(benchmark, report):
+    config = config_for(Fig5Config)
+    result = run_once(benchmark, run_fig5, config)
+    report("fig5", format_fig5(result))
+
+    partition = config.num_lines // 2
+    for split in config.insertion_splits:
+        i1 = split[0]
+        assert result.mad_of("pf", i1) < 1.5
+        mad_fs = result.mad_of("fs", i1)
+        assert mad_fs > result.mad_of("pf", i1)
+        assert mad_fs < 0.05 * partition
+    if len(config.insertion_splits) == 2:
+        # Worst temporal deviation at I=0.5 (Section IV-D).
+        assert result.mad_of("fs", 0.5) > result.mad_of("fs", 0.9)
+    benchmark.extra_info["fs_mad_I0.5"] = round(
+        result.mad_of("fs", config.insertion_splits[-1][0]), 1)

@@ -1,0 +1,43 @@
+"""Figure 6: application associativity sensitivity (fully-associative vs
+direct-mapped speedups) under OPT (6a) and LRU (6b) rankings.
+
+Paper shapes asserted: mcf is strongly sensitive under OPT at every size;
+gromacs is sensitive only below its working set; streaming lbm is flat
+everywhere; LRU compresses all sensitivities; and cactusADM's
+LRU-pathological scan makes full associativity *hurt* at the size just
+below its loop (paper: -6% at 4MB)."""
+
+from conftest import config_for, run_once
+
+from repro.experiments import Fig6Config, format_fig6, run_fig6
+
+
+def test_fig6(benchmark, report):
+    config = config_for(Fig6Config)
+    result = run_once(benchmark, run_fig6, config)
+    report("fig6", format_fig6(result))
+
+    sizes = config.cache_sizes_lines
+    small, big = sizes[0], sizes[-1]
+
+    if "opt" in config.rankings:
+        # 6a: mcf sensitive at every size; lbm flat; gromacs big-to-flat.
+        for size in sizes:
+            assert result.speedup("opt", "lbm", size) < 1.05
+        assert result.speedup("opt", "mcf", small) > 1.2
+        assert result.speedup("opt", "gromacs", small) > \
+            result.speedup("opt", "gromacs", big)
+        assert result.speedup("opt", "gromacs", big) < 1.05
+
+    if "lru" in config.rankings:
+        # 6b: compressed vs OPT for the sensitive benchmarks.
+        if "opt" in config.rankings:
+            assert result.speedup("lru", "mcf", small) < \
+                result.speedup("opt", "mcf", small)
+        # cactusADM: higher associativity can hurt under LRU.
+        if "cactusadm" in config.benchmarks and len(sizes) >= 3:
+            worst = min(result.speedup("lru", "cactusadm", s) for s in sizes)
+            assert worst < 1.0
+        assert result.speedup("lru", "lbm", small) < 1.05
+    benchmark.extra_info["mcf_opt_small"] = round(
+        result.speedup(config.rankings[0], "mcf", small), 3)

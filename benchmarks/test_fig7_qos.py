@@ -1,0 +1,55 @@
+"""Figure 7: the headline QoS comparison on a 32-thread CMP.
+
+Subject threads (gromacs, guaranteed space) against lbm polluters under
+five enforcement schemes.  Regenerates all three panels: occupancy/target
+(7a), subject AEF (7b) and subject performance (7c).
+
+Paper shapes asserted: FullAssoc/PF/FS hold subjects at target while
+Vantage and PriSM fall below; FullAssoc's AEF is 1 and PF's collapses
+while FS stays high; and FS outperforms both Vantage and PriSM on subject
+IPC (paper: by up to 6.0% and 13.7%), approaching the FullAssoc ideal.
+
+This is the most expensive benchmark (~10 minutes at the default scale).
+"""
+
+from conftest import config_for, run_once
+
+from repro.experiments import Fig7Config, format_fig7, run_fig7
+
+
+def test_fig7(benchmark, report):
+    config = config_for(Fig7Config)
+    result = run_once(benchmark, run_fig7, config)
+    report("fig7", format_fig7(result))
+
+    ranking = config.rankings[0]
+    ns = config.subject_counts
+
+    def cells(scheme):
+        return result.cells.get((scheme, ranking), {})
+
+    # 7a: sizing.
+    for scheme in ("full-assoc", "pf", "fs-feedback"):
+        if cells(scheme):
+            for cell in cells(scheme).values():
+                assert cell.occupancy_ratio > 0.8, (scheme, cell.num_subjects)
+    # 7b: associativity ordering FullAssoc > FS > PF.
+    for n in ns:
+        fa = cells("full-assoc").get(n)
+        fs = cells("fs-feedback").get(n)
+        pf = cells("pf").get(n)
+        if fa and fs and pf:
+            assert fa.subject_aef > 0.99
+            assert fs.subject_aef > pf.subject_aef + 0.1
+    # 7c: the abstract's claim — FS beats Vantage and PriSM.
+    for rival in ("vantage", "prism"):
+        if cells(rival) and cells("fs-feedback"):
+            ratios = result.subject_ipc_ratio("fs-feedback", rival, ranking)
+            if ratios:
+                assert max(ratios.values()) > 1.0
+                benchmark.extra_info[f"fs_over_{rival}_pct"] = round(
+                    (max(ratios.values()) - 1) * 100, 1)
+    # PriSM's victim-selection abnormality is the paper's diagnosis.
+    for cell in cells("prism").values():
+        if "abnormality_rate" in cell.diagnostics:
+            assert cell.diagnostics["abnormality_rate"] > 0.2

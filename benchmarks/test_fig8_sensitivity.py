@@ -1,0 +1,32 @@
+"""Figure 8: feedback-FS sensitivity to the interval length l and the
+changing ratio (Section VIII-B).
+
+Paper shape asserted: the design is robust around its defaults (l=16,
+ratio=2) — sizing error stays bounded across the sweep, with very long
+intervals reacting most sluggishly."""
+
+from conftest import config_for, run_once
+
+from repro.experiments import Fig8Config, format_fig8, run_fig8
+
+
+def test_fig8(benchmark, report):
+    config = config_for(Fig8Config)
+    result = run_once(benchmark, run_fig8, config)
+    report("fig8", format_fig8(result))
+
+    default = result.cells[(config.default_interval, config.default_ratio)]
+    # The default point sizes within a few percent of target.
+    assert default.mad_fraction < 0.10
+    for cell in result.cells.values():
+        # Robustness: no knob setting explodes sizing or associativity.
+        assert cell.mad_fraction < 0.25
+        assert cell.subject_aef > 0.6
+    # The longest interval is the most sluggish sizer in the sweep.
+    longest = result.cells[(max(config.interval_lengths),
+                            config.default_ratio)]
+    shortest = result.cells[(min(config.interval_lengths),
+                             config.default_ratio)]
+    assert longest.mad >= shortest.mad * 0.8
+    benchmark.extra_info["default_mad_pct"] = round(
+        default.mad_fraction * 100, 2)

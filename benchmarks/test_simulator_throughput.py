@@ -1,0 +1,56 @@
+"""Simulator-throughput microbenchmarks (performance regression tracking).
+
+Not a paper figure: these measure the reproduction's own hot paths —
+accesses per second through the partitioned-cache engine for the
+configurations the figure benches lean on — so slowdowns in the core loop
+show up in benchmark history rather than as mysteriously longer figure
+runs.
+"""
+
+import random
+
+import pytest
+
+from repro.cache.arrays import RandomCandidatesArray, SetAssociativeArray
+from repro.cache.cache import PartitionedCache
+from repro.core.futility import CoarseTimestampLRURanking, LRURanking
+from repro.core.schemes.futility_scaling import (
+    FeedbackFutilityScalingScheme,
+    FutilityScalingScheme,
+)
+from repro.core.schemes.partitioning_first import PartitioningFirstScheme
+
+ACCESSES = 30_000
+
+
+def drive(cache, accesses=ACCESSES, parts=2, space=6000, seed=0):
+    rng = random.Random(seed)
+    randrange = rng.randrange
+    access = cache.access
+    for _ in range(accesses):
+        part = randrange(parts)
+        access(part * 10**9 + randrange(space), part)
+
+
+@pytest.mark.parametrize("label,factory", [
+    ("pf_lru_setassoc", lambda: PartitionedCache(
+        SetAssociativeArray(4096, 16), LRURanking(),
+        PartitioningFirstScheme(), 2)),
+    ("fsfb_coarsets_setassoc", lambda: PartitionedCache(
+        SetAssociativeArray(4096, 16), CoarseTimestampLRURanking(),
+        FeedbackFutilityScalingScheme(), 2)),
+    ("fsfb_coarsets_no_stats", lambda: PartitionedCache(
+        SetAssociativeArray(4096, 16), CoarseTimestampLRURanking(),
+        FeedbackFutilityScalingScheme(), 2,
+        track_eviction_futility=False)),
+    ("fs_lru_randomcand", lambda: PartitionedCache(
+        RandomCandidatesArray(4096, 16, seed=1), LRURanking(),
+        FutilityScalingScheme(alphas=[1.0, 2.0]), 2)),
+])
+def test_access_throughput(benchmark, label, factory):
+    cache = factory()
+    drive(cache, accesses=2_000)  # warm the structures
+    result = benchmark.pedantic(drive, args=(cache,), rounds=3,
+                                iterations=1, warmup_rounds=0)
+    cache.check_invariants()
+    benchmark.extra_info["accesses_per_round"] = ACCESSES

@@ -1,0 +1,31 @@
+"""Table II: the simulated system configuration.
+
+Prints the configuration table and asserts every row matches the paper's
+published parameters."""
+
+from conftest import run_once
+
+from repro.sim.config import TABLE_II
+
+
+def render_table_ii() -> str:
+    rows = TABLE_II.describe()
+    width = max(len(k) for k in rows)
+    lines = ["Table II: System Configuration"]
+    lines += [f"  {k.ljust(width)}  {v}" for k, v in rows.items()]
+    return "\n".join(lines)
+
+
+def test_table_ii(benchmark, report):
+    text = run_once(benchmark, render_table_ii)
+    report("tableII", text)
+
+    assert TABLE_II.cores == 32
+    assert TABLE_II.frequency_ghz == 2.0
+    assert TABLE_II.l1_size_kb == 32 and TABLE_II.l1_ways == 4
+    assert TABLE_II.l2_size_mb == 8.0 and TABLE_II.l2_ways == 16
+    assert TABLE_II.l2_access_latency == 8
+    assert TABLE_II.l1_to_l2_latency == 4 and TABLE_II.l2_banks == 4
+    assert TABLE_II.memory_latency == 200
+    assert TABLE_II.memory_bandwidth_gbps == 32.0
+    assert TABLE_II.l2_lines == 131_072

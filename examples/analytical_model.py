@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Explore the Futility Scaling analytical framework (Section IV).
+
+No simulation at all: this example drives the closed-form machinery in
+``repro.core.scaling`` — Equation (1), the N-partition solver, eviction
+rates, the feasibility bound and analytic associativity — and renders the
+trade-offs as terminal charts.
+
+Run:  python examples/analytical_model.py
+"""
+
+from repro.analysis.text_plots import ascii_chart, sparkline
+from repro.core import scaling
+
+R = 16  # replacement candidates, as in the paper's L2
+
+
+def equation_one_fan() -> None:
+    print("Equation (1): alpha_2 vs S_2 for several insertion rates "
+          f"(R={R})")
+    # Start at S_2 = 0.14: below that, I_1 = 0.1 violates the
+    # feasibility bound S_1**R (the Fig. 3 axes start at 0.2 for the
+    # same reason).
+    s2_grid = [s / 100 for s in range(14, 45, 2)]
+    curves = {}
+    for i2 in (0.6, 0.7, 0.8, 0.9):
+        curves[f"I2={i2}"] = [
+            scaling.alpha_for_two_partitions(s2, i2, R) for s2 in s2_grid]
+    print(ascii_chart(curves, x_label="S_2 (0.14 .. 0.44)", height=10))
+    print()
+
+
+def associativity_vs_alpha() -> None:
+    print("Analytic AEF of a partition vs its scaling factor "
+          "(S = 0.2, the rest unscaled):")
+    alphas = [1.0 + 0.5 * k for k in range(15)]
+    aefs = [scaling.analytic_aef([1.0, a], [0.8, 0.2], R, 1) for a in alphas]
+    print("  alpha 1.0 -> 8.0:", sparkline(aefs))
+    print(f"  AEF {aefs[0]:.3f} at alpha=1 (the R/(R+1) ceiling) down to "
+          f"{aefs[-1]:.3f} at alpha={alphas[-1]:g}")
+    print()
+
+
+def feasibility_frontier() -> None:
+    print("Feasibility bound: the largest holdable size fraction vs "
+          "insertion share (S_max = I^(1/R)):")
+    shares = [0.001, 0.01, 0.05, 0.1, 0.25, 0.5]
+    for i in shares:
+        bound = scaling.max_holdable_size_fraction(i, R)
+        bar = "#" * int(bound * 40)
+        print(f"  I = {i:5.3f}  ->  S_max = {bound:5.1%}  {bar}")
+    print("  (even a 0.1% inserter can hold "
+          f"{scaling.max_holdable_size_fraction(0.001, R):.0%} of the "
+          "cache at R=16)")
+    print()
+
+
+def four_partition_solution() -> None:
+    sizes = [0.4, 0.3, 0.2, 0.1]
+    insertions = [0.1, 0.2, 0.3, 0.4]
+    alphas = scaling.solve_scaling_factors(sizes, insertions, R)
+    rates = scaling.eviction_rates(alphas, sizes, R)
+    print("N-partition solver: hold sizes [0.4 0.3 0.2 0.1] under "
+          "insertions [0.1 0.2 0.3 0.4]:")
+    for p, (s, i, a, e) in enumerate(zip(sizes, insertions, alphas, rates)):
+        aef = scaling.analytic_aef(alphas, sizes, R, p)
+        print(f"  partition {p}: S={s:.2f} I={i:.2f} -> alpha={a:7.3f}  "
+              f"(E={e:.3f} = I, AEF={aef:.3f})")
+    print()
+
+
+def main() -> None:
+    equation_one_fan()
+    associativity_vs_alpha()
+    feasibility_frontier()
+    four_partition_solution()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Associativity under partitioning: why Futility Scaling exists.
+
+Reproduces the paper's motivating observation (Section III) at example
+scale: as a Partitioning-First cache is split into more partitions, the
+victim-identification step sees ever fewer candidates and the evicted
+lines' futility collapses toward the random-eviction diagonal — while FS
+keeps evicting from the full candidate list and preserves associativity at
+any partition count.
+
+Also prints the analytical predictions from the Section IV framework next
+to the measurements (they should agree on the random-candidates array).
+
+Run:  python examples/associativity_study.py
+"""
+
+import random
+
+from repro import (
+    FutilityScalingScheme,
+    LRURanking,
+    PartitionedCache,
+    PartitioningFirstScheme,
+    RandomCandidatesArray,
+    scaling,
+)
+
+PARTITION_LINES = 256
+CANDIDATES = 16
+ACCESSES_PER_PARTITION = 25_000
+
+
+def run(scheme_factory, num_partitions, seed=0):
+    lines = PARTITION_LINES * num_partitions
+    cache = PartitionedCache(
+        RandomCandidatesArray(lines, CANDIDATES, seed=seed), LRURanking(),
+        scheme_factory(num_partitions), num_partitions)
+    rng = random.Random(seed)
+    for _ in range(ACCESSES_PER_PARTITION * num_partitions):
+        part = rng.randrange(num_partitions)
+        cache.access(part * 10**9 + rng.randrange(4 * PARTITION_LINES), part)
+    return cache.stats.aef(0)
+
+
+def main() -> None:
+    analytic = scaling.analytic_aef([1.0], [1.0], CANDIDATES)
+    print(f"Associativity (AEF of partition 1) vs number of partitions")
+    print(f"  analytic ceiling R/(R+1) = {analytic:.3f}; "
+          f"random-eviction floor = 0.500\n")
+    print(f"  {'N':>3}  {'PF':>6}  {'FS':>6}")
+    for n in (1, 2, 4, 8, 16):
+        aef_pf = run(lambda k: PartitioningFirstScheme(), n)
+        aef_fs = run(lambda k: FutilityScalingScheme(alphas=[1.0] * k), n)
+        print(f"  {n:>3}  {aef_pf:6.3f}  {aef_fs:6.3f}")
+    print("\nPF degrades toward 0.5 with N; FS stays at the analytic "
+          "ceiling regardless of N (equal I/S ratios mean alpha = 1 for "
+          "every partition).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Capacity planning: the full allocation + enforcement stack.
+
+Demonstrates the two-layer structure from Section II-A: a software
+*allocation policy* decides partition sizes from profiled miss-rate curves
+(UCP-style lookahead over stack-distance monitors), and the *enforcement
+scheme* (feedback-based FS) realizes them in hardware.  Compares the
+utility-optimized allocation against a naive equal split.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import (
+    CoarseTimestampLRURanking,
+    EqualSharePolicy,
+    FeedbackFutilityScalingScheme,
+    PartitionedCache,
+    SetAssociativeArray,
+    UtilityBasedPolicy,
+    UtilityMonitor,
+    benchmark_trace,
+)
+from repro.trace.mixing import run_round_robin
+
+CACHE_LINES = 4096
+GRANULE = 256
+BENCHMARKS = ("gromacs", "mcf", "lbm")
+TRACE_LENGTH = 40_000
+SCALE = 0.25
+
+
+def make_traces(seed=0):
+    return [benchmark_trace(name, TRACE_LENGTH, seed=seed + i,
+                            addr_base=(i + 1) << 40, scale=SCALE)
+            for i, name in enumerate(BENCHMARKS)]
+
+
+def enforce(targets, label):
+    cache = PartitionedCache(SetAssociativeArray(CACHE_LINES, 16),
+                             CoarseTimestampLRURanking(),
+                             FeedbackFutilityScalingScheme(),
+                             len(BENCHMARKS), targets=targets)
+    run_round_robin(cache, make_traces(seed=7), 3 * TRACE_LENGTH,
+                    warmup=30_000)
+    total_misses = cache.stats.total_misses()
+    print(f"  {label:18s} targets {targets}  "
+          f"misses {total_misses:6d}  "
+          f"hit rates "
+          + " ".join(f"{name}={cache.stats.hit_rate(p):.1%}"
+                     for p, name in enumerate(BENCHMARKS)))
+    return total_misses
+
+
+def main() -> None:
+    # 1. Profile each thread's miss-rate curve with a stack-distance
+    #    utility monitor (UMON-style).
+    curves = []
+    for i, name in enumerate(BENCHMARKS):
+        monitor = UtilityMonitor()
+        monitor.consume(make_traces()[i])
+        curves.append(monitor.miss_curve(CACHE_LINES, GRANULE))
+    print("Profiled miss curves (misses at 0 / half / full capacity):")
+    for name, curve in zip(BENCHMARKS, curves):
+        print(f"  {name:10s} {curve[0]:7.0f} / {curve[len(curve) // 2]:7.0f}"
+              f" / {curve[-1]:7.0f}")
+
+    # 2. Allocate capacity: utility-based lookahead vs equal share.
+    utility_targets = UtilityBasedPolicy(curves, granule=GRANULE).allocate(
+        CACHE_LINES)
+    equal_targets = EqualSharePolicy(len(BENCHMARKS)).allocate(CACHE_LINES)
+
+    # 3. Enforce both allocations with feedback FS and compare.
+    print("\nEnforcing with feedback-based Futility Scaling:")
+    misses_equal = enforce(equal_targets, "equal split")
+    misses_utility = enforce(utility_targets, "utility lookahead")
+    saved = (misses_equal - misses_utility) / misses_equal
+    print(f"\n  utility-based allocation saves {saved:.1%} of misses "
+          f"(streaming lbm gets the minimum; the reuse-heavy threads "
+          f"get the capacity).")
+
+
+if __name__ == "__main__":
+    main()

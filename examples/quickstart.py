@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: partition a shared cache with feedback-based Futility Scaling.
+
+Builds the paper's practical design — a 16-way set-associative cache with
+coarse-grain timestamp LRU futility and the feedback-based FS controller —
+partitions it 3:1 between two synthetic threads with *equal* miss pressure,
+and shows that the occupancies track the targets while associativity stays
+high.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    CoarseTimestampLRURanking,
+    FeedbackFutilityScalingScheme,
+    PartitionedCache,
+    SetAssociativeArray,
+)
+
+CACHE_LINES = 4096        # 256KB of 64B lines
+WAYS = 16
+TARGETS = [3072, 1024]    # a 3:1 split
+ACCESSES = 200_000
+
+
+def main() -> None:
+    scheme = FeedbackFutilityScalingScheme()   # l=16, ratio=2, 3-bit shifts
+    cache = PartitionedCache(
+        SetAssociativeArray(CACHE_LINES, WAYS),
+        CoarseTimestampLRURanking(),
+        scheme,
+        num_partitions=2,
+        targets=TARGETS,
+    )
+
+    # Two threads with identical behaviour: without scaling they would
+    # split the cache 1:1; FS steers them to 3:1 by scaling futility.
+    rng = random.Random(42)
+    for _ in range(ACCESSES):
+        thread = rng.randrange(2)
+        addr = thread * 10**9 + rng.randrange(20_000)
+        cache.access(addr, thread)
+
+    print("Feedback-based Futility Scaling quickstart")
+    print(f"  cache: {CACHE_LINES} lines, {WAYS}-way, "
+          f"coarse-timestamp LRU futility")
+    for p in range(2):
+        print(f"  partition {p}: target {cache.targets[p]:5d}  "
+              f"actual {cache.actual_sizes[p]:5d}  "
+              f"hit rate {cache.stats.hit_rate(p):6.1%}  "
+              f"AEF {cache.stats.aef(p):.3f}  "
+              f"scaling factor {scheme.scaling_factors()[p]:g}")
+    print(f"  (AEF = average eviction futility; 1.0 is fully associative, "
+          f"0.5 is random)")
+
+
+if __name__ == "__main__":
+    main()

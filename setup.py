@@ -1,0 +1,4 @@
+"""Setuptools shim for offline editable installs (pip --no-use-pep517)."""
+from setuptools import setup
+
+setup()

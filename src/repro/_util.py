@@ -1,0 +1,184 @@
+"""Internal utilities: order-statistic containers, validation and RNG helpers.
+
+The order-statistic containers back the *exact* futility rankings
+(Section III-A of the paper): a line's futility is its uselessness rank
+within its partition, normalized to ``(0, 1]``.  Rank queries therefore need
+an ordered multiset with ``rank``/``max``/``min`` in better-than-linear time.
+
+Two implementations are provided:
+
+* :class:`SortedKeyList` — a ``bisect``-based sorted list.  Inserts and
+  removals are ``O(n)`` memmoves (cheap in CPython for tens of thousands of
+  entries) and rank queries are ``O(log n)``.  This is the default and is
+  fast for the partition sizes the paper's experiments use.
+* :class:`FenwickRankTracker` — a binary-indexed tree over a bounded integer
+  key universe, ``O(log U)`` for everything.  Used when keys are small
+  bounded integers (e.g. coarse 8-bit timestamps).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "SortedKeyList",
+    "FenwickRankTracker",
+    "check_positive",
+    "check_fraction",
+    "check_probabilities",
+]
+
+
+def check_positive(value: float, name: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``value > 0``."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def check_fraction(value: float, name: str, *, inclusive_low: bool = True,
+                   inclusive_high: bool = True) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` lies in [0, 1]."""
+    low_ok = value >= 0 if inclusive_low else value > 0
+    high_ok = value <= 1 if inclusive_high else value < 1
+    if not (low_ok and high_ok):
+        raise ConfigurationError(f"{name} must be in the unit interval, got {value!r}")
+
+
+def check_probabilities(values: Sequence[float], name: str,
+                        *, tolerance: float = 1e-9) -> None:
+    """Validate that ``values`` is a probability vector summing to one."""
+    for i, v in enumerate(values):
+        if v < -tolerance:
+            raise ConfigurationError(f"{name}[{i}] must be non-negative, got {v!r}")
+    total = float(sum(values))
+    if abs(total - 1.0) > max(tolerance, 1e-9 * len(values)):
+        raise ConfigurationError(f"{name} must sum to 1, got {total!r}")
+
+
+class SortedKeyList:
+    """A sorted multiset of comparable keys with rank queries.
+
+    Keys may be any mutually comparable values (ints, floats, tuples).  The
+    container is optimized for the access pattern of futility rankings:
+    interleaved single-element adds/removes with occasional rank queries.
+    """
+
+    __slots__ = ("_keys",)
+
+    def __init__(self, keys: Optional[Iterable] = None) -> None:
+        self._keys: List = sorted(keys) if keys is not None else []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._keys)
+
+    def __contains__(self, key) -> bool:
+        i = bisect_left(self._keys, key)
+        return i < len(self._keys) and self._keys[i] == key
+
+    def add(self, key) -> None:
+        """Insert ``key`` (duplicates allowed)."""
+        insort(self._keys, key)
+
+    def remove(self, key) -> None:
+        """Remove one occurrence of ``key``.
+
+        Raises ``KeyError`` if the key is absent (which would indicate a
+        ranking bookkeeping bug, so it must not pass silently).
+        """
+        i = bisect_left(self._keys, key)
+        if i >= len(self._keys) or self._keys[i] != key:
+            raise KeyError(key)
+        del self._keys[i]
+
+    def rank(self, key) -> int:
+        """Number of keys strictly smaller than ``key`` (0-based rank)."""
+        return bisect_left(self._keys, key)
+
+    def rank_right(self, key) -> int:
+        """Number of keys smaller than or equal to ``key``."""
+        return bisect_right(self._keys, key)
+
+    def min(self):
+        """Smallest key; raises ``IndexError`` when empty."""
+        return self._keys[0]
+
+    def max(self):
+        """Largest key; raises ``IndexError`` when empty."""
+        return self._keys[-1]
+
+    def kth(self, k: int):
+        """The key at sorted position ``k`` (supports negative indices)."""
+        return self._keys[k]
+
+
+class FenwickRankTracker:
+    """Rank tracking over a bounded integer key universe ``[0, universe)``.
+
+    Supports multiset semantics: multiple items may share a key.  All
+    operations are ``O(log universe)``.
+    """
+
+    __slots__ = ("_universe", "_tree", "_count")
+
+    def __init__(self, universe: int) -> None:
+        check_positive(universe, "universe")
+        self._universe = int(universe)
+        self._tree = [0] * (self._universe + 1)
+        self._count = 0
+
+    @property
+    def universe(self) -> int:
+        """Size of the key universe ``[0, universe)``."""
+        return self._universe
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _update(self, key: int, delta: int) -> None:
+        i = key + 1
+        while i <= self._universe:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def _prefix(self, key: int) -> int:
+        """Count of items with key <= ``key``."""
+        i = key + 1
+        total = 0
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+    def add(self, key: int) -> None:
+        """Insert one item with ``key`` (duplicates allowed)."""
+        if not 0 <= key < self._universe:
+            raise KeyError(key)
+        self._update(key, 1)
+        self._count += 1
+
+    def remove(self, key: int) -> None:
+        """Remove one item with ``key``; raises ``KeyError`` if absent."""
+        if not 0 <= key < self._universe:
+            raise KeyError(key)
+        if self.count_at(key) <= 0:
+            raise KeyError(key)
+        self._update(key, -1)
+        self._count -= 1
+
+    def count_at(self, key: int) -> int:
+        """Number of items with exactly this key."""
+        return self._prefix(key) - (self._prefix(key - 1) if key > 0 else 0)
+
+    def rank(self, key: int) -> int:
+        """Number of items with key strictly smaller than ``key``."""
+        return self._prefix(key - 1) if key > 0 else 0
+
+    def rank_right(self, key: int) -> int:
+        """Number of items with key smaller than or equal to ``key``."""
+        return self._prefix(key)

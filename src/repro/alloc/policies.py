@@ -1,0 +1,198 @@
+"""Cache-capacity allocation policies (Section II-A).
+
+An allocation policy translates QoS objectives into per-partition target
+sizes; the enforcement schemes in :mod:`repro.core.schemes` then realize
+those targets.  Implemented policies cover the three families the paper
+cites:
+
+* :class:`StaticPolicy` / :class:`EqualSharePolicy` — fixed assignments
+  (Communist baseline).
+* :class:`QoSPolicy` — the Elitist policy of the Fig. 7 experiments:
+  *subject* threads each receive a guaranteed allocation (256KB in the
+  paper) and *background* threads split the remainder equally.
+* :class:`UtilityBasedPolicy` — Utilitarian: the UCP lookahead algorithm
+  over miss-rate curves (from :mod:`repro.alloc.monitors`), maximizing
+  total hits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["AllocationPolicy", "StaticPolicy", "EqualSharePolicy",
+           "QoSPolicy", "UtilityBasedPolicy"]
+
+
+class AllocationPolicy:
+    """Base class: produce per-partition line targets for a given capacity."""
+
+    def allocate(self, total_lines: int) -> List[int]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_capacity(total_lines: int) -> None:
+        if total_lines <= 0:
+            raise ConfigurationError(
+                f"total_lines must be positive, got {total_lines}")
+
+
+class StaticPolicy(AllocationPolicy):
+    """Fixed fractional shares."""
+
+    def __init__(self, fractions: Sequence[float]) -> None:
+        if not fractions:
+            raise ConfigurationError("fractions must not be empty")
+        total = float(sum(fractions))
+        if total <= 0:
+            raise ConfigurationError("fractions must sum to a positive value")
+        for i, f in enumerate(fractions):
+            if f < 0:
+                raise ConfigurationError(f"fractions[{i}] must be >= 0")
+        self.fractions = [f / total for f in fractions]
+
+    def allocate(self, total_lines: int) -> List[int]:
+        self._check_capacity(total_lines)
+        targets = [int(f * total_lines) for f in self.fractions]
+        # Largest-remainder rounding so targets sum exactly to capacity.
+        remainders = sorted(
+            range(len(targets)),
+            key=lambda i: self.fractions[i] * total_lines - targets[i],
+            reverse=True)
+        shortfall = total_lines - sum(targets)
+        for k in range(shortfall):
+            targets[remainders[k % len(remainders)]] += 1
+        return targets
+
+
+class EqualSharePolicy(StaticPolicy):
+    """Equal split among ``n`` partitions."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ConfigurationError(f"n must be positive, got {n}")
+        super().__init__([1.0] * n)
+
+
+class QoSPolicy(AllocationPolicy):
+    """The paper's Fig. 7 allocation: guaranteed space for subject threads.
+
+    ``subject_lines`` lines are reserved for each of ``num_subjects``
+    partitions (the paper uses 256KB = 4096 lines); the remaining capacity
+    is divided equally among ``num_background`` partitions.  Subjects come
+    first in the returned target vector, matching the thread layout used by
+    the Fig. 7 experiment driver.
+    """
+
+    def __init__(self, num_subjects: int, num_background: int,
+                 subject_lines: int) -> None:
+        if num_subjects < 0 or num_background < 0:
+            raise ConfigurationError("thread counts must be non-negative")
+        if num_subjects + num_background == 0:
+            raise ConfigurationError("at least one thread is required")
+        if num_subjects > 0 and subject_lines <= 0:
+            raise ConfigurationError(
+                f"subject_lines must be positive, got {subject_lines}")
+        self.num_subjects = int(num_subjects)
+        self.num_background = int(num_background)
+        self.subject_lines = int(subject_lines)
+
+    def allocate(self, total_lines: int) -> List[int]:
+        self._check_capacity(total_lines)
+        reserved = self.num_subjects * self.subject_lines
+        if reserved > total_lines:
+            raise ConfigurationError(
+                f"{self.num_subjects} subjects x {self.subject_lines} lines "
+                f"exceed capacity {total_lines}")
+        remainder = total_lines - reserved
+        targets = [self.subject_lines] * self.num_subjects
+        if self.num_background:
+            base, extra = divmod(remainder, self.num_background)
+            targets += [base + (1 if i < extra else 0)
+                        for i in range(self.num_background)]
+        elif remainder:
+            # No background threads: spread the leftover over subjects.
+            base, extra = divmod(remainder, self.num_subjects)
+            targets = [t + base + (1 if i < extra else 0)
+                       for i, t in enumerate(targets)]
+        return targets
+
+
+class UtilityBasedPolicy(AllocationPolicy):
+    """UCP-style lookahead allocation over miss-rate curves.
+
+    ``miss_curves[i][s]`` is partition *i*'s miss count when granted ``s``
+    granules of capacity (monotone non-increasing; see
+    :meth:`repro.alloc.monitors.UtilityMonitor.miss_curve`).  Capacity is
+    handed out ``granule`` lines at a time to the partition with the best
+    marginal utility (misses saved per granule, evaluated with lookahead:
+    the best average utility over any extension, which handles curves with
+    plateaus followed by cliffs).
+    """
+
+    def __init__(self, miss_curves: Sequence[Sequence[float]],
+                 granule: int = 1,
+                 minimum_granules: Optional[Sequence[int]] = None) -> None:
+        if not miss_curves:
+            raise ConfigurationError("miss_curves must not be empty")
+        lengths = {len(c) for c in miss_curves}
+        if len(lengths) != 1 or min(lengths) < 2:
+            raise ConfigurationError(
+                "all miss curves must share a length of at least 2")
+        if granule <= 0:
+            raise ConfigurationError(f"granule must be positive, got {granule}")
+        self.miss_curves = [list(map(float, c)) for c in miss_curves]
+        self.granule = int(granule)
+        n = len(miss_curves)
+        self.minimum_granules = (list(minimum_granules)
+                                 if minimum_granules is not None else [0] * n)
+        if len(self.minimum_granules) != n:
+            raise ConfigurationError(
+                "minimum_granules length must match miss_curves")
+
+    def _best_marginal(self, curve: Sequence[float], have: int,
+                       budget: int) -> float:
+        """Max average misses-saved-per-granule over any extension
+        (the UCP lookahead 'max marginal utility')."""
+        best = 0.0
+        base = curve[have]
+        top = min(len(curve) - 1, have + budget)
+        for nxt in range(have + 1, top + 1):
+            gain = (base - curve[nxt]) / (nxt - have)
+            if gain > best:
+                best = gain
+        return best
+
+    def allocate(self, total_lines: int) -> List[int]:
+        self._check_capacity(total_lines)
+        n = len(self.miss_curves)
+        budget = total_lines // self.granule
+        if budget < sum(self.minimum_granules):
+            raise ConfigurationError(
+                "capacity below the sum of minimum allocations")
+        have = list(self.minimum_granules)
+        remaining = budget - sum(have)
+        max_granules = len(self.miss_curves[0]) - 1
+        while remaining > 0:
+            best_part = -1
+            best_gain = -1.0
+            for i in range(n):
+                if have[i] >= max_granules:
+                    continue
+                gain = self._best_marginal(self.miss_curves[i], have[i],
+                                           remaining)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_part = i
+            if best_part < 0:
+                break
+            have[best_part] += 1
+            remaining -= 1
+        if remaining > 0:
+            # All curves saturated; spread the leftover round-robin.
+            for k in range(remaining):
+                have[k % n] += 1
+        targets = [h * self.granule for h in have]
+        targets[0] += total_lines - sum(targets)
+        return targets

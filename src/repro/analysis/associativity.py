@@ -1,0 +1,65 @@
+"""Associativity analysis (Section III-A / [17]).
+
+The paper quantifies a partitioning scheme's associativity with the
+*associativity distribution*: the probability distribution of evicted
+lines' normalized futility.  A fully-associative cache always evicts
+futility 1; the worst case (random victims) is the diagonal CDF
+``F_WC(x) = x``.  The headline scalar is the Average Eviction Futility
+(AEF), the distribution's mean.
+
+These functions consume the per-partition eviction-futility sample buffers
+recorded by :class:`repro.cache.stats.CacheStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["aef", "associativity_cdf", "worst_case_cdf", "full_assoc_aef",
+           "cdf_at"]
+
+
+def aef(samples: Sequence[float]) -> float:
+    """Average Eviction Futility of a sample buffer (NaN when empty)."""
+    if len(samples) == 0:
+        return float("nan")
+    return float(np.mean(np.asarray(samples, dtype=np.float64)))
+
+
+def associativity_cdf(samples: Sequence[float],
+                      grid: int = 101) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical associativity CDF evaluated on a uniform futility grid.
+
+    Returns ``(x, cdf)`` with ``x`` spanning [0, 1] at ``grid`` points —
+    the exact curves plotted in Figs. 2a and 4.
+    """
+    if grid < 2:
+        raise ConfigurationError(f"grid must be >= 2, got {grid}")
+    if len(samples) == 0:
+        raise ConfigurationError("cannot build a CDF from zero samples")
+    data = np.sort(np.asarray(samples, dtype=np.float64))
+    x = np.linspace(0.0, 1.0, grid)
+    cdf = np.searchsorted(data, x, side="right") / len(data)
+    return x, cdf
+
+
+def cdf_at(samples: Sequence[float], futility: float) -> float:
+    """Empirical ``P(f_evict <= futility)``."""
+    if len(samples) == 0:
+        raise ConfigurationError("cannot evaluate a CDF with zero samples")
+    data = np.asarray(samples, dtype=np.float64)
+    return float(np.count_nonzero(data <= futility) / len(data))
+
+
+def worst_case_cdf(x: Sequence[float]) -> np.ndarray:
+    """The diagonal worst case ``F_WC(x) = x`` (random eviction)."""
+    return np.clip(np.asarray(x, dtype=np.float64), 0.0, 1.0)
+
+
+def full_assoc_aef() -> float:
+    """AEF of an ideal fully-associative cache (always evicts futility 1)."""
+    return 1.0

@@ -1,0 +1,92 @@
+"""Aggregate benchmark outputs into a single reproduction report.
+
+The benchmark harness saves each regenerated figure as a text table under
+``benchmarks/results/``; :func:`build_report` collates them into one
+markdown document (used to refresh the measured side of EXPERIMENTS.md
+after a full harness run)::
+
+    python -m repro.analysis.report benchmarks/results REPORT.md
+"""
+
+from __future__ import annotations
+
+import sys
+from datetime import date
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+
+__all__ = ["build_report", "main"]
+
+# Presentation order: paper figures first, then extensions and ablations.
+_SECTION_ORDER = [
+    "tableII", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "ext_resizing",
+    "ablation_candidates", "ablation_rankings", "ablation_feedback",
+    "ablation_hashing", "ablation_vantage_zcache", "ablation_schemes",
+]
+
+_TITLES = {
+    "tableII": "Table II — system configuration",
+    "fig2": "Figure 2 — PF associativity loss",
+    "fig3": "Figure 3 — Equation (1) scaling factors",
+    "fig4": "Figure 4 — FS vs PF associativity",
+    "fig5": "Figure 5 — sizing precision",
+    "fig6": "Figure 6 — associativity sensitivity",
+    "fig7": "Figure 7 — QoS on a 32-thread CMP",
+    "fig8": "Figure 8 — feedback-FS sensitivity",
+    "ext_resizing": "Extension — smooth resizing",
+    "ablation_candidates": "Ablation — candidate count R",
+    "ablation_rankings": "Ablation — futility rankings",
+    "ablation_feedback": "Ablation — feedback vs analytic alphas",
+    "ablation_hashing": "Ablation — index-hash quality",
+    "ablation_vantage_zcache": "Ablation — Vantage on a Z4/52 zcache",
+    "ablation_schemes": "Ablation — all schemes, one QoS table",
+}
+
+
+def build_report(results_dir: Union[str, Path],
+                 title: str = "Futility Scaling reproduction — "
+                              "regenerated results") -> str:
+    """Collate every saved result table into one markdown document."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise ConfigurationError(f"{results_dir} is not a directory")
+    available = {p.stem: p for p in sorted(results_dir.glob("*.txt"))}
+    if not available:
+        raise ConfigurationError(f"no result tables found in {results_dir}")
+    ordered: List[str] = [name for name in _SECTION_ORDER
+                          if name in available]
+    ordered += [name for name in sorted(available) if name not in ordered]
+    parts = [f"# {title}", "",
+             f"Generated {date.today().isoformat()} from "
+             f"`{results_dir}` ({len(ordered)} result tables).", ""]
+    for name in ordered:
+        parts.append(f"## {_TITLES.get(name, name)}")
+        parts.append("")
+        parts.append("```")
+        parts.append(available[name].read_text().rstrip())
+        parts.append("```")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: collate result tables into one markdown file."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not 1 <= len(args) <= 2:
+        print("usage: python -m repro.analysis.report "
+              "<results-dir> [output.md]", file=sys.stderr)
+        return 2
+    report = build_report(args[0])
+    if len(args) == 2:
+        Path(args[1]).write_text(report)
+        print(f"wrote {args[1]}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Plain-text plotting for terminal experiment reports.
+
+The benchmark harness renders every figure as text; these helpers add
+compact visual forms — sparklines and multi-series ASCII line charts — so
+the regenerated associativity CDFs read like the paper's figures without a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["sparkline", "ascii_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, low: Optional[float] = None,
+              high: Optional[float] = None) -> str:
+    """A one-line unicode sparkline of ``values``.
+
+    ``low``/``high`` pin the scale (default: the data range).
+    """
+    if len(values) == 0:
+        raise ConfigurationError("values must not be empty")
+    lo = min(values) if low is None else low
+    hi = max(values) if high is None else high
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    top = len(_SPARK_LEVELS) - 1
+    out = []
+    for v in values:
+        t = (v - lo) / span
+        out.append(_SPARK_LEVELS[max(0, min(top, round(t * top)))])
+    return "".join(out)
+
+
+def ascii_chart(series: Dict[str, Sequence[float]], *, width: int = 61,
+                height: int = 12, x_label: str = "x",
+                y_label: str = "y") -> str:
+    """A multi-series ASCII line chart.
+
+    Each series is a sequence of y-values assumed evenly spaced over the
+    x-axis; series are resampled to ``width`` columns and drawn with a
+    distinct glyph.  The y-axis spans [min, max] over all series.
+    """
+    if not series:
+        raise ConfigurationError("series must not be empty")
+    if width < 8 or height < 3:
+        raise ConfigurationError("chart must be at least 8x3")
+    glyphs = "*o+x#@%&"
+    all_values = [v for ys in series.values() for v in ys]
+    if not all_values:
+        raise ConfigurationError("series must contain data")
+    lo, hi = min(all_values), max(all_values)
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), glyph in zip(series.items(), glyphs):
+        n = len(ys)
+        if n == 0:
+            continue
+        for col in range(width):
+            # Nearest-sample resampling onto the column grid.
+            idx = round(col * (n - 1) / (width - 1)) if n > 1 else 0
+            t = (ys[idx] - lo) / (hi - lo)
+            row = height - 1 - round(t * (height - 1))
+            grid[row][col] = glyph
+    lines = []
+    for r, row in enumerate(grid):
+        label = hi if r == 0 else (lo if r == height - 1 else None)
+        prefix = f"{label:8.3f} |" if label is not None else " " * 8 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 8 + " +" + "-" * width + f"> {x_label}")
+    legend = "   ".join(f"{glyph} {name}"
+                        for (name, _), glyph in zip(series.items(), glyphs))
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Cache substrate: arrays, index hashing, the partitioned-cache engine."""
+
+from .arrays import (
+    INVALID,
+    CacheArray,
+    DirectMappedArray,
+    FullyAssociativeArray,
+    RandomCandidatesArray,
+    SetAssociativeArray,
+    SkewAssociativeArray,
+    ZCacheArray,
+)
+from .cache import PartitionedCache
+from .hashing import H3Hash, IdentityHash, IndexHash, XorFoldHash, make_hash
+from .stats import CacheStats
+
+__all__ = [
+    "INVALID",
+    "CacheArray",
+    "SetAssociativeArray",
+    "DirectMappedArray",
+    "FullyAssociativeArray",
+    "RandomCandidatesArray",
+    "SkewAssociativeArray",
+    "ZCacheArray",
+    "PartitionedCache",
+    "CacheStats",
+    "IndexHash",
+    "IdentityHash",
+    "XorFoldHash",
+    "H3Hash",
+    "make_hash",
+]

@@ -1,0 +1,28 @@
+"""Shared geometry validation for cache arrays."""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+__all__ = ["check_geometry"]
+
+
+def check_geometry(num_lines: int, ways: int) -> int:
+    """Validate an array geometry and return the number of sets.
+
+    ``num_lines`` must be a positive multiple of ``ways`` and the resulting
+    set count must be a power of two (required by the bit-mixing index
+    hashes used throughout).
+    """
+    if num_lines <= 0:
+        raise ConfigurationError(f"num_lines must be positive, got {num_lines}")
+    if ways <= 0:
+        raise ConfigurationError(f"ways must be positive, got {ways}")
+    if num_lines % ways != 0:
+        raise ConfigurationError(
+            f"num_lines {num_lines} is not a multiple of ways {ways}")
+    num_sets = num_lines // ways
+    if num_sets & (num_sets - 1):
+        raise ConfigurationError(
+            f"number of sets must be a power of two, got {num_sets}")
+    return num_sets

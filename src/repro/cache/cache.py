@@ -1,0 +1,276 @@
+"""The partitioned cache engine.
+
+:class:`PartitionedCache` composes the paper's three cache-model components
+(Section III-A): a *cache array* (candidate generation), a *futility
+ranking* (per-partition uselessness order) and a *replacement policy* (a
+partitioning scheme choosing victims).  It owns all per-line metadata
+(owner partition), per-partition occupancy accounting, and the statistics
+the evaluation measures.
+
+Measurement note: associativity statistics (eviction futility, AEF) are
+always recorded as **normalized rank futility** so they are comparable
+across schemes, exactly like the paper's associativity distributions.  When
+the decision ranking is approximate (coarse-grain timestamp LRU) a parallel
+*reference ranking* (exact LRU by default) is maintained purely for
+measurement; with an exact decision ranking the same object serves both
+roles at no extra cost.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.futility import FutilityRanking, LRURanking
+from ..core.schemes.base import PartitioningScheme
+from ..errors import ConfigurationError
+from .arrays import INVALID, CacheArray
+from .stats import CacheStats
+
+__all__ = ["PartitionedCache"]
+
+
+class PartitionedCache:
+    """A shared cache partitioned by a replacement-based scheme.
+
+    Parameters
+    ----------
+    array:
+        The cache array organization (candidate provider).
+    ranking:
+        The futility ranking used for replacement decisions.
+    scheme:
+        The partitioning scheme (victim selection policy).
+    num_partitions:
+        Number of partitions (each thread typically gets one).
+    targets:
+        Per-partition target sizes in lines.  Defaults to an equal split of
+        the whole cache.  May be changed at any time via
+        :meth:`set_targets` — replacement-based schemes resize smoothly.
+    reference_ranking:
+        Exact ranking maintained for eviction-futility measurement when
+        ``ranking`` is approximate.  ``"auto"`` (default) builds an exact
+        LRU reference only when needed; ``None`` disables measurement
+        (faster); or pass a :class:`FutilityRanking` instance.
+    track_eviction_futility, deviation_partitions, occupancy_sample_period:
+        Statistics configuration, see :class:`~repro.cache.stats.CacheStats`.
+    """
+
+    def __init__(self, array: CacheArray, ranking: FutilityRanking,
+                 scheme: PartitioningScheme, num_partitions: int, *,
+                 targets: Optional[Sequence[int]] = None,
+                 reference_ranking="auto",
+                 track_eviction_futility: bool = True,
+                 deviation_partitions: Iterable[int] = (),
+                 occupancy_sample_period: int = 64) -> None:
+        if num_partitions <= 0:
+            raise ConfigurationError("num_partitions must be positive")
+        self.array = array
+        self.ranking = ranking
+        self.scheme = scheme
+        self.num_partitions = int(num_partitions)
+        self.num_lines = array.num_lines
+        self.owner: List[int] = [-1] * self.num_lines
+        self.actual_sizes: List[int] = [0] * self.num_partitions
+        self.targets: List[int] = [0] * self.num_partitions
+        self._dirty = bytearray(self.num_lines)
+        self._resident = 0
+        #: True when the most recent replacement evicted a dirty line (the
+        #: timing engine reads this to charge writeback bandwidth).
+        self.writeback_pending = False
+
+        ranking.bind(self.num_lines, self.num_partitions)
+        if ranking.exact or not track_eviction_futility:
+            self.reference: Optional[FutilityRanking] = (
+                ranking if ranking.exact else None)
+        elif reference_ranking == "auto":
+            self.reference = LRURanking()
+        else:
+            self.reference = reference_ranking
+        self._separate_reference = (self.reference is not None
+                                    and self.reference is not ranking)
+        if self._separate_reference:
+            self.reference.bind(self.num_lines, self.num_partitions)
+
+        self.stats = CacheStats(
+            self.num_partitions,
+            track_eviction_futility=track_eviction_futility
+            and self.reference is not None,
+            deviation_partitions=deviation_partitions,
+            occupancy_sample_period=occupancy_sample_period)
+        self._track_deviation = bool(self.stats.deviation_partitions)
+
+        scheme.bind(self)
+        if not scheme.uses_candidates and not hasattr(array, "free_slot"):
+            raise ConfigurationError(
+                f"scheme {scheme.name!r} needs an array with free_slot() "
+                f"(use FullyAssociativeArray)")
+
+        if targets is None:
+            base, extra = divmod(self.num_lines, self.num_partitions)
+            targets = [base + (1 if p < extra else 0)
+                       for p in range(self.num_partitions)]
+        self.set_targets(targets)
+
+    # -- configuration -------------------------------------------------------
+    def set_targets(self, targets: Sequence[int]) -> None:
+        """Set per-partition target sizes (in lines); resizing is smooth."""
+        targets = [int(t) for t in targets]
+        if len(targets) != self.num_partitions:
+            raise ConfigurationError(
+                f"expected {self.num_partitions} targets, got {len(targets)}")
+        for p, t in enumerate(targets):
+            if t < 0:
+                raise ConfigurationError(f"targets[{p}] must be >= 0, got {t}")
+        if sum(targets) > self.num_lines:
+            raise ConfigurationError(
+                f"targets sum to {sum(targets)} > {self.num_lines} lines")
+        self.targets = targets
+        self.ranking.set_targets(targets)
+        if self._separate_reference:
+            self.reference.set_targets(targets)
+        self.scheme.set_targets(targets)
+
+    def reset_stats(self) -> None:
+        """Clear statistics (e.g. after cache warm-up)."""
+        self.stats.reset()
+
+    # -- queries --------------------------------------------------------------
+    def occupancy(self, part: int) -> int:
+        """Current number of valid lines owned by ``part``."""
+        return self.actual_sizes[part]
+
+    def contains(self, addr: int) -> bool:
+        """Whether ``addr`` is currently resident."""
+        return self.array.lookup(addr) is not None
+
+    def is_full(self) -> bool:
+        """True when every slot is occupied (schemes use this to skip the
+        free-slot scan on the hot path)."""
+        return self._resident == self.num_lines
+
+    # -- the access path -------------------------------------------------------
+    def access(self, addr: int, part: int, next_use: Optional[int] = None,
+               *, is_write: bool = False) -> bool:
+        """Perform one access; returns ``True`` on a hit.
+
+        ``next_use`` carries Belady future knowledge for OPT rankings (the
+        thread-local position of the next reference to ``addr``).
+        ``is_write`` marks the line dirty; evicting a dirty line records a
+        writeback and raises :attr:`writeback_pending` for the timing
+        engine's bandwidth accounting.
+        """
+        if addr < 0:
+            raise ConfigurationError(
+                f"addresses must be non-negative, got {addr}")
+        array = self.array
+        idx = array.lookup(addr)
+        if idx is not None:
+            self.ranking.on_hit(idx, part, next_use=next_use)
+            if self._separate_reference:
+                self.reference.on_hit(idx, part, next_use=next_use)
+            if is_write:
+                self._dirty[idx] = 1
+            self.stats.record_access(part, True, self.actual_sizes)
+            return True
+
+        self.stats.record_access(part, False, self.actual_sizes)
+        scheme = self.scheme
+        if scheme.uses_candidates:
+            candidates = array.candidates(addr)
+            victim = scheme.choose_victim(candidates, part)
+        else:
+            victim = array.free_slot()
+            if victim is None:
+                victim = scheme.choose_victim([], part)
+
+        victim_addr = array.addr_at(victim)
+        self.writeback_pending = False
+        if victim_addr != INVALID:
+            vpart = self.owner[victim]
+            futility = (self.reference.futility(victim)
+                        if self.reference is not None else None)
+            self.stats.record_eviction(vpart, futility)
+            if self._dirty[victim]:
+                self._dirty[victim] = 0
+                self.writeback_pending = True
+                self.stats.record_writeback(vpart)
+            self.ranking.on_evict(victim, vpart)
+            if self._separate_reference:
+                self.reference.on_evict(victim, vpart)
+            scheme.on_evict(victim, vpart)
+            self.owner[victim] = -1
+            self.actual_sizes[vpart] -= 1
+            self._resident -= 1
+            array.evict(victim)
+
+        moves = array.place(addr, victim)
+        for src, dst in moves:
+            self.owner[dst] = self.owner[src]
+            self.owner[src] = -1
+            self._dirty[dst] = self._dirty[src]
+            self._dirty[src] = 0
+            self.ranking.on_move(src, dst)
+            if self._separate_reference:
+                self.reference.on_move(src, dst)
+            scheme.on_move(src, dst)
+        new_idx = victim if not moves else array.lookup(addr)
+
+        self.owner[new_idx] = part
+        self.actual_sizes[part] += 1
+        self._resident += 1
+        self._dirty[new_idx] = 1 if is_write else 0
+        self.ranking.on_insert(new_idx, part, next_use=next_use)
+        if self._separate_reference:
+            self.reference.on_insert(new_idx, part, next_use=next_use)
+        self.stats.record_insertion(part)
+        scheme.on_insert(new_idx, part)
+        if self._track_deviation and victim_addr != INVALID:
+            self.stats.record_deviations(self.actual_sizes, self.targets)
+        return False
+
+    def invalidate_index(self, idx: int) -> None:
+        """Forcibly invalidate the line at ``idx`` (placement-scheme flush).
+
+        Counted as a flush, not an eviction, so it does not pollute the
+        associativity statistics.
+        """
+        if self.array.addr_at(idx) == INVALID:
+            return
+        part = self.owner[idx]
+        if self._dirty[idx]:
+            self._dirty[idx] = 0
+            self.stats.record_writeback(part)
+        self.ranking.on_evict(idx, part)
+        if self._separate_reference:
+            self.reference.on_evict(idx, part)
+        self.owner[idx] = -1
+        self.actual_sizes[part] -= 1
+        self._resident -= 1
+        self.array.evict(idx)
+        self.stats.record_flush()
+
+    # -- invariant checking (used heavily by the test suite) -------------------
+    def check_invariants(self) -> None:
+        """Verify internal consistency; raises ``AssertionError`` on breakage."""
+        resident = 0
+        sizes = [0] * self.num_partitions
+        for idx in range(self.num_lines):
+            addr = self.array.addr_at(idx)
+            if addr == INVALID:
+                assert self.owner[idx] == -1, f"empty slot {idx} has an owner"
+                continue
+            resident += 1
+            p = self.owner[idx]
+            assert 0 <= p < self.num_partitions, f"slot {idx} owner {p} invalid"
+            sizes[p] += 1
+            assert self.array.lookup(addr) == idx, f"lookup broken at {idx}"
+        assert sizes == self.actual_sizes, (
+            f"occupancy accounting drifted: {sizes} != {self.actual_sizes}")
+        assert resident == self.array.resident_count()
+        assert resident == self._resident, (
+            f"resident counter drifted: {self._resident} != {resident}")
+        for p in range(self.num_partitions):
+            assert self.ranking.partition_size(p) == sizes[p], (
+                f"ranking size mismatch for partition {p}")
+            if self._separate_reference:
+                assert self.reference.partition_size(p) == sizes[p]

@@ -1,0 +1,151 @@
+"""Cache index hash functions.
+
+The paper's analytical framework relies on the *Uniformity Assumption*
+(Section IV-A): replacement candidates behave as independent uniform draws,
+which holds "in a practical cache indexed by good random hash functions".
+The evaluated system uses a 16-way set-associative L2 with XOR-based
+indexing [19]; skew-associative caches and zcaches use one H3 hash per way.
+
+This module provides the three index-hash families used across the cache
+arrays:
+
+* :class:`IdentityHash` — plain modulo indexing (the "bad" baseline; used by
+  the hash-quality ablation).
+* :class:`XorFoldHash` — XOR-based indexing: the address is split into
+  index-width chunks that are XOR-folded together.
+* :class:`H3Hash` — the H3 universal hash family: each output bit is the
+  parity of a random subset of input bits, implemented as parity of
+  ``addr & matrix_row``.
+
+All hashes map a line address (an arbitrary non-negative int) to a bucket in
+``[0, buckets)``.  ``buckets`` need not be a power of two for
+:class:`IdentityHash`; the bit-mixing hashes require it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["IndexHash", "IdentityHash", "XorFoldHash", "H3Hash", "make_hash"]
+
+_ADDRESS_BITS = 48  # enough for any synthetic line address in this library
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class IndexHash:
+    """Base class for index hashes mapping addresses to buckets."""
+
+    def __init__(self, buckets: int) -> None:
+        if buckets <= 0:
+            raise ConfigurationError(f"buckets must be positive, got {buckets}")
+        self.buckets = int(buckets)
+
+    def __call__(self, addr: int) -> int:
+        raise NotImplementedError
+
+
+class IdentityHash(IndexHash):
+    """Modulo indexing: ``addr % buckets``.
+
+    Deliberately weak: strided access patterns map to few buckets, violating
+    the uniformity assumption.  Used as the ablation baseline.
+    """
+
+    def __call__(self, addr: int) -> int:
+        return addr % self.buckets
+
+
+class XorFoldHash(IndexHash):
+    """XOR-based indexing: fold the address into the index width with XOR.
+
+    This is the classic XOR-interleaved index of [19] used by the paper's
+    simulated L2.  Requires a power-of-two bucket count.
+    """
+
+    def __init__(self, buckets: int) -> None:
+        super().__init__(buckets)
+        if not _is_power_of_two(buckets):
+            raise ConfigurationError(
+                f"XorFoldHash requires a power-of-two bucket count, got {buckets}")
+        self._bits = buckets.bit_length() - 1
+
+    def __call__(self, addr: int) -> int:
+        if self._bits == 0:
+            return 0
+        mask = self.buckets - 1
+        folded = 0
+        a = addr
+        while a:
+            folded ^= a & mask
+            a >>= self._bits
+        return folded
+
+
+_MIX_MASK = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: a bijective bit scrambler.
+
+    Applied before the H3 parity rows so that low-entropy address sets
+    (e.g. small dense ranges) still exercise every input bit; without it, a
+    random H3 row whose set bits all fall outside the varying address bits
+    would pin one index bit and make a slice of the sets unreachable.
+    """
+    x &= _MIX_MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MIX_MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MIX_MASK
+    return x ^ (x >> 31)
+
+
+class H3Hash(IndexHash):
+    """H3 universal hash: output bit *j* is ``parity(mix(addr) & row[j])``.
+
+    Addresses pass through a bijective SplitMix64 scrambler first (see
+    :func:`_mix64`).  The random row matrix is derived deterministically
+    from ``seed`` so simulations are reproducible.  Requires a power-of-two
+    bucket count.
+    """
+
+    def __init__(self, buckets: int, seed: int = 0) -> None:
+        super().__init__(buckets)
+        if not _is_power_of_two(buckets):
+            raise ConfigurationError(
+                f"H3Hash requires a power-of-two bucket count, got {buckets}")
+        self._bits = buckets.bit_length() - 1
+        rng = random.Random(seed)
+        max_row = (1 << _ADDRESS_BITS) - 1
+        self._rows: List[int] = [rng.randint(1, max_row) for _ in range(self._bits)]
+
+    def __call__(self, addr: int) -> int:
+        mixed = _mix64(addr)
+        out = 0
+        for j, row in enumerate(self._rows):
+            if (mixed & row).bit_count() & 1:
+                out |= 1 << j
+        return out
+
+
+_HASH_KINDS = {
+    "identity": IdentityHash,
+    "xor": XorFoldHash,
+    "h3": H3Hash,
+}
+
+
+def make_hash(kind: str, buckets: int, seed: Optional[int] = None) -> IndexHash:
+    """Construct an index hash by name (``identity``, ``xor`` or ``h3``)."""
+    try:
+        cls = _HASH_KINDS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown hash kind {kind!r}; expected one of {sorted(_HASH_KINDS)}")
+    if cls is H3Hash:
+        return cls(buckets, seed=0 if seed is None else seed)
+    return cls(buckets)

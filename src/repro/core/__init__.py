@@ -1,0 +1,50 @@
+"""The paper's core contribution: futility rankings, the analytical
+scaling framework, and the partitioning schemes."""
+
+from . import scaling
+from .futility import (
+    CoarseTimestampLRURanking,
+    FutilityRanking,
+    LFURanking,
+    LRURanking,
+    OPTRanking,
+    RandomRanking,
+    make_ranking,
+)
+from .schemes import (
+    CQVPScheme,
+    FeedbackFutilityScalingScheme,
+    FullAssocScheme,
+    FutilityScalingScheme,
+    PartitioningFirstScheme,
+    PartitioningScheme,
+    PriSMScheme,
+    UnpartitionedScheme,
+    VantageScheme,
+    WayPartitionScheme,
+    available_schemes,
+    make_scheme,
+)
+
+__all__ = [
+    "scaling",
+    "FutilityRanking",
+    "LRURanking",
+    "LFURanking",
+    "OPTRanking",
+    "RandomRanking",
+    "CoarseTimestampLRURanking",
+    "make_ranking",
+    "PartitioningScheme",
+    "UnpartitionedScheme",
+    "CQVPScheme",
+    "PartitioningFirstScheme",
+    "FutilityScalingScheme",
+    "FeedbackFutilityScalingScheme",
+    "VantageScheme",
+    "PriSMScheme",
+    "FullAssocScheme",
+    "WayPartitionScheme",
+    "make_scheme",
+    "available_schemes",
+]

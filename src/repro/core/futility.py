@@ -1,0 +1,376 @@
+"""Futility ranking schemes (Section III-A of the paper).
+
+The *futility* of a cache line measures how useless keeping the line would
+be.  Within each partition, lines are strictly totally ordered by a ranking
+scheme; a line ranked ``r``-th (1-based) in a partition of ``M`` lines has
+normalized futility ``f = r / M``, ``f in (0, 1]`` — higher is more useless.
+
+Rankings implemented:
+
+* :class:`LRURanking` — rank by time of last access (exact recency order).
+* :class:`LFURanking` — rank by access frequency (ties broken by recency).
+* :class:`OPTRanking` — Belady's OPT [14]: rank by time to next reference,
+  using future knowledge supplied with each access (``next_use``).
+* :class:`CoarseTimestampLRURanking` — the practical 8-bit coarse-grain
+  timestamp LRU of [17] used by the paper's feedback-based FS hardware
+  design (Section V): each partition keeps an 8-bit current timestamp that
+  increments every ``K = partition_size / 16`` accesses; a line's raw
+  futility is the unsigned 8-bit distance from the current timestamp.
+* :class:`RandomRanking` — control for tests and ablations.
+
+Every ranking exposes two views:
+
+* ``futility(idx)`` — normalized rank-based futility in ``(0, 1]``, the
+  quantity the paper's analytical framework and associativity statistics are
+  defined over (for the coarse-timestamp ranking this is the timestamp
+  distance normalized by 255, an approximation).
+* ``raw_futility(idx)`` — the scheme-facing magnitude the replacement
+  hardware would compare (the 8-bit distance for coarse timestamps; equal to
+  ``futility`` for the exact rankings).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .._util import SortedKeyList
+from ..errors import ConfigurationError
+
+__all__ = [
+    "FutilityRanking",
+    "LRURanking",
+    "LFURanking",
+    "OPTRanking",
+    "CoarseTimestampLRURanking",
+    "RandomRanking",
+    "make_ranking",
+    "TIMESTAMP_BITS",
+    "TIMESTAMP_MOD",
+]
+
+TIMESTAMP_BITS = 8
+TIMESTAMP_MOD = 1 << TIMESTAMP_BITS
+
+
+class FutilityRanking:
+    """Base class for per-partition futility rankings.
+
+    Lifecycle: the owning cache calls :meth:`bind` once, then notifies the
+    ranking of every insertion, hit, eviction and block move.  Rank queries
+    are only valid for currently resident line indices.
+    """
+
+    #: Human-readable scheme name (used in experiment reports).
+    name = "abstract"
+    #: Whether ``futility`` returns the exact normalized rank.
+    exact = False
+    #: Whether accesses must carry Belady next-use information.
+    needs_future = False
+
+    def __init__(self) -> None:
+        self._num_lines = 0
+        self._num_partitions = 0
+
+    def bind(self, num_lines: int, num_partitions: int) -> None:
+        """Allocate per-line and per-partition state."""
+        if num_lines <= 0 or num_partitions <= 0:
+            raise ConfigurationError("num_lines and num_partitions must be positive")
+        self._num_lines = num_lines
+        self._num_partitions = num_partitions
+
+    def set_targets(self, targets: Sequence[int]) -> None:
+        """Notify the ranking of partition target sizes (coarse-TS uses this
+        to derive its timestamp increment period)."""
+
+    def partition_size(self, part: int) -> int:
+        """Number of resident lines currently ranked in ``part``."""
+        raise NotImplementedError
+
+    # -- event hooks -------------------------------------------------------
+    def on_insert(self, idx: int, part: int, *, next_use: Optional[int] = None) -> None:
+        raise NotImplementedError
+
+    def on_hit(self, idx: int, part: int, *, next_use: Optional[int] = None) -> None:
+        raise NotImplementedError
+
+    def on_evict(self, idx: int, part: int) -> None:
+        raise NotImplementedError
+
+    def on_move(self, src: int, dst: int) -> None:
+        """A block (and its ranking state) moved between slots (zcache)."""
+        raise NotImplementedError
+
+    # -- queries -----------------------------------------------------------
+    def futility(self, idx: int) -> float:
+        """Normalized futility of resident line ``idx`` in ``(0, 1]``."""
+        raise NotImplementedError
+
+    def raw_futility(self, idx: int) -> float:
+        """Scheme-facing futility magnitude (larger = more useless)."""
+        return self.futility(idx)
+
+
+class _KeyedRanking(FutilityRanking):
+    """Shared machinery for rankings backed by per-partition sorted keys.
+
+    Subclasses define how keys are produced; this class maintains the
+    per-line key/partition arrays and the per-partition order statistics.
+    ``_ascending_futility`` selects the rank direction: ``True`` means larger
+    keys are more futile (OPT next-use times), ``False`` means smaller keys
+    are more futile (LRU last-access times, LFU counts).
+    """
+
+    _ascending_futility = True
+
+    def bind(self, num_lines: int, num_partitions: int) -> None:
+        super().bind(num_lines, num_partitions)
+        self._key: List = [None] * num_lines
+        self._part: List[int] = [-1] * num_lines
+        self._ranks: List[SortedKeyList] = [SortedKeyList()
+                                            for _ in range(num_partitions)]
+        self._index_of: List[dict] = [dict() for _ in range(num_partitions)]
+
+    def partition_size(self, part: int) -> int:
+        return len(self._ranks[part])
+
+    def most_futile(self, part: int) -> int:
+        """Line index of the most futile resident line in ``part``.
+
+        Used by the FullAssoc ideal scheme; raises ``IndexError`` when the
+        partition is empty.
+        """
+        ranks = self._ranks[part]
+        key = ranks.min() if not self._ascending_futility else ranks.max()
+        return self._index_of[part][key]
+
+    def _make_key(self, idx: int, part: int, next_use: Optional[int],
+                  *, is_hit: bool):
+        raise NotImplementedError
+
+    def on_insert(self, idx: int, part: int, *, next_use: Optional[int] = None) -> None:
+        key = self._make_key(idx, part, next_use, is_hit=False)
+        self._key[idx] = key
+        self._part[idx] = part
+        self._ranks[part].add(key)
+        self._index_of[part][key] = idx
+
+    def on_hit(self, idx: int, part: int, *, next_use: Optional[int] = None) -> None:
+        ranks = self._ranks[part]
+        index_of = self._index_of[part]
+        old = self._key[idx]
+        ranks.remove(old)
+        del index_of[old]
+        key = self._make_key(idx, part, next_use, is_hit=True)
+        self._key[idx] = key
+        ranks.add(key)
+        index_of[key] = idx
+
+    def on_evict(self, idx: int, part: int) -> None:
+        key = self._key[idx]
+        self._ranks[part].remove(key)
+        del self._index_of[part][key]
+        self._key[idx] = None
+        self._part[idx] = -1
+
+    def on_move(self, src: int, dst: int) -> None:
+        key = self._key[src]
+        part = self._part[src]
+        self._key[dst] = key
+        self._part[dst] = part
+        self._index_of[part][key] = dst
+        self._key[src] = None
+        self._part[src] = -1
+
+    def futility(self, idx: int) -> float:
+        part = self._part[idx]
+        ranks = self._ranks[part]
+        size = len(ranks)
+        rank = ranks.rank(self._key[idx])  # keys strictly smaller
+        if self._ascending_futility:
+            return (rank + 1) / size
+        return (size - rank) / size
+
+
+class LRURanking(_KeyedRanking):
+    """Exact least-recently-used futility: oldest line has futility 1."""
+
+    name = "lru"
+    exact = True
+    _ascending_futility = False  # smaller (older) access seq = more futile
+
+    def bind(self, num_lines: int, num_partitions: int) -> None:
+        super().bind(num_lines, num_partitions)
+        self._seq = 0
+
+    def _make_key(self, idx, part, next_use, *, is_hit):
+        self._seq += 1
+        return self._seq
+
+
+class LFURanking(_KeyedRanking):
+    """Exact least-frequently-used futility, recency-tie-broken.
+
+    Keys are ``(access_count, last_access_seq)`` so the total order is
+    strict; fewer accesses (and, at equal counts, older access) = more
+    futile.
+    """
+
+    name = "lfu"
+    exact = True
+    _ascending_futility = False
+
+    def bind(self, num_lines: int, num_partitions: int) -> None:
+        super().bind(num_lines, num_partitions)
+        self._seq = 0
+        self._count: List[int] = [0] * num_lines
+
+    def _make_key(self, idx, part, next_use, *, is_hit):
+        self._seq += 1
+        self._count[idx] = self._count[idx] + 1 if is_hit else 1
+        return (self._count[idx], self._seq)
+
+    def on_evict(self, idx: int, part: int) -> None:
+        super().on_evict(idx, part)
+        self._count[idx] = 0
+
+    def on_move(self, src: int, dst: int) -> None:
+        super().on_move(src, dst)
+        self._count[dst] = self._count[src]
+        self._count[src] = 0
+
+
+class OPTRanking(_KeyedRanking):
+    """Belady's OPT futility [14]: rank by time to next reference.
+
+    Each access must supply ``next_use`` — the (thread-local) position of the
+    next reference to the same address, or any value strictly larger than
+    every finite position if the address is never referenced again.  Trace
+    containers precompute this (see :func:`repro.trace.access.annotate_next_use`).
+    """
+
+    name = "opt"
+    exact = True
+    needs_future = True
+    _ascending_futility = True  # later next use = more futile
+
+    def _make_key(self, idx, part, next_use, *, is_hit):
+        if next_use is None:
+            raise ConfigurationError(
+                "OPTRanking requires next_use on every access; "
+                "annotate the trace with next-use information first")
+        # (next_use, idx) keeps keys strict even if a caller reuses a
+        # sentinel next_use for many never-referenced-again lines.
+        return (next_use, idx)
+
+
+class RandomRanking(_KeyedRanking):
+    """Uniformly random futility (control: associativity CDF is diagonal)."""
+
+    name = "random"
+    exact = True
+    _ascending_futility = True
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._rng = random.Random(seed)
+
+    def _make_key(self, idx, part, next_use, *, is_hit):
+        return (self._rng.random(), idx)
+
+
+class CoarseTimestampLRURanking(FutilityRanking):
+    """Coarse-grain 8-bit timestamp LRU [17] (the paper's hardware design).
+
+    Per partition: an 8-bit ``current timestamp`` counter incremented once
+    every ``K`` accesses to that partition, where ``K = max(1, target/16)``.
+    Each resident line is tagged with its partition's current timestamp at
+    insertion and on every hit.  The raw futility of a line is the unsigned
+    8-bit distance ``(current - line_ts) mod 256`` — an O(1) operation, no
+    rank structures needed (this is why the design is cheap: ~1.5% state
+    overhead, Section V-B).
+
+    ``futility`` (used only for *measurement*, never for the hardware
+    decision path) returns the distance normalized by 255.
+    """
+
+    name = "coarse-ts-lru"
+    exact = False
+
+    def __init__(self, period_fraction: int = 16) -> None:
+        super().__init__()
+        if period_fraction <= 0:
+            raise ConfigurationError("period_fraction must be positive")
+        self.period_fraction = int(period_fraction)
+
+    def bind(self, num_lines: int, num_partitions: int) -> None:
+        super().bind(num_lines, num_partitions)
+        self._ts: List[int] = [0] * num_lines
+        self._part: List[int] = [-1] * num_lines
+        self._cur_ts: List[int] = [0] * num_partitions
+        self._acc: List[int] = [0] * num_partitions
+        self._period: List[int] = [1] * num_partitions
+        self._sizes: List[int] = [0] * num_partitions
+
+    def set_targets(self, targets: Sequence[int]) -> None:
+        if len(targets) != self._num_partitions:
+            raise ConfigurationError(
+                f"expected {self._num_partitions} targets, got {len(targets)}")
+        self._period = [max(1, int(t) // self.period_fraction) for t in targets]
+
+    def partition_size(self, part: int) -> int:
+        return self._sizes[part]
+
+    def current_timestamp(self, part: int) -> int:
+        return self._cur_ts[part]
+
+    def _tick(self, part: int) -> None:
+        self._acc[part] += 1
+        if self._acc[part] >= self._period[part]:
+            self._acc[part] = 0
+            self._cur_ts[part] = (self._cur_ts[part] + 1) % TIMESTAMP_MOD
+
+    def on_insert(self, idx: int, part: int, *, next_use: Optional[int] = None) -> None:
+        self._tick(part)
+        self._ts[idx] = self._cur_ts[part]
+        self._part[idx] = part
+        self._sizes[part] += 1
+
+    def on_hit(self, idx: int, part: int, *, next_use: Optional[int] = None) -> None:
+        self._tick(part)
+        self._ts[idx] = self._cur_ts[part]
+
+    def on_evict(self, idx: int, part: int) -> None:
+        self._sizes[part] -= 1
+        self._part[idx] = -1
+
+    def on_move(self, src: int, dst: int) -> None:
+        self._ts[dst] = self._ts[src]
+        self._part[dst] = self._part[src]
+        self._part[src] = -1
+
+    def raw_futility(self, idx: int) -> int:
+        part = self._part[idx]
+        return (self._cur_ts[part] - self._ts[idx]) % TIMESTAMP_MOD
+
+    def futility(self, idx: int) -> float:
+        return self.raw_futility(idx) / (TIMESTAMP_MOD - 1)
+
+
+_RANKING_KINDS = {
+    "lru": LRURanking,
+    "lfu": LFURanking,
+    "opt": OPTRanking,
+    "coarse-ts-lru": CoarseTimestampLRURanking,
+    "random": RandomRanking,
+}
+
+
+def make_ranking(kind: str, **kwargs) -> FutilityRanking:
+    """Construct a futility ranking by name."""
+    try:
+        cls = _RANKING_KINDS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown ranking kind {kind!r}; expected one of {sorted(_RANKING_KINDS)}")
+    return cls(**kwargs)

@@ -1,0 +1,364 @@
+"""Analytical framework for Futility Scaling (Section IV of the paper).
+
+Model.  A cache holds partitions ``i = 0..N-1`` with size fractions ``S_i``
+(summing to 1) and insertion-rate fractions ``I_i`` (summing to 1).  On each
+eviction the array supplies ``R`` replacement candidates, independent and
+uniform over all lines (the *Uniformity Assumption*).  A candidate from
+partition ``i`` has unscaled futility ``f ~ U[0, 1]`` and scaled futility
+``alpha_i * f``; FS evicts the candidate with the largest scaled futility.
+
+Derivations implemented here
+----------------------------
+
+**Eviction rates.**  The scaled futility of a random candidate has CDF::
+
+    F(x) = sum_j S_j * min(x / alpha_j, 1)
+
+and the probability that the eviction comes from partition ``i`` is::
+
+    E_i = R * (S_i / alpha_i) * integral_0^{alpha_i} F(x)^(R-1) dx
+
+(F is piecewise linear, so the integral is evaluated in closed form per
+piece).  The identity ``sum_i E_i = F(alpha_max)^R = 1`` holds exactly.
+
+**Equation (1).**  For two partitions with ``alpha_1 = 1`` (partition 1
+undersubscribed, ``I_1 < S_1``) the steady-state condition ``E_1 = I_1``
+gives ``I_1 = S_1 * (S_1 + S_2/alpha_2)^(R-1)`` and hence::
+
+    alpha_2 = S_2 / ( (I_1/S_1)^(1/(R-1)) - S_1 )
+
+which is the paper's Equation (1) (the PDF's typography renders the
+``(R-1)``-th root inline).  All properties the paper states hold: alpha_2
+grows with ``I_2`` and shrinks with ``S_2`` (Fig. 3); ``alpha = 1`` when
+``I/S = 1``; and alpha_2 diverges/turns negative exactly at the feasibility
+bound below.
+
+**Feasibility bound (Section IV-B).**  The minimum possible eviction
+fraction of partition ``i`` is ``S_i**R`` (all R candidates land in it), so
+no replacement-based scheme can hold partition ``i`` at fraction ``S_i``
+unless ``I_i >= S_i**R``.
+
+**Associativity.**  Given an eviction from partition ``i``, the *unscaled*
+futility of the victim has conditional CDF::
+
+    G_i(y) = integral_0^{y*alpha_i} F(x)^(R-1) dx
+             / integral_0^{alpha_i} F(x)^(R-1) dx
+
+whose mean is the partition's analytic Average Eviction Futility (AEF).
+With a single unscaled partition this reduces to ``AEF = R / (R+1)``
+(= 0.941 at R = 16, matching Fig. 2a's N=1 measurement of ~0.95).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from .._util import check_positive, check_probabilities
+from ..errors import ConfigurationError, InfeasiblePartitioningError
+
+__all__ = [
+    "alpha_for_two_partitions",
+    "scaling_factors_two_partitions",
+    "eviction_rates",
+    "solve_scaling_factors",
+    "min_feasible_insertion_rate",
+    "max_holdable_size_fraction",
+    "check_feasible",
+    "eviction_futility_cdf",
+    "analytic_aef",
+    "approximate_pf_aef",
+]
+
+
+def _validate_common(sizes: Sequence[float], insertions: Sequence[float],
+                     candidates: int) -> None:
+    if len(sizes) != len(insertions):
+        raise ConfigurationError(
+            f"sizes and insertions must have equal length, "
+            f"got {len(sizes)} and {len(insertions)}")
+    if len(sizes) < 1:
+        raise ConfigurationError("at least one partition is required")
+    check_probabilities(sizes, "sizes")
+    check_probabilities(insertions, "insertions")
+    if candidates < 1:
+        raise ConfigurationError(f"candidates must be >= 1, got {candidates}")
+
+
+def min_feasible_insertion_rate(size_fraction: float, candidates: int) -> float:
+    """Smallest insertion-rate fraction that can sustain ``size_fraction``.
+
+    Equals ``size_fraction ** candidates`` — the probability that all R
+    replacement candidates belong to the partition, which lower-bounds its
+    eviction rate (Section IV-B).
+    """
+    check_positive(candidates, "candidates")
+    if not 0 <= size_fraction <= 1:
+        raise ConfigurationError(
+            f"size_fraction must be in [0, 1], got {size_fraction}")
+    return size_fraction ** candidates
+
+
+def max_holdable_size_fraction(insertion_rate: float, candidates: int) -> float:
+    """Largest size fraction sustainable at ``insertion_rate``: ``I**(1/R)``.
+
+    Example from the paper: with ``R = 16`` a partition inserting only 1% of
+    misses can still hold about 75% of the cache.
+    """
+    check_positive(candidates, "candidates")
+    if not 0 <= insertion_rate <= 1:
+        raise ConfigurationError(
+            f"insertion_rate must be in [0, 1], got {insertion_rate}")
+    return insertion_rate ** (1.0 / candidates)
+
+
+def check_feasible(sizes: Sequence[float], insertions: Sequence[float],
+                   candidates: int) -> None:
+    """Raise :class:`InfeasiblePartitioningError` if any partition's target
+    cannot be sustained by any replacement-based scheme."""
+    _validate_common(sizes, insertions, candidates)
+    for i, (s, ins) in enumerate(zip(sizes, insertions)):
+        bound = min_feasible_insertion_rate(s, candidates)
+        if ins < bound and not math.isclose(ins, bound, rel_tol=1e-12):
+            raise InfeasiblePartitioningError(
+                f"partition {i}: insertion fraction {ins:.6g} is below the "
+                f"feasibility bound S**R = {bound:.6g} for size fraction "
+                f"{s:.6g} with R = {candidates}")
+
+
+def alpha_for_two_partitions(s2: float, i2: float, candidates: int) -> float:
+    """Equation (1): the scaling factor of the oversubscribed partition.
+
+    Partition 2 has target size fraction ``s2`` and insertion fraction
+    ``i2 >= s2``; partition 1 (fractions ``1-s2``, ``1-i2``) is left
+    unscaled (``alpha_1 = 1``).  Returns ``alpha_2 >= 1``.
+    """
+    if not 0 < s2 < 1:
+        raise ConfigurationError(f"s2 must be in (0, 1), got {s2}")
+    if not 0 <= i2 <= 1:
+        raise ConfigurationError(f"i2 must be in [0, 1], got {i2}")
+    if candidates < 2:
+        raise ConfigurationError(
+            f"Equation (1) needs R >= 2 candidates, got {candidates}")
+    if i2 < s2:
+        raise ConfigurationError(
+            f"partition 2 must be oversubscribed (i2 >= s2), got "
+            f"i2={i2} < s2={s2}; swap the partitions")
+    s1 = 1.0 - s2
+    i1 = 1.0 - i2
+    root = (i1 / s1) ** (1.0 / (candidates - 1))
+    denom = root - s1
+    if denom <= 0:
+        raise InfeasiblePartitioningError(
+            f"no valid scaling factor: I_1 = {i1:.6g} is at or below the "
+            f"feasibility bound S_1**R = {s1 ** candidates:.6g}")
+    return s2 / denom
+
+
+def scaling_factors_two_partitions(sizes: Sequence[float],
+                                   insertions: Sequence[float],
+                                   candidates: int) -> Tuple[float, float]:
+    """Scaling factors ``(alpha_1, alpha_2)`` with the undersubscribed
+    partition pinned at 1 (Section IV-B convention)."""
+    _validate_common(sizes, insertions, candidates)
+    if len(sizes) != 2:
+        raise ConfigurationError("exactly two partitions are required")
+    s1, s2 = sizes
+    i1, i2 = insertions
+    if i2 >= s2:
+        return 1.0, alpha_for_two_partitions(s2, i2, candidates)
+    return alpha_for_two_partitions(s1, i1, candidates), 1.0
+
+
+def _piecewise_integrals(alphas: Sequence[float], sizes: Sequence[float],
+                         exponent: int, upper: float,
+                         *, weighted: bool = False) -> float:
+    """``integral_0^upper F(x)**exponent dx`` (or ``x * F(x)**exponent`` when
+    ``weighted``), with F piecewise linear between sorted alpha breakpoints."""
+    breakpoints = sorted({a for a in alphas if a <= upper + 1e-15})
+    if not breakpoints or breakpoints[-1] < upper - 1e-15:
+        breakpoints.append(upper)
+    total = 0.0
+    lo = 0.0
+    n = exponent
+    for hi in breakpoints:
+        hi = min(hi, upper)
+        if hi <= lo:
+            continue
+        # On (lo, hi]: F(x) = m*x + c where partitions with alpha >= hi are
+        # still growing and partitions with alpha <= lo have saturated.
+        m = sum(s / a for a, s in zip(alphas, sizes) if a >= hi - 1e-15)
+        c = sum(s for a, s in zip(alphas, sizes) if a < hi - 1e-15)
+        if m <= 0:
+            fval = c ** n
+            if weighted:
+                total += fval * (hi * hi - lo * lo) / 2.0
+            else:
+                total += fval * (hi - lo)
+        else:
+            u_hi = m * hi + c
+            u_lo = m * lo + c
+            if weighted:
+                # integral x*(m x + c)^n dx
+                #   = [u^(n+2)/(n+2) - c*u^(n+1)/(n+1)] / m^2
+                term_hi = u_hi ** (n + 2) / (n + 2) - c * u_hi ** (n + 1) / (n + 1)
+                term_lo = u_lo ** (n + 2) / (n + 2) - c * u_lo ** (n + 1) / (n + 1)
+                total += (term_hi - term_lo) / (m * m)
+            else:
+                total += (u_hi ** (n + 1) - u_lo ** (n + 1)) / (m * (n + 1))
+        lo = hi
+    return total
+
+
+def eviction_rates(alphas: Sequence[float], sizes: Sequence[float],
+                   candidates: int) -> List[float]:
+    """Per-partition eviction fractions ``E_i`` under the analytical model.
+
+    ``alphas`` are the scaling factors, ``sizes`` the *actual* size
+    fractions.  The returned fractions sum to 1.
+    """
+    if len(alphas) != len(sizes):
+        raise ConfigurationError("alphas and sizes must have equal length")
+    check_probabilities(sizes, "sizes")
+    for i, a in enumerate(alphas):
+        if a <= 0:
+            raise ConfigurationError(f"alphas[{i}] must be positive, got {a}")
+    r = int(candidates)
+    if r < 1:
+        raise ConfigurationError(f"candidates must be >= 1, got {candidates}")
+    rates = []
+    for a_i, s_i in zip(alphas, sizes):
+        integral = _piecewise_integrals(alphas, sizes, r - 1, a_i)
+        rates.append(r * (s_i / a_i) * integral)
+    return rates
+
+
+def solve_scaling_factors(sizes: Sequence[float], insertions: Sequence[float],
+                          candidates: int, *, tolerance: float = 1e-10,
+                          max_iterations: int = 100_000) -> List[float]:
+    """Solve ``E_i(alpha) = I_i`` for N partitions (the paper's extension to
+    more than two partitions, derived in its technical report [21]).
+
+    The solution is unique up to a common scale factor; the returned vector
+    is normalized so ``min(alpha) == 1``.  Raises
+    :class:`InfeasiblePartitioningError` when the targets violate the
+    ``I_i >= S_i**R`` bound.  Uses damped multiplicative fixed-point
+    iteration, which converges because each ``E_i`` is strictly increasing
+    in ``alpha_i`` and decreasing in the other factors.
+    """
+    _validate_common(sizes, insertions, candidates)
+    check_feasible(sizes, insertions, candidates)
+    n = len(sizes)
+    if n == 1:
+        return [1.0]
+    alphas = [1.0] * n
+    # E_i scales roughly like alpha_i**(R-1) near the fixed point, so the
+    # multiplicative step must be damped by ~1/R to avoid oscillation; the
+    # damping backs off further whenever the residual worsens.  Individual
+    # steps are clamped to a factor of two and alphas capped (their effect
+    # on E saturates) to keep extreme-but-feasible instances finite.
+    damping = 1.0 / max(2, candidates)
+    alpha_cap = 1e12
+    previous_worst = math.inf
+    for _ in range(max_iterations):
+        rates = eviction_rates(alphas, sizes, candidates)
+        worst = 0.0
+        ratios = []
+        for i in range(n):
+            if insertions[i] <= 0:
+                # Zero insertions: any finite eviction rate shrinks the
+                # partition; pin alpha at the minimum to protect it.
+                ratios.append(1.0)
+                continue
+            ratio = insertions[i] / max(rates[i], 1e-300)
+            ratios.append(ratio)
+            if alphas[i] < alpha_cap or ratio < 1.0:
+                worst = max(worst, abs(ratio - 1.0))
+        if worst < tolerance:
+            return alphas
+        if worst > previous_worst * 1.000001:
+            damping *= 0.5
+        previous_worst = worst
+        for i in range(n):
+            step = ratios[i] ** damping
+            step = min(2.0, max(0.5, step))
+            alphas[i] = min(alpha_cap, alphas[i] * step)
+        floor = min(alphas)
+        alphas = [a / floor for a in alphas]
+    raise InfeasiblePartitioningError(
+        f"scaling-factor solver did not converge within {max_iterations} "
+        f"iterations (residual {worst:.3g}); the requested partitioning is "
+        f"at or beyond the feasibility boundary")
+
+
+def approximate_pf_aef(num_partitions: int, candidates: int) -> float:
+    """Approximate AEF of an equally partitioned PF cache (Section III-C).
+
+    Model: under the uniformity assumption, the number of candidates ``k``
+    belonging to the partition chosen by the PS step is roughly
+    ``Binomial(R, 1/N)`` conditioned on ``k >= 1``; the VI step then evicts
+    the max of ``k`` uniform futilities, whose mean is ``k / (k + 1)``, so::
+
+        AEF ~= E[k / (k+1) | k >= 1]
+
+    The approximation ignores the PS step's bias toward partitions with
+    more candidates (it picks by size overshoot, which correlates with
+    representation), so it is tight in the many-partition regime the
+    paper's Fig. 2 worst case lives in (``N >~ R/2``: e.g. N=32, R=16
+    gives 0.52 vs the measured 0.53) and overestimates at small ``N``.
+    As ``N -> infinity`` it approaches the 0.5 random-eviction floor; at
+    ``N = 1`` it reduces to the exact fully-shared value ``R/(R+1)``.
+    """
+    if num_partitions < 1:
+        raise ConfigurationError(
+            f"num_partitions must be >= 1, got {num_partitions}")
+    if candidates < 1:
+        raise ConfigurationError(f"candidates must be >= 1, got {candidates}")
+    r = int(candidates)
+    p = 1.0 / num_partitions
+    # P(k) for Binomial(r, p), k = 0..r.
+    pmf = []
+    for k in range(r + 1):
+        pmf.append(math.comb(r, k) * p ** k * (1 - p) ** (r - k))
+    conditioning = 1.0 - pmf[0]
+    if conditioning <= 0:  # pragma: no cover - p > 0 always
+        return 0.5
+    return sum(pmf[k] * k / (k + 1) for k in range(1, r + 1)) / conditioning
+
+
+def eviction_futility_cdf(alphas: Sequence[float], sizes: Sequence[float],
+                          candidates: int, partition: int,
+                          futility: float) -> float:
+    """Analytic associativity CDF: ``P(f_evict <= futility | evicted from
+    partition)`` with unscaled futility ``f_evict`` in [0, 1]."""
+    if not 0 <= futility <= 1:
+        raise ConfigurationError(f"futility must be in [0, 1], got {futility}")
+    a_i = alphas[partition]
+    r = int(candidates)
+    denom = _piecewise_integrals(alphas, sizes, r - 1, a_i)
+    if denom <= 0:
+        raise ConfigurationError("partition has zero eviction probability")
+    numer = _piecewise_integrals(alphas, sizes, r - 1, futility * a_i)
+    return numer / denom
+
+
+def analytic_aef(alphas: Sequence[float], sizes: Sequence[float],
+                 candidates: int, partition: Optional[int] = None) -> float:
+    """Analytic Average Eviction Futility.
+
+    With ``partition`` given, the AEF of that partition's evictions;
+    otherwise the eviction-weighted AEF over the whole cache.  For a single
+    unscaled partition this equals ``R / (R + 1)``.
+    """
+    r = int(candidates)
+    if partition is None:
+        rates = eviction_rates(alphas, sizes, r)
+        return sum(rate * analytic_aef(alphas, sizes, r, i)
+                   for i, rate in enumerate(rates))
+    a_i = alphas[partition]
+    denom = _piecewise_integrals(alphas, sizes, r - 1, a_i)
+    if denom <= 0:
+        raise ConfigurationError("partition has zero eviction probability")
+    weighted = _piecewise_integrals(alphas, sizes, r - 1, a_i, weighted=True)
+    # E[f | evict from i] = E[x | ...] / alpha_i with x the scaled victim value.
+    return (weighted / denom) / a_i

@@ -1,0 +1,32 @@
+"""Partitioning schemes: FS plus every baseline from the paper's evaluation."""
+
+from .base import (
+    PartitioningScheme,
+    available_schemes,
+    make_scheme,
+    register_scheme,
+)
+from .cqvp import CQVPScheme
+from .full_assoc import FullAssocScheme
+from .futility_scaling import FeedbackFutilityScalingScheme, FutilityScalingScheme
+from .partitioning_first import PartitioningFirstScheme
+from .prism import PriSMScheme
+from .unpartitioned import UnpartitionedScheme
+from .vantage import VantageScheme
+from .way_partition import WayPartitionScheme
+
+__all__ = [
+    "PartitioningScheme",
+    "register_scheme",
+    "make_scheme",
+    "available_schemes",
+    "UnpartitionedScheme",
+    "CQVPScheme",
+    "PartitioningFirstScheme",
+    "FutilityScalingScheme",
+    "FeedbackFutilityScalingScheme",
+    "VantageScheme",
+    "PriSMScheme",
+    "FullAssocScheme",
+    "WayPartitionScheme",
+]

@@ -1,0 +1,145 @@
+"""Partitioning-scheme interface (the paper's "replacement policy" role).
+
+A scheme receives the full replacement-candidate list on each miss and picks
+the victim, balancing the two conflicting roles described in Section III-B:
+maximizing the futility of the evicted line (associativity) and steering
+per-partition sizes toward their targets (sizing).
+
+Schemes interact with the owning :class:`~repro.cache.cache.PartitionedCache`
+through a narrow read interface (owner array, actual/target sizes, futility
+ranking) plus event hooks for insertions, evictions and block relocations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from ...errors import ConfigurationError
+
+__all__ = ["PartitioningScheme", "register_scheme", "make_scheme",
+           "available_schemes"]
+
+
+class PartitioningScheme:
+    """Base class for replacement-based partitioning schemes."""
+
+    #: Registry name.
+    name = "abstract"
+    #: Whether the cache should generate an array candidate list per miss.
+    #: Schemes with ``False`` (FullAssoc) pick victims from their own
+    #: structures and require an array exposing ``free_slot``.
+    uses_candidates = True
+
+    def __init__(self) -> None:
+        self.cache = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def bind(self, cache) -> None:
+        """Attach to the owning cache.  Called exactly once."""
+        if self.cache is not None:
+            raise ConfigurationError(
+                f"scheme {self.name!r} is already bound to a cache")
+        self.cache = cache
+
+    def set_targets(self, targets: Sequence[int]) -> None:
+        """Notify the scheme of (new) per-partition line targets."""
+
+    # -- replacement -------------------------------------------------------
+    def choose_victim(self, candidates: List[int], incoming_part: int) -> int:
+        """Pick the victim line index among ``candidates``.
+
+        ``candidates`` may contain invalid (empty) slots; schemes should
+        prefer them (see :meth:`_first_invalid`) since filling an empty slot
+        evicts nothing.
+        """
+        raise NotImplementedError
+
+    # -- event hooks -------------------------------------------------------
+    def on_insert(self, idx: int, part: int) -> None:
+        """A line of ``part`` was installed at ``idx``."""
+
+    def on_evict(self, idx: int, part: int) -> None:
+        """The line at ``idx`` (owned by ``part``) was evicted."""
+
+    def on_move(self, src: int, dst: int) -> None:
+        """A resident block moved between slots (zcache relocation)."""
+
+    # -- helpers for subclasses ---------------------------------------------
+    def _first_invalid(self, candidates: List[int]) -> Optional[int]:
+        """First empty slot among candidates, or ``None``.
+
+        Skips the scan entirely once the cache is full — the common case
+        in steady state — so the hot path pays for it only during warm-up.
+        """
+        cache = self.cache
+        if cache._resident == cache.num_lines:
+            return None
+        addr_at = cache.array.addr_at
+        for c in candidates:
+            if addr_at(c) < 0:
+                return c
+        return None
+
+    def _most_oversized_partition(self, candidates: List[int]) -> int:
+        """The Partition-Selection step shared by PF-family schemes: the
+        candidate partition whose actual size most exceeds its target."""
+        cache = self.cache
+        owner = cache.owner
+        actual = cache.actual_sizes
+        target = cache.targets
+        best_part = -1
+        best_over = None
+        for c in candidates:
+            p = owner[c]
+            over = actual[p] - target[p]
+            if best_over is None or over > best_over:
+                best_over = over
+                best_part = p
+        return best_part
+
+    def _max_futility_in_partition(self, candidates: List[int],
+                                   part: int) -> int:
+        """Victim-Identification step: the candidate from ``part`` with the
+        largest raw futility."""
+        cache = self.cache
+        owner = cache.owner
+        raw = cache.ranking.raw_futility
+        best = -1
+        best_f = None
+        for c in candidates:
+            if owner[c] != part:
+                continue
+            f = raw(c)
+            if best_f is None or f > best_f:
+                best_f = f
+                best = c
+        if best < 0:  # pragma: no cover - PS step guarantees membership
+            raise ConfigurationError(
+                f"no candidate from partition {part} in the candidate list")
+        return best
+
+
+_SCHEME_REGISTRY: Dict[str, Type[PartitioningScheme]] = {}
+
+
+def register_scheme(cls: Type[PartitioningScheme]) -> Type[PartitioningScheme]:
+    """Class decorator adding a scheme to the by-name registry."""
+    if cls.name in _SCHEME_REGISTRY:
+        raise ConfigurationError(f"duplicate scheme name {cls.name!r}")
+    _SCHEME_REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_scheme(kind: str, **kwargs) -> PartitioningScheme:
+    """Construct a partitioning scheme by registry name."""
+    try:
+        cls = _SCHEME_REGISTRY[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheme {kind!r}; expected one of {sorted(_SCHEME_REGISTRY)}")
+    return cls(**kwargs)
+
+
+def available_schemes() -> List[str]:
+    """Names of all registered schemes."""
+    return sorted(_SCHEME_REGISTRY)

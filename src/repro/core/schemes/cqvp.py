@@ -1,0 +1,76 @@
+"""CQVP: Cache Quota Violation Prohibition (Rafique et al. [4]).
+
+The earliest replacement-based partitioning scheme the paper cites
+(Section II-B): each partition has a quota, and the replacement "always
+chooses the cache lines from the partition that exceeds its quota to
+evict".  Compared with PF (Algorithm 1), CQVP is *quota*-driven rather
+than overshoot-driven:
+
+* if the inserting partition is within its quota, the victim is the most
+  futile candidate among partitions currently **over quota**;
+* if no candidate belongs to an over-quota partition (or the inserting
+  partition itself is the violator), it falls back to the inserting
+  partition's own most futile candidate, so a partition can never push
+  others below their quotas to grow itself.
+
+Like PF it suffers associativity degradation as the number of partitions
+grows — the victim pool shrinks to the violators' candidates — which is
+exactly why the paper groups it with PriSM as the "diminishing cache
+associativity" family.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import PartitioningScheme, register_scheme
+
+__all__ = ["CQVPScheme"]
+
+
+@register_scheme
+class CQVPScheme(PartitioningScheme):
+    """Quota-violation-driven partitioning."""
+
+    name = "cqvp"
+
+    def choose_victim(self, candidates: List[int], incoming_part: int) -> int:
+        invalid = self._first_invalid(candidates)
+        if invalid is not None:
+            return invalid
+        cache = self.cache
+        owner = cache.owner
+        actual = cache.actual_sizes
+        targets = cache.targets
+        raw = cache.ranking.raw_futility
+        incoming_over = actual[incoming_part] >= targets[incoming_part]
+
+        best_violator: Optional[int] = None
+        best_violator_f = None
+        best_own: Optional[int] = None
+        best_own_f = None
+        best_any = candidates[0]
+        best_any_f = raw(best_any)
+        for c in candidates:
+            p = owner[c]
+            f = raw(c)
+            if f > best_any_f:
+                best_any_f = f
+                best_any = c
+            if actual[p] > targets[p]:
+                if best_violator_f is None or f > best_violator_f:
+                    best_violator_f = f
+                    best_violator = c
+            if p == incoming_part and (best_own_f is None or f > best_own_f):
+                best_own_f = f
+                best_own = c
+
+        if incoming_over and best_own is not None:
+            # The inserting partition is the violator: recycle its own line.
+            return best_own
+        if best_violator is not None:
+            return best_violator
+        if best_own is not None:
+            return best_own
+        # No violator and no own line among candidates: least useful overall.
+        return best_any

@@ -1,0 +1,38 @@
+"""Unpartitioned (freely shared) cache baseline.
+
+Victim selection ignores partitions entirely and evicts the candidate with
+the largest normalized futility — the behaviour of an unmanaged shared
+cache.  Partition ids are still tracked by the cache for per-thread
+statistics, but exert no influence on replacement, so high-miss-rate threads
+freely squeeze out everyone else (the destructive interference partitioning
+exists to prevent).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import PartitioningScheme, register_scheme
+
+__all__ = ["UnpartitionedScheme"]
+
+
+@register_scheme
+class UnpartitionedScheme(PartitioningScheme):
+    """Evict the globally least useful candidate; no size control."""
+
+    name = "unpartitioned"
+
+    def choose_victim(self, candidates: List[int], incoming_part: int) -> int:
+        invalid = self._first_invalid(candidates)
+        if invalid is not None:
+            return invalid
+        futility = self.cache.ranking.futility
+        best = candidates[0]
+        best_f = futility(best)
+        for c in candidates[1:]:
+            f = futility(c)
+            if f > best_f:
+                best_f = f
+                best = c
+        return best

@@ -1,0 +1,135 @@
+"""Way-partitioning (column caching [11]) — the placement-based baseline.
+
+Each partition owns a disjoint subset of the ways of a set-associative
+array; an incoming line may only replace a line in one of its own ways.
+This enforces isolation by construction but has the two defects that
+motivate replacement-based schemes (Section II-B):
+
+* **Coarse granularity / associativity loss** — a partition's associativity
+  equals its way count, so 16 ways cannot support more than 16 partitions
+  and every partition of ``k`` ways behaves like a ``k``-way cache.
+* **Resizing penalty** — changing the way assignment strands lines in ways
+  they no longer own; this implementation flushes them (counted in
+  ``flushes``) exactly like the data invalidation the paper attributes to
+  placement-based schemes.
+
+Victim priority within the set: own-way empty slot, then a stale foreign
+line parked in an own way (left over from a resize), then the least useful
+own-way line.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ...errors import ConfigurationError
+from .base import PartitioningScheme, register_scheme
+
+__all__ = ["WayPartitionScheme"]
+
+
+@register_scheme
+class WayPartitionScheme(PartitioningScheme):
+    """Placement-based partitioning by cache ways."""
+
+    name = "way-partition"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._way_owner: List[int] = []
+        #: Lines invalidated by resizes (the placement-scheme resize cost).
+        self.flushes = 0
+
+    def bind(self, cache) -> None:
+        super().bind(cache)
+        if not hasattr(cache.array, "ways") or cache.array.ways < cache.num_partitions:
+            ways = getattr(cache.array, "ways", None)
+            raise ConfigurationError(
+                f"way-partitioning needs a set-associative array with at "
+                f"least one way per partition (ways={ways}, "
+                f"partitions={cache.num_partitions})")
+
+    def way_assignment(self) -> List[int]:
+        """Owner partition of each way."""
+        return list(self._way_owner)
+
+    def ways_of(self, part: int) -> List[int]:
+        return [w for w, p in enumerate(self._way_owner) if p == part]
+
+    def set_targets(self, targets: Sequence[int]) -> None:
+        cache = self.cache
+        ways = cache.array.ways
+        num_sets = cache.array.num_sets
+        total = sum(targets)
+        if total <= 0:
+            raise ConfigurationError("targets must not all be zero")
+        # Largest-remainder apportionment with a one-way floor per partition.
+        quotas = [t / total * ways for t in targets]
+        counts = [max(1, int(q)) for q in quotas]
+        while sum(counts) > ways:
+            # Shrink the partition with the most ways above its quota.
+            candidates = [i for i, c in enumerate(counts) if c > 1]
+            if not candidates:
+                raise ConfigurationError(
+                    f"{len(targets)} partitions cannot share {ways} ways")
+            victim = max(candidates, key=lambda i: counts[i] - quotas[i])
+            counts[victim] -= 1
+        remainders = sorted(range(len(targets)),
+                            key=lambda i: quotas[i] - counts[i], reverse=True)
+        i = 0
+        while sum(counts) < ways:
+            counts[remainders[i % len(remainders)]] += 1
+            i += 1
+        new_owner: List[int] = []
+        for part, c in enumerate(counts):
+            new_owner.extend([part] * c)
+        if self._way_owner and new_owner != self._way_owner:
+            self._flush_transferred_ways(new_owner)
+        self._way_owner = new_owner
+
+    def _flush_transferred_ways(self, new_owner: List[int]) -> None:
+        """Invalidate lines stranded in ways that changed hands."""
+        cache = self.cache
+        ways = cache.array.ways
+        num_sets = cache.array.num_sets
+        for way, (old, new) in enumerate(zip(self._way_owner, new_owner)):
+            if old == new:
+                continue
+            for s in range(num_sets):
+                idx = s * ways + way
+                if cache.array.addr_at(idx) >= 0 and cache.owner[idx] != new:
+                    cache.invalidate_index(idx)
+                    self.flushes += 1
+
+    def _way_of_index(self, idx: int) -> int:
+        return idx % self.cache.array.ways
+
+    def choose_victim(self, candidates: List[int], incoming_part: int) -> int:
+        cache = self.cache
+        owner = cache.owner
+        addr_at = cache.array.addr_at
+        raw = cache.ranking.raw_futility
+        way_owner = self._way_owner
+        best_own: Optional[int] = None
+        best_own_f = None
+        best_foreign: Optional[int] = None
+        best_foreign_f = None
+        for c in candidates:
+            if way_owner[self._way_of_index(c)] != incoming_part:
+                continue
+            if addr_at(c) < 0:
+                return c
+            f = raw(c)
+            if owner[c] != incoming_part:
+                if best_foreign_f is None or f > best_foreign_f:
+                    best_foreign_f = f
+                    best_foreign = c
+            elif best_own_f is None or f > best_own_f:
+                best_own_f = f
+                best_own = c
+        if best_foreign is not None:
+            return best_foreign
+        if best_own is not None:
+            return best_own
+        raise ConfigurationError(  # pragma: no cover - floor of 1 way/partition
+            f"partition {incoming_part} owns no way in the candidate set")

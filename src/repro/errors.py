@@ -1,0 +1,34 @@
+"""Exception hierarchy for the futility-scaling reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class InfeasiblePartitioningError(ReproError, ValueError):
+    """The requested partitioning cannot be enforced by any
+    replacement-based scheme.
+
+    Section IV-B of the paper: with ``R`` replacement candidates, a partition
+    with target fraction ``S`` and insertion rate ``I < S**R`` will shrink
+    below its target no matter how futilities are scaled, because the
+    minimum achievable eviction rate of the *other* partitions is bounded.
+    """
+
+
+class TraceError(ReproError, ValueError):
+    """A trace or trace generator was used inconsistently."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation engine reached an inconsistent state."""

@@ -1,0 +1,79 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's figures from the shell::
+
+    python -m repro.experiments fig3
+    python -m repro.experiments fig5 --scale smoke
+    python -m repro.experiments all --scale scaled
+    python -m repro.experiments tableII
+
+``--scale`` selects the config constructor: ``smoke`` (seconds),
+``scaled`` (default, minutes) or ``paper`` (the publication's exact
+parameters; hours in pure Python).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..sim.config import TABLE_II
+from . import (
+    Fig2Config, Fig3Config, Fig4Config, Fig5Config, Fig6Config, Fig7Config,
+    Fig8Config,
+    format_fig2, format_fig3, format_fig4, format_fig5, format_fig6,
+    format_fig7, format_fig8,
+    run_fig2, run_fig3, run_fig4, run_fig5, run_fig6, run_fig7, run_fig8,
+)
+
+FIGURES = {
+    "fig2": (Fig2Config, run_fig2, format_fig2),
+    "fig3": (Fig3Config, run_fig3, format_fig3),
+    "fig4": (Fig4Config, run_fig4, format_fig4),
+    "fig5": (Fig5Config, run_fig5, format_fig5),
+    "fig6": (Fig6Config, run_fig6, format_fig6),
+    "fig7": (Fig7Config, run_fig7, format_fig7),
+    "fig8": (Fig8Config, run_fig8, format_fig8),
+}
+
+
+def render_table_ii() -> str:
+    rows = TABLE_II.describe()
+    width = max(len(k) for k in rows)
+    return "Table II: System Configuration\n" + "\n".join(
+        f"  {k.ljust(width)}  {v}" for k, v in rows.items())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate figures from 'Futility Scaling: "
+                    "High-Associativity Cache Partitioning' (MICRO 2014).")
+    parser.add_argument("figure",
+                        choices=sorted(FIGURES) + ["tableII", "all"],
+                        help="which figure to regenerate")
+    parser.add_argument("--scale", default="scaled",
+                        choices=("smoke", "scaled", "paper"),
+                        help="experiment scale (default: scaled)")
+    args = parser.parse_args(argv)
+
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    if args.figure in ("tableII", "all"):
+        print(render_table_ii())
+        print()
+        if args.figure == "tableII":
+            return 0
+    for name in names:
+        config_cls, run, fmt = FIGURES[name]
+        config = getattr(config_cls, args.scale)()
+        start = time.time()
+        result = run(config)
+        elapsed = time.time() - start
+        print(fmt(result))
+        print(f"[{name} @ {args.scale}: {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

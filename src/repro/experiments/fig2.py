@@ -1,0 +1,165 @@
+"""Figure 2: partitioning-induced associativity loss under PF (Section III).
+
+The paper's motivating experiment: a 16-way set-associative cache is
+equally partitioned among N in {1, 2, 4, 8, 16, 32} copies of a benchmark
+(512KB per partition, so the cache grows with N), managed by the
+Partitioning-First scheme with OPT futility ranking.  Measured on the
+first partition:
+
+* **Fig. 2a** — associativity CDF for mcf: AEF decays from ~0.95 at N=1
+  toward the 0.5 worst case (diagonal CDF) as N approaches R.
+* **Fig. 2b** — misses (normalized to N=1) rise with N; mcf worst (~+37%
+  at N=32), lbm flat.
+* **Fig. 2c** — IPC (normalized to N=1) falls correspondingly (~-24% for
+  mcf), lbm flat.
+
+One timed multiprogrammed run per (benchmark, N) yields all three
+measurements: the cache statistics give the associativity CDF, the engine
+gives misses and IPC of thread 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.associativity import aef, associativity_cdf
+from ..analysis.text_plots import ascii_chart
+from ..cache.arrays import SetAssociativeArray
+from ..cache.cache import PartitionedCache
+from ..core.futility import make_ranking
+from ..core.schemes.partitioning_first import PartitioningFirstScheme
+from ..sim.config import TABLE_II
+from ..sim.engine import MultiprogramSimulator
+from .common import DEFAULT_SCALE, duplicated_traces, format_table
+
+__all__ = ["Fig2Config", "Fig2Point", "Fig2Result", "run_fig2", "format_fig2"]
+
+PAPER_BENCHMARKS = ("mcf", "omnetpp", "gromacs", "h264ref",
+                    "astar", "cactusadm", "libquantum", "lbm")
+
+
+@dataclass(frozen=True)
+class Fig2Config:
+    partition_lines: int          # lines per partition (paper: 512KB = 8192)
+    trace_length: int             # L2 accesses per thread
+    partition_counts: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+    benchmarks: Tuple[str, ...] = PAPER_BENCHMARKS
+    cdf_benchmark: str = "mcf"    # the Fig. 2a benchmark
+    ways: int = 16
+    ranking: str = "opt"
+    workload_scale: float = 1.0
+    seed: int = 0
+
+    @classmethod
+    def paper(cls) -> "Fig2Config":
+        return cls(partition_lines=8192, trace_length=400_000)
+
+    @classmethod
+    def scaled(cls) -> "Fig2Config":
+        return cls(partition_lines=1024, trace_length=25_000,
+                   workload_scale=DEFAULT_SCALE)
+
+    @classmethod
+    def smoke(cls) -> "Fig2Config":
+        return cls(partition_lines=128, trace_length=4_000,
+                   partition_counts=(1, 4, 16), benchmarks=("mcf", "lbm"),
+                   workload_scale=1.0 / 64.0)
+
+
+@dataclass
+class Fig2Point:
+    """Measurements for one (benchmark, N) cell, first partition only."""
+
+    benchmark: str
+    num_partitions: int
+    misses: int
+    ipc: float
+    aef: float
+    #: (x, cdf) associativity curve, populated for the cdf benchmark.
+    cdf: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+
+@dataclass
+class Fig2Result:
+    config: Fig2Config
+    #: points[benchmark][N]
+    points: Dict[str, Dict[int, Fig2Point]]
+
+    def normalized_misses(self, benchmark: str) -> Dict[int, float]:
+        """Fig. 2b: misses normalized to the N=1 run."""
+        series = self.points[benchmark]
+        base = series[min(series)].misses
+        return {n: p.misses / base for n, p in series.items()}
+
+    def normalized_ipc(self, benchmark: str) -> Dict[int, float]:
+        """Fig. 2c: IPC normalized to the N=1 run."""
+        series = self.points[benchmark]
+        base = series[min(series)].ipc
+        return {n: p.ipc / base for n, p in series.items()}
+
+
+def _run_cell(config: Fig2Config, benchmark: str, n: int,
+              want_cdf: bool) -> Fig2Point:
+    traces = duplicated_traces(benchmark, n, config.trace_length,
+                               scale=config.workload_scale, seed=config.seed)
+    array = SetAssociativeArray(config.partition_lines * n, config.ways)
+    cache = PartitionedCache(array, make_ranking(config.ranking),
+                             PartitioningFirstScheme(), n)
+    limit = max(1, int(0.9 * min(t.instructions for t in traces)))
+    sim = MultiprogramSimulator(cache, traces, TABLE_II,
+                                instruction_limit=limit)
+    result = sim.run()
+    samples = cache.stats.eviction_futility_samples(0)
+    cdf = associativity_cdf(samples) if (want_cdf and len(samples)) else None
+    return Fig2Point(
+        benchmark=benchmark, num_partitions=n,
+        misses=result.threads[0].misses, ipc=result.threads[0].ipc,
+        aef=aef(samples), cdf=cdf)
+
+
+def run_fig2(config: Fig2Config = Fig2Config.scaled()) -> Fig2Result:
+    """Run the full (benchmark x N) grid."""
+    points: Dict[str, Dict[int, Fig2Point]] = {}
+    for benchmark in config.benchmarks:
+        want_cdf = benchmark == config.cdf_benchmark
+        points[benchmark] = {
+            n: _run_cell(config, benchmark, n, want_cdf)
+            for n in config.partition_counts}
+    return Fig2Result(config=config, points=points)
+
+
+def format_fig2(result: Fig2Result) -> str:
+    """Three paper-style tables: AEF (2a), misses (2b) and IPC (2c)."""
+    config = result.config
+    ns = list(config.partition_counts)
+    blocks: List[str] = []
+
+    cdf_series = result.points.get(config.cdf_benchmark)
+    if cdf_series:
+        rows = [[f"N={n}", f"{p.aef:.3f}"] for n, p in cdf_series.items()]
+        blocks.append(format_table(
+            ["partitions", "AEF"], rows,
+            title=f"Figure 2a: PF associativity of partition 1 "
+                  f"({config.cdf_benchmark}, {config.ranking.upper()} ranking)"))
+        curves = {f"N={n}": p.cdf[1].tolist()
+                  for n, p in cdf_series.items() if p.cdf is not None}
+        if curves:
+            blocks.append("Associativity CDFs (x: eviction futility 0..1):\n"
+                          + ascii_chart(curves, x_label="futility",
+                                        y_label="CDF"))
+
+    for title, getter in (
+            ("Figure 2b: misses of partition 1 (normalized to N=1)",
+             result.normalized_misses),
+            ("Figure 2c: IPC of partition 1 (normalized to N=1)",
+             result.normalized_ipc)):
+        rows = []
+        for benchmark in config.benchmarks:
+            series = getter(benchmark)
+            rows.append([benchmark] + [f"{series[n]:.3f}" for n in ns])
+        blocks.append(format_table(
+            ["benchmark"] + [f"N={n}" for n in ns], rows, title=title))
+    return "\n\n".join(blocks)

@@ -1,0 +1,108 @@
+"""Figure 3: analytical scaling factors (Section IV-B).
+
+The paper plots Equation (1)'s scaling factor ``alpha_2`` for the
+oversubscribed partition against its size fraction ``S_2`` (0.2 .. 0.4) for
+insertion rates ``I_2`` in {0.6, 0.7, 0.8, 0.9} with R = 16 candidates:
+``alpha_2`` grows as ``I_2`` rises and ``S_2`` shrinks, and no valid factor
+exists past the feasibility bound ``I_1 < S_1**R``.
+
+This experiment is purely analytical (no simulation); it additionally
+cross-checks every plotted point against the N-partition numerical solver
+and reports the ``I = 0.01`` holdable-fraction example from the text
+(~75% at R = 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.scaling import (
+    alpha_for_two_partitions,
+    max_holdable_size_fraction,
+    solve_scaling_factors,
+)
+from ..errors import InfeasiblePartitioningError
+from .common import format_table
+
+__all__ = ["Fig3Config", "Fig3Result", "run_fig3", "format_fig3"]
+
+
+@dataclass(frozen=True)
+class Fig3Config:
+    """Sweep parameters (defaults are the paper's exact axes)."""
+
+    candidates: int = 16
+    insertion_rates: Tuple[float, ...] = (0.6, 0.7, 0.8, 0.9)
+    size_fractions: Tuple[float, ...] = (0.20, 0.25, 0.30, 0.35, 0.40)
+    #: Cross-validate each point against the numerical N-partition solver.
+    cross_check: bool = True
+
+    @classmethod
+    def paper(cls) -> "Fig3Config":
+        return cls()
+
+    @classmethod
+    def scaled(cls) -> "Fig3Config":
+        return cls()  # analytical: nothing to scale
+
+    @classmethod
+    def smoke(cls) -> "Fig3Config":
+        return cls(insertion_rates=(0.6, 0.9), size_fractions=(0.2, 0.4),
+                   cross_check=True)
+
+
+@dataclass
+class Fig3Result:
+    config: Fig3Config
+    #: ``alphas[i2][s2]`` — scaling factor or None when infeasible.
+    alphas: Dict[float, Dict[float, Optional[float]]]
+    #: Max |closed form - solver| across all feasible points.
+    max_solver_error: float
+    #: The paper's worked example: holdable fraction at I = 0.01.
+    holdable_at_1pct: float
+
+
+def run_fig3(config: Fig3Config = Fig3Config()) -> Fig3Result:
+    """Evaluate Equation (1) over the configured sweep."""
+    alphas: Dict[float, Dict[float, Optional[float]]] = {}
+    max_error = 0.0
+    for i2 in config.insertion_rates:
+        row: Dict[float, Optional[float]] = {}
+        for s2 in config.size_fractions:
+            try:
+                alpha = alpha_for_two_partitions(s2, i2, config.candidates)
+            except InfeasiblePartitioningError:
+                row[s2] = None
+                continue
+            row[s2] = alpha
+            if config.cross_check:
+                solved = solve_scaling_factors(
+                    [1.0 - s2, s2], [1.0 - i2, i2], config.candidates)
+                max_error = max(max_error, abs(solved[1] - alpha))
+        alphas[i2] = row
+    return Fig3Result(
+        config=config, alphas=alphas, max_solver_error=max_error,
+        holdable_at_1pct=max_holdable_size_fraction(0.01, config.candidates))
+
+
+def format_fig3(result: Fig3Result) -> str:
+    """Paper-style table: one row per I_2, one column per S_2."""
+    config = result.config
+    headers = ["I_2 \\ S_2"] + [f"{s2:.2f}" for s2 in config.size_fractions]
+    rows: List[List[object]] = []
+    for i2 in config.insertion_rates:
+        row: List[object] = [f"{i2:.1f}"]
+        for s2 in config.size_fractions:
+            alpha = result.alphas[i2][s2]
+            row.append("infeasible" if alpha is None else f"{alpha:.3f}")
+        rows.append(row)
+    table = format_table(headers, rows,
+                         title=f"Figure 3: scaling factor alpha_2 "
+                               f"(R={config.candidates})")
+    extras = [
+        f"max |closed-form - solver| = {result.max_solver_error:.2e}",
+        f"holdable size fraction at I=0.01: "
+        f"{result.holdable_at_1pct * 100:.1f}% (paper: ~75%)",
+    ]
+    return table + "\n" + "\n".join(extras)

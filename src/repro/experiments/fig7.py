@@ -1,0 +1,265 @@
+"""Figure 7: QoS evaluation on a 32-thread CMP (Section VIII-A).
+
+The paper's headline experiment: 32 concurrent threads share the L2 under a
+QoS allocation policy.  ``N_subject`` threads run the associativity-
+sensitive benchmark *gromacs* with a guaranteed 256KB (4096 lines) each;
+the remaining ``32 - N_subject`` threads run the memory-intensive polluter
+*lbm* and split the leftover capacity equally.  ``N_subject`` sweeps 1..31,
+and five enforcement schemes are compared under both the practical
+coarse-timestamp LRU ranking and the ideal OPT ranking:
+
+* **Fig. 7a — occupancy**: FullAssoc/PF/FS hold subjects at their targets;
+  Vantage runs slightly below (it manages only 90% of the cache; forced
+  evictions with probability (1-u)^R = 18.5% weaken isolation; it is not
+  run at N=31, which needs 97% of capacity); PriSM collapses (its
+  victim-selection abnormality exceeds 70% at N=32, R=16).
+* **Fig. 7b — associativity**: FullAssoc AEF = 1; FS stays high (~0.85);
+  Vantage ~0.80; PF collapses toward 0.5.
+* **Fig. 7c — performance**: FS beats Vantage by up to ~6% and PriSM by up
+  to ~13.7% on subject-thread performance, approaching FullAssoc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..alloc.policies import QoSPolicy
+from ..analysis.associativity import aef
+from ..cache.arrays import FullyAssociativeArray, SetAssociativeArray
+from ..cache.cache import PartitionedCache
+from ..core.futility import (
+    CoarseTimestampLRURanking,
+    LRURanking,
+    OPTRanking,
+)
+from ..core.schemes.base import PartitioningScheme
+from ..core.schemes.full_assoc import FullAssocScheme
+from ..core.schemes.futility_scaling import FeedbackFutilityScalingScheme
+from ..core.schemes.partitioning_first import PartitioningFirstScheme
+from ..core.schemes.prism import PriSMScheme
+from ..core.schemes.vantage import VantageScheme
+from ..errors import ConfigurationError
+from ..sim.config import TABLE_II
+from ..sim.engine import MultiprogramSimulator
+from .common import (DEFAULT_SCALE, format_table, mixed_traces,
+                     prefill_to_targets)
+
+__all__ = ["Fig7Config", "Fig7Cell", "Fig7Result", "run_fig7", "format_fig7",
+           "PAPER_SCHEMES"]
+
+PAPER_SCHEMES = ("full-assoc", "pf", "vantage", "prism", "fs-feedback")
+
+
+@dataclass(frozen=True)
+class Fig7Config:
+    total_lines: int                 # paper: 8MB = 131072
+    subject_lines: int               # paper: 256KB = 4096
+    trace_length: int
+    instruction_limit: int
+    num_threads: int = 32
+    subject_counts: Tuple[int, ...] = (1, 4, 7, 10, 13, 16, 19, 22, 25, 28, 31)
+    schemes: Tuple[str, ...] = PAPER_SCHEMES
+    rankings: Tuple[str, ...] = ("lru", "opt")
+    subject_benchmark: str = "gromacs"
+    background_benchmark: str = "lbm"
+    ways: int = 16
+    workload_scale: float = 1.0
+    vantage_unmanaged: float = 0.1
+    #: Warm every partition to its target before measuring (the paper
+    #: measures long steady-state runs; without this the cold-start
+    #: convergence transient dominates scaled-down measurements).
+    warmup: bool = True
+    seed: int = 0
+
+    @classmethod
+    def paper(cls) -> "Fig7Config":
+        return cls(total_lines=131_072, subject_lines=4_096,
+                   trace_length=200_000, instruction_limit=3_000_000)
+
+    @classmethod
+    def scaled(cls) -> "Fig7Config":
+        # 1/4 scale rather than the usual 1/8: the protection FS gives an
+        # idle subject partition comes from aged, scaled-up background
+        # lines shadowing it in every candidate set, and that shield thins
+        # out at very small partition sizes (at 1/8 scale FS's subject IPC
+        # drops ~20% below PF's; at 1/4 scale the paper's ordering is
+        # restored).  See EXPERIMENTS.md for the sensitivity measurement.
+        return cls(total_lines=32_768, subject_lines=1_024,
+                   trace_length=50_000, instruction_limit=300_000,
+                   subject_counts=(1, 13, 25, 31), rankings=("lru",),
+                   workload_scale=0.25)
+
+    @classmethod
+    def smoke(cls) -> "Fig7Config":
+        return cls(total_lines=1_024, subject_lines=64,
+                   trace_length=4_000, instruction_limit=20_000,
+                   num_threads=8, subject_counts=(2,),
+                   schemes=("pf", "fs-feedback"), rankings=("lru",),
+                   workload_scale=1.0 / 64.0)
+
+
+@dataclass
+class Fig7Cell:
+    """One (scheme, ranking, N_subject) run, subject-thread aggregates."""
+
+    scheme: str
+    ranking: str
+    num_subjects: int
+    #: mean subject occupancy as a fraction of the subject target
+    occupancy_ratio: float
+    subject_aef: float
+    subject_ipc: float
+    background_ipc: float
+    subject_misses: int
+    #: scheme-specific diagnostics (PriSM abnormality, Vantage forced rate)
+    diagnostics: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Fig7Result:
+    config: Fig7Config
+    #: cells[(scheme, ranking)][n_subjects]; Vantage cells may be missing
+    #: for subject counts it cannot manage.
+    cells: Dict[Tuple[str, str], Dict[int, Fig7Cell]]
+
+    def subject_ipc_ratio(self, scheme_a: str, scheme_b: str,
+                          ranking: str) -> Dict[int, float]:
+        """Per-N ratio of subject IPC between two schemes (Fig. 7c)."""
+        a = self.cells[(scheme_a, ranking)]
+        b = self.cells[(scheme_b, ranking)]
+        return {n: a[n].subject_ipc / b[n].subject_ipc
+                for n in a if n in b and b[n].subject_ipc > 0}
+
+
+def _build_scheme(name: str, config: Fig7Config) -> PartitioningScheme:
+    if name == "full-assoc":
+        return FullAssocScheme()
+    if name == "pf":
+        return PartitioningFirstScheme()
+    if name == "vantage":
+        return VantageScheme(unmanaged_fraction=config.vantage_unmanaged)
+    if name == "prism":
+        return PriSMScheme(seed=config.seed)
+    if name == "fs-feedback":
+        return FeedbackFutilityScalingScheme()
+    raise ConfigurationError(f"unknown fig7 scheme {name!r}")
+
+
+def _build_ranking(scheme_name: str, ranking: str):
+    if ranking == "opt":
+        return OPTRanking()
+    if ranking == "lru":
+        # Practical schemes use the hardware coarse-timestamp LRU; the
+        # FullAssoc ideal needs an exact ranking.
+        return LRURanking() if scheme_name == "full-assoc" \
+            else CoarseTimestampLRURanking()
+    raise ConfigurationError(f"unknown fig7 ranking {ranking!r}")
+
+
+def vantage_can_run(config: Fig7Config, num_subjects: int) -> bool:
+    """Vantage manages only (1-u) of the cache; the paper skips mixes whose
+    guarantees exceed that (N=31 needs ~97% > 90%)."""
+    reserved = num_subjects * config.subject_lines
+    return reserved <= (1.0 - config.vantage_unmanaged) * config.total_lines
+
+
+def _run_cell(config: Fig7Config, scheme_name: str, ranking: str,
+              num_subjects: int) -> Fig7Cell:
+    num_background = config.num_threads - num_subjects
+    policy = QoSPolicy(num_subjects, num_background, config.subject_lines)
+    targets = policy.allocate(config.total_lines)
+    benchmarks = ([config.subject_benchmark] * num_subjects
+                  + [config.background_benchmark] * num_background)
+    traces = mixed_traces(benchmarks, config.trace_length,
+                          scale=config.workload_scale, seed=config.seed)
+    scheme = _build_scheme(scheme_name, config)
+    if scheme_name == "full-assoc":
+        array = FullyAssociativeArray(config.total_lines)
+    else:
+        array = SetAssociativeArray(config.total_lines, config.ways)
+    cache = PartitionedCache(array, _build_ranking(scheme_name, ranking),
+                             scheme, config.num_threads, targets=targets)
+    if config.warmup:
+        prefill_to_targets(cache, traces)
+    sim = MultiprogramSimulator(cache, traces, TABLE_II,
+                                instruction_limit=config.instruction_limit)
+    result = sim.run()
+
+    subjects = range(num_subjects)
+    occupancy = [cache.stats.mean_occupancy(p) for p in subjects]
+    occupancy_ratio = (sum(occupancy) / len(occupancy)
+                       / config.subject_lines)
+    subject_samples = []
+    for p in subjects:
+        subject_samples.extend(cache.stats.eviction_futility_samples(p))
+    subject_ipcs = [result.threads[p].ipc for p in subjects]
+    background_ipcs = [result.threads[p].ipc
+                       for p in range(num_subjects, config.num_threads)]
+    diagnostics: Dict[str, float] = {}
+    if isinstance(scheme, PriSMScheme):
+        diagnostics["abnormality_rate"] = scheme.abnormality_rate()
+    if isinstance(scheme, VantageScheme):
+        evictions = sum(cache.stats.evictions) or 1
+        diagnostics["forced_eviction_rate"] = (scheme.forced_evictions
+                                               / evictions)
+    return Fig7Cell(
+        scheme=scheme_name, ranking=ranking, num_subjects=num_subjects,
+        occupancy_ratio=occupancy_ratio,
+        subject_aef=aef(subject_samples),
+        subject_ipc=sum(subject_ipcs) / len(subject_ipcs),
+        background_ipc=(sum(background_ipcs) / len(background_ipcs)
+                        if background_ipcs else float("nan")),
+        subject_misses=sum(result.threads[p].misses for p in subjects),
+        diagnostics=diagnostics)
+
+
+def run_fig7(config: Fig7Config = Fig7Config.scaled()) -> Fig7Result:
+    cells: Dict[Tuple[str, str], Dict[int, Fig7Cell]] = {}
+    for ranking in config.rankings:
+        for scheme_name in config.schemes:
+            series: Dict[int, Fig7Cell] = {}
+            for n in config.subject_counts:
+                if scheme_name == "vantage" and not vantage_can_run(config, n):
+                    continue
+                series[n] = _run_cell(config, scheme_name, ranking, n)
+            cells[(scheme_name, ranking)] = series
+    return Fig7Result(config=config, cells=cells)
+
+
+def format_fig7(result: Fig7Result) -> str:
+    config = result.config
+    blocks: List[str] = []
+    for title, attr, fmt in (
+            ("Figure 7a: subject occupancy / target", "occupancy_ratio", ".3f"),
+            ("Figure 7b: subject AEF", "subject_aef", ".3f"),
+            ("Figure 7c: subject IPC", "subject_ipc", ".4f")):
+        for ranking in config.rankings:
+            rows = []
+            for scheme_name in config.schemes:
+                series = result.cells[(scheme_name, ranking)]
+                row: List[object] = [scheme_name]
+                for n in config.subject_counts:
+                    cell = series.get(n)
+                    row.append("-" if cell is None
+                               else format(getattr(cell, attr), fmt))
+                rows.append(row)
+            headers = ["scheme"] + [f"N={n}" for n in config.subject_counts]
+            blocks.append(format_table(
+                headers, rows, title=f"{title} [{ranking.upper()} ranking]"))
+    # Headline comparison (the paper's abstract claim).
+    for ranking in config.rankings:
+        lines = []
+        for rival in ("vantage", "prism"):
+            if ("fs-feedback", ranking) in result.cells \
+                    and (rival, ranking) in result.cells:
+                ratios = result.subject_ipc_ratio("fs-feedback", rival,
+                                                  ranking)
+                if ratios:
+                    best = max(ratios.values())
+                    lines.append(
+                        f"FS vs {rival} [{ranking}]: subject-IPC ratio up to "
+                        f"{(best - 1) * 100:+.1f}%")
+        if lines:
+            blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

@@ -1,0 +1,99 @@
+"""System configuration (Table II of the paper).
+
+The evaluated system: a 32-core CMP of 2 GHz in-order x86-64 cores with
+private split 32KB L1s, an 8MB shared 16-way set-associative non-inclusive
+L2 (NUCA, 4 banks, XOR indexing, 64B lines, 8-cycle access, 4-cycle average
+L1-to-L2 latency) and an off-chip memory with 200-cycle zero-load latency
+and 32 GB/s peak bandwidth.
+
+:data:`TABLE_II` is the paper-exact configuration;
+:func:`scaled_config` shrinks the L2 (and nothing else) for bench-friendly
+runs while keeping every ratio that matters (ways, R, latencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from ..errors import ConfigurationError
+
+__all__ = ["SystemConfig", "TABLE_II", "scaled_config"]
+
+LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Table II system parameters (line size fixed at 64B)."""
+
+    cores: int = 32
+    frequency_ghz: float = 2.0
+    cpi_base: float = 1.0                 # in-order core
+    l1_size_kb: int = 32                  # split I/D, private, per core
+    l1_ways: int = 4
+    l1_latency: int = 1
+    l2_size_mb: float = 8.0               # shared NUCA L2
+    l2_ways: int = 16
+    l2_access_latency: int = 8
+    l1_to_l2_latency: int = 4             # average NUCA hop latency
+    l2_banks: int = 4
+    memory_latency: int = 200             # zero-load cycles
+    memory_bandwidth_gbps: float = 32.0   # peak
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError(f"cores must be positive, got {self.cores}")
+        if self.l2_ways <= 0 or self.l2_size_mb <= 0:
+            raise ConfigurationError("L2 geometry must be positive")
+        if self.memory_bandwidth_gbps <= 0 or self.frequency_ghz <= 0:
+            raise ConfigurationError("bandwidth and frequency must be positive")
+
+    @property
+    def l2_lines(self) -> int:
+        """Total L2 lines."""
+        return int(self.l2_size_mb * 1024 * 1024) // LINE_BYTES
+
+    @property
+    def l1_lines(self) -> int:
+        """Lines per private L1 (each of I and D)."""
+        return self.l1_size_kb * 1024 // LINE_BYTES
+
+    @property
+    def l2_hit_latency(self) -> int:
+        """Total L1-miss-to-L2-hit latency in cycles."""
+        return self.l1_to_l2_latency + self.l2_access_latency
+
+    @property
+    def memory_cycles_per_line(self) -> float:
+        """Minimum cycles between line transfers at peak bandwidth."""
+        bytes_per_cycle = (self.memory_bandwidth_gbps * 1e9
+                           / (self.frequency_ghz * 1e9))
+        return LINE_BYTES / bytes_per_cycle
+
+    def describe(self) -> Dict[str, str]:
+        """Table II rows, ready to print."""
+        return {
+            "Cores": (f"{self.frequency_ghz:g} GHz in-order, x86-64 ISA, "
+                      f"{self.cores} cores"),
+            "L1 $s": (f"split I/D, private, {self.l1_size_kb}KB, "
+                      f"{self.l1_ways}-way set associative, "
+                      f"{self.l1_latency}-cycle latency, {LINE_BYTES}B line"),
+            "L2 $": (f"{self.l2_ways}-way set associative, non-inclusive, "
+                     f"unified, shared, {self.l2_access_latency}-cycle access "
+                     f"latency, {LINE_BYTES}B line, {self.l2_size_mb:g} MB "
+                     f"NUCA, {self.l2_banks} banks, "
+                     f"{self.l1_to_l2_latency}-cycle average L1-to-L2 latency"),
+            "MCU": (f"{self.memory_latency} cycles zero-load latency, "
+                    f"{self.memory_bandwidth_gbps:g} GB/s peak memory BW"),
+        }
+
+
+#: The paper's exact Table II configuration.
+TABLE_II = SystemConfig()
+
+
+def scaled_config(l2_size_mb: float, *, cores: int = 32) -> SystemConfig:
+    """A configuration with a smaller L2 (and optionally fewer cores) for
+    scaled-down experiments; everything else stays Table II."""
+    return replace(TABLE_II, l2_size_mb=l2_size_mb, cores=cores)

@@ -1,0 +1,68 @@
+"""Trace substrate: containers, synthetic generators, SPEC-like profiles,
+multiprogrammed feeding and SimPoint-style region selection."""
+
+from .access import Trace, annotate_next_use
+from .io import load_trace, save_trace
+from .mixing import (
+    TraceCursor,
+    interleave_round_robin,
+    run_insertion_rate_controlled,
+    run_round_robin,
+)
+from .simpoint import Region, representative_trace, select_regions
+from .spec import (
+    BENCHMARKS,
+    KB,
+    LINE_BYTES,
+    MB,
+    BenchmarkProfile,
+    benchmark_names,
+    benchmark_trace,
+    get_profile,
+    lines_for_bytes,
+)
+from .synthetic import (
+    CyclicScanGenerator,
+    PhasedGenerator,
+    ReuseComponent,
+    ReuseProfile,
+    SequentialStreamGenerator,
+    StackDistanceGenerator,
+    fixed,
+    geometric,
+    loguniform,
+    uniform,
+)
+
+__all__ = [
+    "Trace",
+    "annotate_next_use",
+    "save_trace",
+    "load_trace",
+    "TraceCursor",
+    "interleave_round_robin",
+    "run_round_robin",
+    "run_insertion_rate_controlled",
+    "Region",
+    "select_regions",
+    "representative_trace",
+    "BenchmarkProfile",
+    "BENCHMARKS",
+    "benchmark_names",
+    "benchmark_trace",
+    "get_profile",
+    "KB",
+    "MB",
+    "LINE_BYTES",
+    "lines_for_bytes",
+    "ReuseComponent",
+    "ReuseProfile",
+    "StackDistanceGenerator",
+    "SequentialStreamGenerator",
+    "CyclicScanGenerator",
+    "PhasedGenerator",
+    "uniform",
+    "loguniform",
+    "geometric",
+    "fixed",
+]

@@ -1,0 +1,133 @@
+"""SimPoint-style representative-region selection [23].
+
+The paper simulates a 250M-instruction SimPoint region per benchmark
+instead of whole programs.  This module reproduces the methodology for our
+synthetic traces: split a trace into fixed-size intervals, build a
+per-interval feature vector (an address-region histogram — the trace-level
+analog of SimPoint's basic-block vectors), cluster the intervals with
+k-means, and return one representative interval per cluster together with
+its weight (cluster population share).
+
+Use :func:`select_regions` to pick regions and
+:func:`representative_trace` to splice the single highest-weight region (or
+a weighted concatenation) back into a compact trace for simulation.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError, TraceError
+from .access import Trace
+
+__all__ = ["Region", "interval_features", "kmeans", "select_regions",
+           "representative_trace"]
+
+
+class Region(NamedTuple):
+    """A representative trace region."""
+
+    start: int      #: first access index of the interval
+    length: int     #: interval length in accesses
+    weight: float   #: fraction of intervals its cluster covers
+
+
+def interval_features(trace: Trace, interval: int,
+                      num_buckets: int = 64) -> np.ndarray:
+    """Per-interval address-region histograms, L1-normalized.
+
+    Returns an array of shape ``(num_intervals, num_buckets)``; a trailing
+    partial interval is dropped (as SimPoint does).
+    """
+    if interval <= 0:
+        raise ConfigurationError(f"interval must be positive, got {interval}")
+    if num_buckets <= 0:
+        raise ConfigurationError(f"num_buckets must be positive, got {num_buckets}")
+    addresses = np.frombuffer(trace.addresses, dtype=np.int64)
+    num_intervals = len(addresses) // interval
+    if num_intervals == 0:
+        raise TraceError(
+            f"trace of {len(trace)} accesses has no complete interval of "
+            f"{interval}")
+    clipped = addresses[:num_intervals * interval]
+    # Bucket by address-space region: shift off low bits so that one bucket
+    # covers a contiguous chunk of the footprint.
+    span = int(clipped.max()) - int(clipped.min()) + 1
+    shift = max(0, (span // num_buckets)).bit_length()
+    buckets = ((clipped - clipped.min()) >> shift) % num_buckets
+    features = np.zeros((num_intervals, num_buckets), dtype=np.float64)
+    interval_index = np.repeat(np.arange(num_intervals), interval)
+    np.add.at(features, (interval_index, buckets), 1.0)
+    features /= interval
+    return features
+
+
+def kmeans(features: np.ndarray, k: int, *, seed: int = 0,
+           max_iterations: int = 100) -> np.ndarray:
+    """Plain k-means; returns the cluster label of each row.
+
+    Deterministic for a given seed (k-means++ style farthest-point
+    initialization on a seeded RNG).
+    """
+    n = len(features)
+    if k <= 0:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    k = min(k, n)
+    rng = np.random.default_rng(seed)
+    centroids = np.empty((k, features.shape[1]))
+    centroids[0] = features[rng.integers(n)]
+    distances = np.full(n, np.inf)
+    for j in range(1, k):
+        distances = np.minimum(
+            distances, ((features - centroids[j - 1]) ** 2).sum(axis=1))
+        total = distances.sum()
+        if total <= 0:
+            centroids[j:] = features[rng.integers(n, size=k - j)]
+            break
+        centroids[j] = features[rng.choice(n, p=distances / total)]
+    labels = np.zeros(n, dtype=np.intp)
+    for _ in range(max_iterations):
+        dist = ((features[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        new_labels = dist.argmin(axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for j in range(k):
+            members = features[labels == j]
+            if len(members):
+                centroids[j] = members.mean(axis=0)
+    return labels
+
+
+def select_regions(trace: Trace, interval: int, k: int, *,
+                   num_buckets: int = 64, seed: int = 0) -> List[Region]:
+    """Pick ``k`` representative regions, sorted by descending weight."""
+    features = interval_features(trace, interval, num_buckets)
+    labels = kmeans(features, k, seed=seed)
+    regions: List[Region] = []
+    num_intervals = len(features)
+    for j in np.unique(labels):
+        members = np.flatnonzero(labels == j)
+        centroid = features[members].mean(axis=0)
+        representative = members[
+            ((features[members] - centroid) ** 2).sum(axis=1).argmin()]
+        regions.append(Region(start=int(representative) * interval,
+                              length=interval,
+                              weight=len(members) / num_intervals))
+    regions.sort(key=lambda r: r.weight, reverse=True)
+    return regions
+
+
+def representative_trace(trace: Trace, regions: List[Region],
+                         name: Optional[str] = None) -> Trace:
+    """Concatenate the selected regions into one compact trace."""
+    if not regions:
+        raise ConfigurationError("regions must not be empty")
+    out = trace.slice(regions[0].start, regions[0].start + regions[0].length)
+    for region in regions[1:]:
+        out = out.concatenate(
+            trace.slice(region.start, region.start + region.length))
+    return Trace(out.addresses, out.gaps,
+                 name=name or f"{trace.name}.simpoint")

@@ -1,0 +1,103 @@
+"""Tests for the stack-distance utility monitors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.monitors import UtilityMonitor, profile_miss_curve
+from repro.errors import ConfigurationError
+from repro.trace.access import Trace
+
+
+def brute_force_distances(addresses):
+    """Reference Mattson stack distances."""
+    stack = []
+    out = []
+    for addr in addresses:
+        if addr in stack:
+            d = stack.index(addr)
+            out.append(d)
+            stack.remove(addr)
+        else:
+            out.append(None)
+        stack.insert(0, addr)
+    return out
+
+
+class TestUtilityMonitor:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UtilityMonitor(sampling=0)
+
+    def test_cold_misses(self):
+        m = UtilityMonitor()
+        for a in [1, 2, 3]:
+            assert m.access(a) is None
+        assert m.cold_misses == 3
+        assert m.histogram == {}
+
+    def test_simple_distances(self):
+        m = UtilityMonitor()
+        for a in [1, 2, 1, 3, 2]:
+            m.access(a)
+        # 1 reused at distance 1; 2 reused at distance 2.
+        assert m.histogram == {1: 1, 2: 1}
+
+    @given(st.lists(st.integers(0, 12), max_size=120))
+    @settings(max_examples=40)
+    def test_property_matches_brute_force(self, addresses):
+        m = UtilityMonitor()
+        got = [m.access(a) for a in addresses]
+        assert got == brute_force_distances(addresses)
+
+    def test_consume_trace(self):
+        m = UtilityMonitor().consume(Trace([1, 1, 2, 2]))
+        assert m.accesses == 4
+        assert m.histogram == {0: 2}
+
+
+class TestMissCurve:
+    def test_monotone_non_increasing(self):
+        trace = Trace([i % 20 for i in range(400)])
+        curve = profile_miss_curve(trace, max_lines=32)
+        assert all(curve[i] >= curve[i + 1] for i in range(len(curve) - 1))
+
+    def test_endpoints(self):
+        trace = Trace([i % 10 for i in range(100)])
+        curve = profile_miss_curve(trace, max_lines=16)
+        # Zero capacity: every access misses.
+        assert curve[0] == 100
+        # Enough capacity for the whole working set: only cold misses.
+        assert curve[-1] == 10
+
+    def test_knee_at_working_set(self):
+        """A cyclic scan over W lines misses fully below W and not at all
+        at W (under the monitor's LRU-stack counting, distance W-1)."""
+        w = 8
+        trace = Trace([i % w for i in range(160)])
+        curve = profile_miss_curve(trace, max_lines=16)
+        assert curve[w - 1] == 160  # capacity w-1: every access misses
+        assert curve[w] == w        # capacity w: cold misses only
+
+    def test_granule(self):
+        trace = Trace([i % 10 for i in range(100)])
+        curve = profile_miss_curve(trace, max_lines=16, granule=4)
+        assert len(curve) == 5
+
+    def test_validation(self):
+        m = UtilityMonitor()
+        with pytest.raises(ConfigurationError):
+            m.miss_curve(0)
+        with pytest.raises(ConfigurationError):
+            m.miss_curve(10, granule=0)
+
+    def test_sampling_scales_distances(self):
+        """With sampling, distances count only monitored lines and are
+        multiplied back; the curve remains monotone and ends at the cold
+        miss count."""
+        trace = Trace([i % 64 for i in range(1280)])
+        m = UtilityMonitor(sampling=4)
+        m.consume(trace)
+        curve = m.miss_curve(max_lines=128)
+        assert all(curve[i] >= curve[i + 1] for i in range(len(curve) - 1))
+        assert curve[-1] == m.cold_misses

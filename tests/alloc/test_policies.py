@@ -1,0 +1,118 @@
+"""Tests for allocation policies."""
+
+import pytest
+
+from repro.alloc.policies import (
+    EqualSharePolicy,
+    QoSPolicy,
+    StaticPolicy,
+    UtilityBasedPolicy,
+)
+from repro.errors import ConfigurationError
+
+
+class TestStaticPolicy:
+    def test_fractions_normalized(self):
+        p = StaticPolicy([2, 1, 1])
+        assert p.allocate(100) == [50, 25, 25]
+
+    def test_sum_exact_with_rounding(self):
+        p = StaticPolicy([1, 1, 1])
+        targets = p.allocate(100)
+        assert sum(targets) == 100
+        assert max(targets) - min(targets) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StaticPolicy([])
+        with pytest.raises(ConfigurationError):
+            StaticPolicy([0, 0])
+        with pytest.raises(ConfigurationError):
+            StaticPolicy([-1, 2])
+        with pytest.raises(ConfigurationError):
+            StaticPolicy([1]).allocate(0)
+
+    def test_equal_share(self):
+        assert EqualSharePolicy(4).allocate(64) == [16, 16, 16, 16]
+        with pytest.raises(ConfigurationError):
+            EqualSharePolicy(0)
+
+
+class TestQoSPolicy:
+    def test_paper_allocation(self):
+        """Fig. 7 layout: 4096 lines per subject, rest split equally."""
+        p = QoSPolicy(num_subjects=4, num_background=28, subject_lines=4096)
+        targets = p.allocate(131_072)
+        assert targets[:4] == [4096] * 4
+        assert len(targets) == 32
+        assert sum(targets) == 131_072
+        background = targets[4:]
+        assert max(background) - min(background) <= 1
+
+    def test_reservation_exceeds_capacity(self):
+        p = QoSPolicy(2, 2, 100)
+        with pytest.raises(ConfigurationError):
+            p.allocate(150)
+
+    def test_no_background_spreads_leftover(self):
+        p = QoSPolicy(2, 0, 40)
+        assert p.allocate(100) == [50, 50]
+
+    def test_only_background(self):
+        p = QoSPolicy(0, 4, 0)
+        assert p.allocate(100) == [25, 25, 25, 25]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QoSPolicy(-1, 4, 10)
+        with pytest.raises(ConfigurationError):
+            QoSPolicy(0, 0, 10)
+        with pytest.raises(ConfigurationError):
+            QoSPolicy(2, 2, 0)
+
+
+class TestUtilityBasedPolicy:
+    def test_prefers_high_utility_curve(self):
+        # Partition 0 saves 10 misses per granule; partition 1 saves 1.
+        curve_steep = [100, 90, 80, 70, 60, 50]
+        curve_flat = [100, 99, 98, 97, 96, 95]
+        p = UtilityBasedPolicy([curve_steep, curve_flat], granule=10)
+        targets = p.allocate(50)
+        assert targets[0] > targets[1]
+        assert sum(targets) == 50
+
+    def test_lookahead_sees_past_plateau(self):
+        """A plateau followed by a cliff must still attract allocation
+        (the UCP lookahead property a greedy marginal rule misses)."""
+        cliff = [100, 100, 100, 0, 0, 0]       # all utility at 3 granules
+        gentle = [100, 98, 96, 94, 92, 90]
+        p = UtilityBasedPolicy([cliff, gentle], granule=1)
+        targets = p.allocate(4)
+        assert targets[0] >= 3
+
+    def test_minimum_granules(self):
+        p = UtilityBasedPolicy([[10, 0, 0], [10, 10, 10]], granule=1,
+                               minimum_granules=[0, 1])
+        targets = p.allocate(2)
+        assert targets[1] >= 1
+        assert sum(targets) == 2
+
+    def test_capacity_below_minimums(self):
+        p = UtilityBasedPolicy([[1, 0], [1, 0]], minimum_granules=[2, 2])
+        with pytest.raises(ConfigurationError):
+            p.allocate(3)
+
+    def test_saturated_curves_spread_leftover(self):
+        p = UtilityBasedPolicy([[5, 0], [5, 0]], granule=1)
+        targets = p.allocate(10)
+        assert sum(targets) == 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UtilityBasedPolicy([])
+        with pytest.raises(ConfigurationError):
+            UtilityBasedPolicy([[1, 0], [1]])
+        with pytest.raises(ConfigurationError):
+            UtilityBasedPolicy([[1, 0]], granule=0)
+        with pytest.raises(ConfigurationError):
+            UtilityBasedPolicy([[1, 0]], minimum_granules=[1, 2])

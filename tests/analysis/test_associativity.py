@@ -1,0 +1,63 @@
+"""Tests for associativity analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.associativity import (
+    aef,
+    associativity_cdf,
+    cdf_at,
+    full_assoc_aef,
+    worst_case_cdf,
+)
+from repro.errors import ConfigurationError
+
+
+def test_aef_mean():
+    assert aef([0.2, 0.4, 0.6]) == pytest.approx(0.4)
+
+
+def test_aef_empty_is_nan():
+    assert math.isnan(aef([]))
+
+
+def test_cdf_shape_and_endpoints():
+    x, cdf = associativity_cdf([0.5] * 10, grid=11)
+    assert len(x) == 11
+    assert cdf[0] == 0.0
+    assert cdf[-1] == 1.0
+    assert np.all(np.diff(cdf) >= 0)
+
+
+def test_cdf_of_uniform_samples_near_diagonal():
+    rng = np.random.default_rng(0)
+    samples = rng.random(20_000)
+    x, cdf = associativity_cdf(samples)
+    assert np.max(np.abs(cdf - worst_case_cdf(x))) < 0.02
+
+
+def test_cdf_validation():
+    with pytest.raises(ConfigurationError):
+        associativity_cdf([])
+    with pytest.raises(ConfigurationError):
+        associativity_cdf([0.5], grid=1)
+
+
+def test_cdf_at():
+    samples = [0.1, 0.5, 0.9]
+    assert cdf_at(samples, 0.5) == pytest.approx(2 / 3)
+    assert cdf_at(samples, 0.0) == 0.0
+    assert cdf_at(samples, 1.0) == 1.0
+    with pytest.raises(ConfigurationError):
+        cdf_at([], 0.5)
+
+
+def test_worst_case_is_diagonal():
+    x = np.linspace(0, 1, 5)
+    assert np.allclose(worst_case_cdf(x), x)
+
+
+def test_full_assoc_reference():
+    assert full_assoc_aef() == 1.0

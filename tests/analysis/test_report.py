@@ -1,0 +1,51 @@
+"""Tests for the reproduction report builder."""
+
+import pytest
+
+from repro.analysis.report import build_report, main
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "fig3.txt").write_text("Figure 3 table\n")
+    (d / "tableII.txt").write_text("Table II rows\n")
+    (d / "custom_extra.txt").write_text("extra content\n")
+    return d
+
+
+def test_build_report_orders_sections(results_dir):
+    report = build_report(results_dir)
+    assert report.index("Table II") < report.index("Figure 3")
+    assert "custom_extra" in report          # unknown names still included
+    assert "Figure 3 table" in report
+    assert report.startswith("# Futility Scaling reproduction")
+
+
+def test_build_report_missing_dir(tmp_path):
+    with pytest.raises(ConfigurationError):
+        build_report(tmp_path / "nope")
+
+
+def test_build_report_empty_dir(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(ConfigurationError):
+        build_report(empty)
+
+
+def test_main_writes_file(results_dir, tmp_path, capsys):
+    out = tmp_path / "REPORT.md"
+    assert main([str(results_dir), str(out)]) == 0
+    assert "Figure 3 table" in out.read_text()
+
+
+def test_main_prints_to_stdout(results_dir, capsys):
+    assert main([str(results_dir)]) == 0
+    assert "Figure 3 table" in capsys.readouterr().out
+
+
+def test_main_usage_error(capsys):
+    assert main([]) == 2

@@ -1,0 +1,111 @@
+"""Tests for sizing analysis and performance metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    fairness,
+    geometric_mean,
+    harmonic_mean_speedup,
+    mpki,
+    normalized,
+    speedups,
+    throughput,
+    weighted_speedup,
+)
+from repro.analysis.sizing import (
+    absolute_deviation_quantile,
+    deviation_cdf,
+    mean_absolute_deviation,
+    mean_deviation,
+    theoretical_step_probability,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSizing:
+    def test_mad(self):
+        assert mean_absolute_deviation([-2, 2, -2, 2]) == pytest.approx(2.0)
+        assert math.isnan(mean_absolute_deviation([]))
+
+    def test_mean(self):
+        assert mean_deviation([-2, 2]) == pytest.approx(0.0)
+        assert math.isnan(mean_deviation([]))
+
+    def test_deviation_cdf_absolute(self):
+        x, cdf = deviation_cdf([-5, 0, 5], absolute=True, grid=6)
+        assert cdf[-1] == 1.0
+        assert np.all(np.diff(cdf) >= 0)
+
+    def test_deviation_cdf_constant_samples(self):
+        x, cdf = deviation_cdf([3, 3, 3])
+        assert cdf[-1] == 1.0
+
+    def test_deviation_cdf_validation(self):
+        with pytest.raises(ConfigurationError):
+            deviation_cdf([])
+        with pytest.raises(ConfigurationError):
+            deviation_cdf([1], grid=1)
+
+    def test_quantile(self):
+        assert absolute_deviation_quantile([-10, 1, 1, 1], 1.0) == 10
+        assert math.isnan(absolute_deviation_quantile([], 0.5))
+        with pytest.raises(ConfigurationError):
+            absolute_deviation_quantile([1], 1.5)
+
+    def test_step_probability(self):
+        """I(1-I): zero at the extremes, maximal 0.25 at I=0.5
+        (Section IV-D)."""
+        assert theoretical_step_probability(0.0) == 0.0
+        assert theoretical_step_probability(1.0) == 0.0
+        assert theoretical_step_probability(0.5) == 0.25
+        assert theoretical_step_probability(0.9) == pytest.approx(0.09)
+        with pytest.raises(ConfigurationError):
+            theoretical_step_probability(1.5)
+
+
+class TestMetrics:
+    def test_speedups(self):
+        assert speedups([1.0, 2.0], [0.5, 1.0]) == [2.0, 2.0]
+        with pytest.raises(ConfigurationError):
+            speedups([1.0], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            speedups([1.0], [0.0])
+
+    def test_weighted_speedup(self):
+        assert weighted_speedup([1.0, 1.0], [0.5, 0.5]) == pytest.approx(4.0)
+
+    def test_throughput(self):
+        assert throughput([0.5, 0.7]) == pytest.approx(1.2)
+        with pytest.raises(ConfigurationError):
+            throughput([])
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean_speedup([1.0, 1.0], [1.0, 1.0]) == \
+            pytest.approx(1.0)
+        # Harmonic mean penalizes imbalance vs the arithmetic mean.
+        hm = harmonic_mean_speedup([2.0, 0.5], [1.0, 1.0])
+        assert hm < (2.0 + 0.5) / 2
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+    def test_fairness(self):
+        assert fairness([1.0, 1.0], [1.0, 1.0]) == 1.0
+        assert fairness([2.0, 1.0], [1.0, 1.0]) == pytest.approx(0.5)
+
+    def test_mpki(self):
+        assert mpki(50, 1_000_000) == pytest.approx(0.05)
+        with pytest.raises(ConfigurationError):
+            mpki(1, 0)
+
+    def test_normalized(self):
+        assert normalized([2.0, 4.0], 2.0) == [1.0, 2.0]
+        with pytest.raises(ConfigurationError):
+            normalized([1.0], 0.0)

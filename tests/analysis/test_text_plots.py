@@ -1,0 +1,58 @@
+"""Tests for the plain-text plotting helpers."""
+
+import pytest
+
+from repro.analysis.text_plots import ascii_chart, sparkline
+from repro.errors import ConfigurationError
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        s = sparkline([0, 1, 2, 3])
+        assert len(s) == 4
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_pinned_scale(self):
+        s = sparkline([0.5], low=0.0, high=1.0)
+        assert s in "▁▂▃▄▅▆▇█"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+
+
+class TestAsciiChart:
+    def test_basic_shape(self):
+        chart = ascii_chart({"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+                            width=20, height=5)
+        lines = chart.splitlines()
+        assert len(lines) == 7  # 5 rows + axis + legend
+        assert "* up" in lines[-1]
+        assert "o down" in lines[-1]
+        # The rising series occupies the top-right, the falling bottom-right.
+        assert "*" in lines[0]
+        assert "o" in lines[0]
+
+    def test_axis_labels(self):
+        chart = ascii_chart({"a": [0, 1]}, x_label="futility")
+        assert "> futility" in chart
+
+    def test_scale_annotations(self):
+        chart = ascii_chart({"a": [2.0, 8.0]}, width=10, height=4)
+        assert "8.000" in chart
+        assert "2.000" in chart
+
+    def test_flat_series_handled(self):
+        chart = ascii_chart({"a": [1.0, 1.0, 1.0]}, width=10, height=4)
+        assert "*" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({})
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": [1]}, width=4)
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": []})

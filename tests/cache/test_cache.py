@@ -1,0 +1,229 @@
+"""Tests for the PartitionedCache engine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.arrays import (
+    FullyAssociativeArray,
+    RandomCandidatesArray,
+    SetAssociativeArray,
+    SkewAssociativeArray,
+    ZCacheArray,
+)
+from repro.cache.cache import PartitionedCache
+from repro.core.futility import (
+    CoarseTimestampLRURanking,
+    LRURanking,
+    OPTRanking,
+)
+from repro.core.schemes.full_assoc import FullAssocScheme
+from repro.core.schemes.partitioning_first import PartitioningFirstScheme
+from repro.core.schemes.unpartitioned import UnpartitionedScheme
+from repro.errors import ConfigurationError
+from tests.conftest import drive_uniform
+
+
+def make_pf_cache(array, **kwargs):
+    return PartitionedCache(array, LRURanking(), PartitioningFirstScheme(),
+                            2, **kwargs)
+
+
+class TestConstruction:
+    def test_default_targets_equal_split(self):
+        c = make_pf_cache(SetAssociativeArray(256, 16))
+        assert c.targets == [128, 128]
+
+    def test_default_targets_uneven(self):
+        c = PartitionedCache(SetAssociativeArray(256, 16), LRURanking(),
+                             PartitioningFirstScheme(), 3)
+        assert sum(c.targets) == 256
+        assert max(c.targets) - min(c.targets) <= 1
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ConfigurationError):
+            PartitionedCache(SetAssociativeArray(64, 4), LRURanking(),
+                             PartitioningFirstScheme(), 0)
+
+    def test_target_validation(self):
+        c = make_pf_cache(SetAssociativeArray(64, 4))
+        with pytest.raises(ConfigurationError):
+            c.set_targets([100])          # wrong length
+        with pytest.raises(ConfigurationError):
+            c.set_targets([-1, 65])       # negative
+        with pytest.raises(ConfigurationError):
+            c.set_targets([64, 64])       # exceeds capacity
+
+    def test_scheme_rebind_rejected(self):
+        scheme = PartitioningFirstScheme()
+        PartitionedCache(SetAssociativeArray(64, 4), LRURanking(), scheme, 1)
+        with pytest.raises(ConfigurationError):
+            PartitionedCache(SetAssociativeArray(64, 4), LRURanking(),
+                             scheme, 1)
+
+    def test_full_assoc_scheme_needs_free_slot_array(self):
+        with pytest.raises(ConfigurationError):
+            PartitionedCache(SetAssociativeArray(64, 4), LRURanking(),
+                             FullAssocScheme(), 1)
+
+
+class TestAccessSemantics:
+    def test_miss_then_hit(self):
+        c = make_pf_cache(SetAssociativeArray(64, 4))
+        assert c.access(42, 0) is False
+        assert c.access(42, 0) is True
+        assert c.stats.hits[0] == 1
+        assert c.stats.misses[0] == 1
+        assert c.occupancy(0) == 1
+        assert c.contains(42)
+
+    def test_insertion_counted(self):
+        c = make_pf_cache(SetAssociativeArray(64, 4))
+        c.access(1, 0)
+        c.access(2, 1)
+        assert c.stats.insertions == [1, 1]
+        assert c.actual_sizes == [1, 1]
+
+    def test_eviction_updates_sizes(self):
+        # Tiny direct-mapped-like config forces evictions quickly.
+        c = make_pf_cache(SetAssociativeArray(4, 4))
+        for addr in range(8):
+            c.access(addr, 0)
+        assert c.actual_sizes[0] == 4
+        assert c.stats.evictions[0] == 4
+        c.check_invariants()
+
+    def test_reset_stats_preserves_contents(self):
+        c = make_pf_cache(SetAssociativeArray(64, 4))
+        c.access(7, 0)
+        c.reset_stats()
+        assert c.stats.accesses == 0
+        assert c.access(7, 0) is True  # line still resident
+
+    def test_eviction_futility_recorded(self):
+        c = make_pf_cache(SetAssociativeArray(4, 4))
+        for addr in range(6):
+            c.access(addr, 0)
+        samples = c.stats.eviction_futility_samples(0)
+        assert len(samples) == 2
+        # PF with one partition evicts the LRU line: futility 1.
+        assert all(s == pytest.approx(1.0) for s in samples)
+
+
+class TestInvalidate:
+    def test_invalidate_counts_flush_not_eviction(self):
+        c = make_pf_cache(SetAssociativeArray(64, 4))
+        c.access(3, 0)
+        idx = c.array.lookup(3)
+        c.invalidate_index(idx)
+        assert not c.contains(3)
+        assert c.stats.flushes == 1
+        assert c.stats.evictions == [0, 0]
+        assert c.actual_sizes[0] == 0
+        c.check_invariants()
+
+    def test_invalidate_empty_slot_is_noop(self):
+        c = make_pf_cache(SetAssociativeArray(64, 4))
+        c.invalidate_index(5)
+        assert c.stats.flushes == 0
+
+
+class TestReferenceRanking:
+    def test_exact_ranking_reused(self):
+        c = make_pf_cache(SetAssociativeArray(64, 4))
+        assert c.reference is c.ranking
+
+    def test_coarse_ts_gets_lru_reference(self):
+        c = PartitionedCache(SetAssociativeArray(64, 4),
+                             CoarseTimestampLRURanking(),
+                             PartitioningFirstScheme(), 2)
+        assert isinstance(c.reference, LRURanking)
+        drive_uniform(c, 500, address_space=100)
+        c.check_invariants()
+
+    def test_reference_disabled(self):
+        c = PartitionedCache(SetAssociativeArray(64, 4),
+                             CoarseTimestampLRURanking(),
+                             PartitioningFirstScheme(), 2,
+                             track_eviction_futility=False)
+        assert c.reference is None
+        drive_uniform(c, 300, address_space=100)
+
+
+class TestOptIntegration:
+    def test_opt_requires_next_use(self):
+        c = PartitionedCache(SetAssociativeArray(64, 4), OPTRanking(),
+                             PartitioningFirstScheme(), 1)
+        with pytest.raises(ConfigurationError):
+            c.access(1, 0)
+
+    def test_opt_with_next_use(self):
+        c = PartitionedCache(SetAssociativeArray(64, 4), OPTRanking(),
+                             PartitioningFirstScheme(), 1)
+        addrs = [1, 2, 1, 3, 2, 1]
+        from repro.trace.access import annotate_next_use
+        nu = annotate_next_use(addrs)
+        for i, a in enumerate(addrs):
+            c.access(a, 0, next_use=nu[i])
+        c.check_invariants()
+        assert c.stats.hits[0] == 3
+
+
+@pytest.mark.parametrize("array_factory,min_fill", [
+    (lambda: SetAssociativeArray(128, 8), 1.0),
+    (lambda: SkewAssociativeArray(128, 4), 1.0),
+    # A zcache fills a slot only when it surfaces in some walk, so a few
+    # slots can lag behind; near-full is the guarantee.
+    (lambda: ZCacheArray(128, 4, 12), 0.95),
+    (lambda: RandomCandidatesArray(128, 8, seed=3), 1.0),
+])
+def test_invariants_hold_under_load(array_factory, min_fill):
+    c = make_pf_cache(array_factory())
+    drive_uniform(c, 3000, address_space=400, seed=7)
+    c.check_invariants()
+    assert sum(c.actual_sizes) <= c.num_lines
+    assert sum(c.actual_sizes) >= min_fill * c.num_lines
+
+
+def test_zcache_relocation_preserves_metadata():
+    """After zcache relocations, owners and ranking state must follow the
+    moved blocks (regression for the on_move plumbing)."""
+    c = PartitionedCache(ZCacheArray(64, 4, 16, hash_seed=5), LRURanking(),
+                         PartitioningFirstScheme(), 2)
+    rng = random.Random(11)
+    for _ in range(2000):
+        part = rng.randrange(2)
+        c.access(part * 10**6 + rng.randrange(120), part)
+    c.check_invariants()
+
+
+@given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 60)),
+                min_size=1, max_size=300))
+@settings(max_examples=30, deadline=None)
+def test_property_occupancy_conservation(accesses):
+    """Occupancy accounting matches ground truth for arbitrary access
+    sequences (partition address spaces disjoint)."""
+    c = make_pf_cache(SetAssociativeArray(32, 4))
+    for part, a in accesses:
+        c.access(part * 1000 + a, part)
+    c.check_invariants()
+    assert c.stats.total_misses() == sum(c.stats.insertions)
+    assert sum(c.stats.insertions) - sum(c.stats.evictions) == \
+        sum(c.actual_sizes)
+
+
+def test_unpartitioned_scheme_allows_takeover():
+    """Without partition enforcement a high-traffic thread squeezes out a
+    low-traffic one (the motivating interference problem)."""
+    c = PartitionedCache(SetAssociativeArray(128, 8), LRURanking(),
+                         UnpartitionedScheme(), 2)
+    rng = random.Random(3)
+    # Thread 0 touches a small set once; thread 1 streams heavily.
+    for a in range(20):
+        c.access(a, 0)
+    for i in range(5000):
+        c.access(10**6 + i, 1)
+    assert c.actual_sizes[1] > c.actual_sizes[0]
+    assert c.actual_sizes[0] < 20

@@ -1,0 +1,95 @@
+"""Tests for cache index hashing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.hashing import (
+    H3Hash,
+    IdentityHash,
+    XorFoldHash,
+    make_hash,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.mark.parametrize("cls", [IdentityHash, XorFoldHash, H3Hash])
+def test_rejects_nonpositive_buckets(cls):
+    with pytest.raises(ConfigurationError):
+        cls(0)
+
+
+@pytest.mark.parametrize("cls", [XorFoldHash, H3Hash])
+def test_bit_mixers_require_power_of_two(cls):
+    with pytest.raises(ConfigurationError):
+        cls(12)
+
+
+@pytest.mark.parametrize("kind", ["identity", "xor", "h3"])
+def test_make_hash(kind):
+    h = make_hash(kind, 64, seed=3)
+    assert h.buckets == 64
+    assert 0 <= h(12345) < 64
+
+
+def test_make_hash_unknown():
+    with pytest.raises(ConfigurationError):
+        make_hash("sha256", 64)
+
+
+@pytest.mark.parametrize("kind", ["identity", "xor", "h3"])
+@given(addr=st.integers(0, 2**48 - 1))
+@settings(max_examples=100)
+def test_output_in_range_and_deterministic(kind, addr):
+    h = make_hash(kind, 128, seed=1)
+    out = h(addr)
+    assert 0 <= out < 128
+    assert h(addr) == out
+
+
+def test_h3_seed_changes_function():
+    a, b = H3Hash(256, seed=0), H3Hash(256, seed=1)
+    outputs_differ = any(a(x) != b(x) for x in range(200))
+    assert outputs_differ
+
+
+def test_h3_same_seed_same_function():
+    a, b = H3Hash(256, seed=7), H3Hash(256, seed=7)
+    assert all(a(x) == b(x) for x in range(200))
+
+
+def test_identity_is_modulo():
+    h = IdentityHash(100)
+    assert h(250) == 50
+
+
+def test_xor_fold_spreads_strided_addresses():
+    """XOR folding must not collapse a large-stride stream onto one bucket
+    the way identity indexing does."""
+    buckets = 64
+    stride = buckets  # pathological for identity
+    identity = IdentityHash(buckets)
+    xor = XorFoldHash(buckets)
+    identity_buckets = {identity(i * stride) for i in range(256)}
+    xor_buckets = {xor(i * stride) for i in range(256)}
+    assert len(identity_buckets) == 1
+    assert len(xor_buckets) > buckets // 2
+
+
+def test_h3_uniformity():
+    """H3 over sequential addresses should populate buckets near-uniformly."""
+    buckets = 32
+    h = H3Hash(buckets, seed=11)
+    counts = [0] * buckets
+    samples = 3200
+    for addr in range(samples):
+        counts[h(addr)] += 1
+    expected = samples / buckets
+    assert max(counts) < expected * 2
+    assert min(counts) > expected / 2
+
+
+def test_single_bucket_hashes():
+    for kind in ("identity", "xor", "h3"):
+        h = make_hash(kind, 1)
+        assert h(123456789) == 0

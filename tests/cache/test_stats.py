@@ -1,0 +1,126 @@
+"""Tests for CacheStats."""
+
+import math
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.errors import ConfigurationError
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        CacheStats(0)
+    with pytest.raises(ConfigurationError):
+        CacheStats(2, occupancy_sample_period=0)
+    with pytest.raises(ConfigurationError):
+        CacheStats(2, deviation_partitions=[5])
+
+
+def test_counters():
+    s = CacheStats(2, occupancy_sample_period=1)
+    sizes = [3, 5]
+    s.record_access(0, True, sizes)
+    s.record_access(0, False, sizes)
+    s.record_access(1, False, sizes)
+    s.record_insertion(0)
+    s.record_eviction(1, 0.5)
+    assert s.hits == [1, 0]
+    assert s.misses == [1, 1]
+    assert s.insertions == [1, 0]
+    assert s.evictions == [0, 1]
+    assert s.accesses == 3
+    assert s.hit_rate(0) == 0.5
+    assert s.hit_rate(1) == 0.0
+    assert s.hit_rate() == pytest.approx(1 / 3)
+    assert s.miss_rate() == pytest.approx(2 / 3)
+
+
+def test_rates_with_no_accesses():
+    s = CacheStats(1)
+    assert s.hit_rate() == 0.0
+    assert s.miss_rate(0) == 0.0
+
+
+def test_fractions():
+    s = CacheStats(2)
+    for _ in range(3):
+        s.record_insertion(0)
+    s.record_insertion(1)
+    s.record_eviction(0, None)
+    s.record_eviction(1, None)
+    assert s.insertion_fractions() == [0.75, 0.25]
+    assert s.eviction_fractions() == [0.5, 0.5]
+
+
+def test_fractions_empty():
+    s = CacheStats(3)
+    assert s.insertion_fractions() == [0.0, 0.0, 0.0]
+    assert s.eviction_fractions() == [0.0, 0.0, 0.0]
+
+
+def test_aef():
+    s = CacheStats(1)
+    s.record_eviction(0, 0.2)
+    s.record_eviction(0, 0.8)
+    assert s.aef(0) == pytest.approx(0.5)
+    assert math.isnan(CacheStats(1).aef(0))
+
+
+def test_aef_disabled():
+    s = CacheStats(1, track_eviction_futility=False)
+    s.record_eviction(0, 0.5)
+    with pytest.raises(ConfigurationError):
+        s.aef(0)
+
+
+def test_occupancy_sampling():
+    s = CacheStats(2, occupancy_sample_period=2)
+    s.record_access(0, True, [10, 20])   # not sampled
+    s.record_access(0, True, [10, 20])   # sampled
+    s.record_access(0, True, [30, 40])   # not sampled
+    s.record_access(0, True, [30, 40])   # sampled
+    assert s.mean_occupancy(0) == pytest.approx(20.0)
+    assert s.mean_occupancy(1) == pytest.approx(30.0)
+
+
+def test_occupancy_without_samples_is_nan():
+    assert math.isnan(CacheStats(1).mean_occupancy(0))
+
+
+def test_deviation_tracking():
+    s = CacheStats(2, deviation_partitions=[1])
+    s.record_deviations([5, 9], [4, 4])
+    s.record_deviations([5, 1], [4, 4])
+    assert list(s.deviation_samples(1)) == [5, -3]
+    with pytest.raises(ConfigurationError):
+        s.deviation_samples(0)
+
+
+def test_reset():
+    s = CacheStats(1, deviation_partitions=[0], occupancy_sample_period=1)
+    s.record_access(0, False, [1])
+    s.record_insertion(0)
+    s.record_eviction(0, 0.9)
+    s.record_deviations([5], [4])
+    s.record_flush()
+    s.reset()
+    assert s.accesses == 0
+    assert s.hits == [0]
+    assert s.misses == [0]
+    assert s.flushes == 0
+    assert len(s.eviction_futility_samples(0)) == 0
+    assert len(s.deviation_samples(0)) == 0
+    assert math.isnan(s.mean_occupancy(0))
+
+
+def test_summary():
+    s = CacheStats(2)
+    s.record_access(0, False, [0, 0])
+    s.record_insertion(0)
+    s.record_eviction(1, 0.7)
+    out = s.summary()
+    assert out["accesses"] == 1
+    assert out["insertions"] == [1, 0]
+    assert out["aef"][1] == pytest.approx(0.7)
+    assert out["aef"][0] is None

@@ -1,0 +1,139 @@
+"""Tests for dirty-line tracking and writeback accounting."""
+
+import pytest
+
+from repro.cache.arrays import SetAssociativeArray, ZCacheArray
+from repro.cache.cache import PartitionedCache
+from repro.core.futility import LRURanking
+from repro.core.schemes.partitioning_first import PartitioningFirstScheme
+from repro.errors import ConfigurationError
+from repro.sim.config import SystemConfig, TABLE_II
+from repro.sim.engine import MultiprogramSimulator
+from repro.sim.memory import MemoryController
+from repro.trace.access import Trace
+
+
+def tiny_cache(lines=4, ways=4, parts=1):
+    return PartitionedCache(SetAssociativeArray(lines, ways), LRURanking(),
+                            PartitioningFirstScheme(), parts)
+
+
+class TestDirtyTracking:
+    def test_clean_eviction_no_writeback(self):
+        cache = tiny_cache()
+        for a in range(5):
+            cache.access(a, 0)
+        assert cache.stats.writebacks == [0]
+        assert cache.writeback_pending is False
+
+    def test_dirty_insertion_writes_back_on_eviction(self):
+        cache = tiny_cache()
+        cache.access(0, 0, is_write=True)
+        for a in range(1, 4):
+            cache.access(a, 0)
+        cache.access(4, 0)   # evicts line 0, which is dirty
+        assert cache.stats.writebacks == [1]
+        assert cache.writeback_pending is True
+        cache.access(5, 0)   # evicts clean line 1
+        assert cache.writeback_pending is False
+        assert cache.stats.writebacks == [1]
+
+    def test_write_hit_dirties_line(self):
+        cache = tiny_cache()
+        cache.access(0, 0)                 # clean insert
+        cache.access(0, 0, is_write=True)  # dirtied by a store hit
+        for a in range(1, 5):
+            cache.access(a, 0)
+        assert cache.stats.writebacks == [1]
+
+    def test_writeback_attributed_to_owner(self):
+        cache = tiny_cache(parts=2)
+        # Partition 0 has a zero target, so its dirty line is the victim
+        # once partition 1 needs the space.
+        cache.set_targets([0, 4])
+        cache.access(0, 0, is_write=True)
+        for a in range(100, 104):
+            cache.access(a, 1)
+        assert cache.stats.writebacks[0] == 1
+        assert cache.stats.writebacks[1] == 0
+
+    def test_invalidate_writes_back_dirty_line(self):
+        cache = tiny_cache(lines=8, ways=4)
+        cache.access(0, 0, is_write=True)
+        cache.invalidate_index(cache.array.lookup(0))
+        assert cache.stats.writebacks == [1]
+        assert cache.stats.flushes == 1
+
+    def test_zcache_relocation_carries_dirty_bit(self):
+        cache = PartitionedCache(ZCacheArray(64, 4, 16, hash_seed=1),
+                                 LRURanking(), PartitioningFirstScheme(), 1)
+        import random
+        rng = random.Random(0)
+        writes = set()
+        for _ in range(3000):
+            addr = rng.randrange(200)
+            is_write = rng.random() < 0.5
+            cache.access(addr, 0, is_write=is_write)
+            if is_write:
+                writes.add(addr)
+        # Dirty count among resident lines must match the lines last
+        # touched by writes that are still resident and not rewritten...
+        # (exact tracking is complex; check the conservative invariant:
+        # every dirty slot holds a line that was written at least once.)
+        for idx in range(cache.num_lines):
+            if cache._dirty[idx]:
+                assert cache.array.addr_at(idx) in writes
+
+
+class TestMemoryWritebacks:
+    def test_writeback_occupies_channel(self):
+        mcu = MemoryController(TABLE_II)
+        mcu.writeback(0.0)
+        # A demand fill right after the writeback queues behind it.
+        assert mcu.request(0.0) == pytest.approx(204.0)
+        assert mcu.writebacks == 1
+
+    def test_utilization_includes_writebacks(self):
+        mcu = MemoryController(TABLE_II)
+        mcu.request(0.0)
+        mcu.writeback(0.0)
+        assert mcu.utilization(80.0) == pytest.approx(0.1)
+
+
+class TestEngineWriteFractions:
+    def test_validation(self):
+        cache = tiny_cache(lines=16, ways=4)
+        with pytest.raises(ConfigurationError):
+            MultiprogramSimulator(cache, [Trace([1])],
+                                  write_fractions=[0.5, 0.5])
+        with pytest.raises(ConfigurationError):
+            MultiprogramSimulator(tiny_cache(lines=16, ways=4), [Trace([1])],
+                                  write_fractions=[1.5])
+
+    def test_writeback_traffic_slows_write_heavy_thread(self):
+        """On a narrow channel, a write-heavy all-miss stream must run
+        slower than the same stream read-only (writebacks steal
+        bandwidth)."""
+        slow = SystemConfig(memory_bandwidth_gbps=0.5)  # 256 cycles/line
+
+        def run(write_fraction):
+            cache = tiny_cache(lines=16, ways=4)
+            trace = Trace(range(2000), gaps=[5] * 2000)
+            sim = MultiprogramSimulator(cache, [trace], slow,
+                                        instruction_limit=5000,
+                                        write_fractions=[write_fraction])
+            return sim.run().threads[0].cycles
+
+        assert run(1.0) > run(0.0) * 1.2
+
+    def test_deterministic_with_seed(self):
+        def run():
+            cache = tiny_cache(lines=16, ways=4)
+            trace = Trace(range(500), gaps=[5] * 500)
+            sim = MultiprogramSimulator(cache, [trace],
+                                        instruction_limit=2000,
+                                        write_fractions=[0.5], seed=9)
+            sim.run()
+            return list(cache.stats.writebacks)
+
+        assert run() == run()

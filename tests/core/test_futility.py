@@ -1,0 +1,262 @@
+"""Tests for the futility ranking schemes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.futility import (
+    TIMESTAMP_MOD,
+    CoarseTimestampLRURanking,
+    LFURanking,
+    LRURanking,
+    OPTRanking,
+    RandomRanking,
+    make_ranking,
+)
+from repro.errors import ConfigurationError
+
+
+def bound(ranking, lines=16, partitions=2):
+    ranking.bind(lines, partitions)
+    return ranking
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", ["lru", "lfu", "opt", "coarse-ts-lru",
+                                      "random"])
+    def test_make_ranking(self, kind):
+        r = make_ranking(kind)
+        assert r.name == kind
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_ranking("plru")
+
+    def test_bind_validation(self):
+        with pytest.raises(ConfigurationError):
+            LRURanking().bind(0, 1)
+
+
+class TestLRURanking:
+    def test_futility_is_normalized_recency_rank(self):
+        r = bound(LRURanking())
+        for idx in range(4):
+            r.on_insert(idx, 0)
+        # Insertion order 0,1,2,3: line 0 is oldest -> futility 1.
+        assert r.futility(0) == pytest.approx(4 / 4)
+        assert r.futility(1) == pytest.approx(3 / 4)
+        assert r.futility(2) == pytest.approx(2 / 4)
+        assert r.futility(3) == pytest.approx(1 / 4)
+
+    def test_hit_moves_to_most_recent(self):
+        r = bound(LRURanking())
+        for idx in range(3):
+            r.on_insert(idx, 0)
+        r.on_hit(0, 0)
+        assert r.futility(0) == pytest.approx(1 / 3)
+        assert r.futility(1) == pytest.approx(1.0)
+
+    def test_partitions_ranked_independently(self):
+        r = bound(LRURanking())
+        r.on_insert(0, 0)
+        r.on_insert(1, 1)
+        r.on_insert(2, 1)
+        # Partition 0 has one line: futility 1 regardless of global age.
+        assert r.futility(0) == pytest.approx(1.0)
+        assert r.futility(1) == pytest.approx(1.0)
+        assert r.futility(2) == pytest.approx(0.5)
+
+    def test_evict_removes_from_rank(self):
+        r = bound(LRURanking())
+        r.on_insert(0, 0)
+        r.on_insert(1, 0)
+        r.on_evict(0, 0)
+        assert r.partition_size(0) == 1
+        assert r.futility(1) == pytest.approx(1.0)
+
+    def test_most_futile(self):
+        r = bound(LRURanking())
+        for idx in range(5):
+            r.on_insert(idx, 0)
+        assert r.most_futile(0) == 0
+        r.on_hit(0, 0)
+        assert r.most_futile(0) == 1
+
+    def test_most_futile_empty_partition(self):
+        r = bound(LRURanking())
+        with pytest.raises(IndexError):
+            r.most_futile(0)
+
+    def test_on_move(self):
+        r = bound(LRURanking())
+        r.on_insert(0, 0)
+        r.on_insert(1, 0)
+        r.on_move(0, 5)
+        assert r.futility(5) == pytest.approx(1.0)
+        assert r.most_futile(0) == 5
+        assert r.partition_size(0) == 2
+
+
+class TestLFURanking:
+    def test_low_count_is_futile(self):
+        r = bound(LFURanking())
+        r.on_insert(0, 0)
+        r.on_insert(1, 0)
+        for _ in range(3):
+            r.on_hit(0, 0)
+        assert r.futility(1) > r.futility(0)
+        assert r.most_futile(0) == 1
+
+    def test_tie_broken_by_recency(self):
+        r = bound(LFURanking())
+        r.on_insert(0, 0)
+        r.on_insert(1, 0)
+        # Equal counts: the older line (0) must rank more futile.
+        assert r.futility(0) > r.futility(1)
+
+    def test_count_reset_on_evict(self):
+        r = bound(LFURanking())
+        r.on_insert(0, 0)
+        r.on_hit(0, 0)
+        r.on_evict(0, 0)
+        r.on_insert(0, 0)     # reinsertion starts at count 1
+        r.on_insert(1, 0)
+        r.on_hit(1, 0)
+        assert r.most_futile(0) == 0
+
+    def test_move_preserves_count(self):
+        r = bound(LFURanking())
+        r.on_insert(0, 0)
+        r.on_hit(0, 0)
+        r.on_move(0, 3)
+        r.on_insert(1, 0)
+        # Line at 3 has count 2, line 1 count 1 -> 1 is more futile.
+        assert r.most_futile(0) == 1
+
+
+class TestOPTRanking:
+    def test_requires_next_use(self):
+        r = bound(OPTRanking())
+        with pytest.raises(ConfigurationError):
+            r.on_insert(0, 0)
+
+    def test_farthest_next_use_most_futile(self):
+        r = bound(OPTRanking())
+        r.on_insert(0, 0, next_use=100)
+        r.on_insert(1, 0, next_use=5)
+        r.on_insert(2, 0, next_use=50)
+        assert r.most_futile(0) == 0
+        assert r.futility(1) == pytest.approx(1 / 3)
+        assert r.futility(0) == pytest.approx(1.0)
+
+    def test_hit_updates_next_use(self):
+        r = bound(OPTRanking())
+        r.on_insert(0, 0, next_use=10)
+        r.on_insert(1, 0, next_use=20)
+        r.on_hit(0, 0, next_use=1000)
+        assert r.most_futile(0) == 0
+
+
+class TestRandomRanking:
+    def test_deterministic_by_seed(self):
+        a, b = bound(RandomRanking(seed=3)), bound(RandomRanking(seed=3))
+        for idx in range(8):
+            a.on_insert(idx, 0)
+            b.on_insert(idx, 0)
+        assert [a.futility(i) for i in range(8)] == \
+               [b.futility(i) for i in range(8)]
+
+
+class TestCoarseTimestampLRU:
+    def test_period_from_targets(self):
+        r = bound(CoarseTimestampLRURanking())
+        r.set_targets([160, 16])
+        assert r._period == [10, 1]
+
+    def test_target_length_validation(self):
+        r = bound(CoarseTimestampLRURanking())
+        with pytest.raises(ConfigurationError):
+            r.set_targets([1, 2, 3])
+
+    def test_raw_futility_is_timestamp_distance(self):
+        r = bound(CoarseTimestampLRURanking())
+        r.set_targets([16, 16])  # period 1: tick every access
+        r.on_insert(0, 0)        # ts=1 after tick
+        r.on_insert(1, 0)        # ts=2
+        r.on_insert(2, 0)        # ts=3
+        assert r.raw_futility(0) == 2
+        assert r.raw_futility(1) == 1
+        assert r.raw_futility(2) == 0
+
+    def test_hit_refreshes_timestamp(self):
+        r = bound(CoarseTimestampLRURanking())
+        r.set_targets([16, 16])
+        r.on_insert(0, 0)
+        r.on_insert(1, 0)
+        r.on_hit(0, 0)
+        assert r.raw_futility(0) == 0
+        assert r.raw_futility(1) == 1
+
+    def test_wraparound_is_unsigned_8bit(self):
+        r = bound(CoarseTimestampLRURanking())
+        r.set_targets([16, 16])
+        r.on_insert(0, 0)
+        # Age line 0 by exactly TIMESTAMP_MOD ticks: distance wraps to 0.
+        for _ in range(TIMESTAMP_MOD):
+            r._tick(0)
+        assert r.raw_futility(0) == 0
+
+    def test_normalized_futility_in_unit_interval(self):
+        r = bound(CoarseTimestampLRURanking())
+        r.set_targets([16, 16])
+        r.on_insert(0, 0)
+        for _ in range(100):
+            r._tick(0)
+        assert 0.0 <= r.futility(0) <= 1.0
+        assert r.futility(0) == pytest.approx(100 / 255)
+
+    def test_partition_sizes(self):
+        r = bound(CoarseTimestampLRURanking())
+        r.set_targets([16, 16])
+        r.on_insert(0, 0)
+        r.on_insert(1, 1)
+        r.on_insert(2, 1)
+        assert r.partition_size(0) == 1
+        assert r.partition_size(1) == 2
+        r.on_evict(2, 1)
+        assert r.partition_size(1) == 1
+
+    def test_move(self):
+        r = bound(CoarseTimestampLRURanking())
+        r.set_targets([16, 16])
+        r.on_insert(0, 0)
+        r._tick(0)
+        old = r.raw_futility(0)
+        r.on_move(0, 7)
+        assert r.raw_futility(7) == old
+
+    def test_period_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoarseTimestampLRURanking(period_fraction=0)
+
+
+@pytest.mark.parametrize("kind", ["lru", "lfu", "random"])
+@given(ops=st.lists(st.integers(0, 9), min_size=1, max_size=60))
+@settings(max_examples=30, deadline=None)
+def test_property_futility_values_are_distinct_ranks(kind, ops):
+    """Resident lines of a partition always have distinct futility values
+    forming the set {1/M, 2/M, ..., 1} (the strict total order the paper's
+    model requires)."""
+    r = make_ranking(kind) if kind != "random" else RandomRanking(seed=1)
+    r.bind(10, 1)
+    resident = set()
+    for idx in ops:
+        if idx in resident:
+            r.on_hit(idx, 0)
+        else:
+            r.on_insert(idx, 0)
+            resident.add(idx)
+    m = len(resident)
+    values = sorted(r.futility(i) for i in resident)
+    expected = [k / m for k in range(1, m + 1)]
+    assert values == pytest.approx(expected)

@@ -1,0 +1,266 @@
+"""Tests for the analytical Futility Scaling framework (Section IV)."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.scaling import (
+    alpha_for_two_partitions,
+    analytic_aef,
+    check_feasible,
+    eviction_futility_cdf,
+    eviction_rates,
+    max_holdable_size_fraction,
+    min_feasible_insertion_rate,
+    scaling_factors_two_partitions,
+    solve_scaling_factors,
+)
+from repro.errors import ConfigurationError, InfeasiblePartitioningError
+
+R = 16  # the paper's candidate count
+
+
+class TestEquationOne:
+    def test_paper_figure3_top_point(self):
+        """I2=0.9, S2=0.2, R=16 sits just below 3.0 in Fig. 3."""
+        alpha = alpha_for_two_partitions(0.2, 0.9, R)
+        assert alpha == pytest.approx(2.8348, abs=1e-3)
+
+    def test_identity_when_balanced(self):
+        """I/S = 1 for both partitions -> no scaling needed."""
+        for s2 in (0.1, 0.3, 0.5):
+            assert alpha_for_two_partitions(s2, s2, R) == pytest.approx(1.0)
+
+    def test_monotone_in_insertion_rate(self):
+        alphas = [alpha_for_two_partitions(0.3, i2, R)
+                  for i2 in (0.4, 0.6, 0.8, 0.95)]
+        assert alphas == sorted(alphas)
+        assert alphas[0] < alphas[-1]
+
+    def test_monotone_in_size_fraction(self):
+        alphas = [alpha_for_two_partitions(s2, 0.8, R)
+                  for s2 in (0.2, 0.3, 0.4, 0.5)]
+        assert alphas == sorted(alphas, reverse=True)
+
+    def test_infeasible_raises(self):
+        # Partition 1 huge and almost never inserting: S1**R bound violated.
+        with pytest.raises(InfeasiblePartitioningError):
+            alpha_for_two_partitions(0.05, 1.0 - 1e-9, R)
+
+    def test_requires_oversubscription(self):
+        with pytest.raises(ConfigurationError):
+            alpha_for_two_partitions(0.6, 0.4, R)
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            alpha_for_two_partitions(0.0, 0.5, R)
+        with pytest.raises(ConfigurationError):
+            alpha_for_two_partitions(0.2, 1.5, R)
+        with pytest.raises(ConfigurationError):
+            alpha_for_two_partitions(0.2, 0.5, 1)
+
+    def test_wrapper_orders_partitions(self):
+        a = scaling_factors_two_partitions([0.8, 0.2], [0.1, 0.9], R)
+        assert a[0] == 1.0 and a[1] > 1.0
+        b = scaling_factors_two_partitions([0.2, 0.8], [0.9, 0.1], R)
+        assert b[1] == 1.0 and b[0] > 1.0
+        assert a[1] == pytest.approx(b[0])
+
+    @given(s2=st.floats(0.05, 0.6), i2=st.floats(0.0, 0.98),
+           r=st.integers(2, 64))
+    @settings(max_examples=200)
+    def test_property_steady_state(self, s2, i2, r):
+        """Whenever Eq. (1) yields an alpha, plugging it back into the
+        eviction-rate model must reproduce the insertion rates exactly."""
+        assume(i2 >= s2)
+        try:
+            alpha = alpha_for_two_partitions(s2, i2, r)
+        except InfeasiblePartitioningError:
+            return
+        assume(alpha < 1e9)
+        rates = eviction_rates([1.0, alpha], [1.0 - s2, s2], r)
+        assert rates[0] == pytest.approx(1.0 - i2, abs=1e-7)
+        assert rates[1] == pytest.approx(i2, abs=1e-7)
+
+
+class TestEvictionRates:
+    def test_no_scaling_gives_size_shares(self):
+        rates = eviction_rates([1.0, 1.0, 1.0], [0.5, 0.3, 0.2], R)
+        assert rates == pytest.approx([0.5, 0.3, 0.2])
+
+    def test_scaling_up_increases_share(self):
+        base = eviction_rates([1.0, 1.0], [0.5, 0.5], R)[1]
+        scaled = eviction_rates([1.0, 2.0], [0.5, 0.5], R)[1]
+        assert scaled > base
+
+    def test_scale_invariance(self):
+        a = eviction_rates([1.0, 2.5], [0.7, 0.3], R)
+        b = eviction_rates([2.0, 5.0], [0.7, 0.3], R)
+        assert a == pytest.approx(b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            eviction_rates([1.0], [0.5, 0.5], R)
+        with pytest.raises(ConfigurationError):
+            eviction_rates([1.0, -1.0], [0.5, 0.5], R)
+
+    @given(st.lists(st.floats(0.2, 8.0), min_size=1, max_size=6),
+           st.integers(1, 32), st.data())
+    @settings(max_examples=150)
+    def test_property_rates_sum_to_one(self, alphas, r, data):
+        n = len(alphas)
+        weights = data.draw(st.lists(st.floats(0.05, 1.0), min_size=n,
+                                     max_size=n))
+        total = sum(weights)
+        sizes = [w / total for w in weights]
+        rates = eviction_rates(alphas, sizes, r)
+        assert sum(rates) == pytest.approx(1.0, abs=1e-9)
+        assert all(rate >= -1e-12 for rate in rates)
+
+
+class TestFeasibility:
+    def test_bound_formula(self):
+        assert min_feasible_insertion_rate(0.5, 4) == pytest.approx(0.0625)
+        assert max_holdable_size_fraction(0.0625, 4) == pytest.approx(0.5)
+
+    def test_paper_example_one_percent(self):
+        """I = 0.01 at R = 16 can hold about 75% of the cache."""
+        assert max_holdable_size_fraction(0.01, 16) == pytest.approx(
+            0.75, abs=0.005)
+
+    def test_check_feasible_passes_balanced(self):
+        check_feasible([0.5, 0.5], [0.5, 0.5], R)
+
+    def test_check_feasible_raises(self):
+        with pytest.raises(InfeasiblePartitioningError):
+            check_feasible([0.9, 0.1], [0.9 ** 16 / 2, 1 - 0.9 ** 16 / 2], 16)
+
+    @given(s=st.floats(0.01, 0.99), r=st.integers(1, 64))
+    @settings(max_examples=100)
+    def test_property_bound_functions_are_inverses(self, s, r):
+        i = min_feasible_insertion_rate(s, r)
+        assert max_holdable_size_fraction(i, r) == pytest.approx(s, rel=1e-9)
+
+
+class TestSolver:
+    def test_matches_closed_form_two_partitions(self):
+        solved = solve_scaling_factors([0.8, 0.2], [0.1, 0.9], R)
+        assert solved[0] == pytest.approx(1.0)
+        assert solved[1] == pytest.approx(
+            alpha_for_two_partitions(0.2, 0.9, R), rel=1e-6)
+
+    def test_single_partition(self):
+        assert solve_scaling_factors([1.0], [1.0], R) == [1.0]
+
+    def test_balanced_gives_all_ones(self):
+        solved = solve_scaling_factors([0.25] * 4, [0.25] * 4, R)
+        assert solved == pytest.approx([1.0] * 4)
+
+    def test_four_partitions_fixed_point(self):
+        sizes = [0.25] * 4
+        insertions = [0.1, 0.2, 0.3, 0.4]
+        alphas = solve_scaling_factors(sizes, insertions, R)
+        rates = eviction_rates(alphas, sizes, R)
+        assert rates == pytest.approx(insertions, abs=1e-8)
+        assert min(alphas) == pytest.approx(1.0)
+
+    def test_infeasible_detected(self):
+        with pytest.raises(InfeasiblePartitioningError):
+            solve_scaling_factors([0.9, 0.1],
+                                  [0.9 ** 16 / 2, 1 - 0.9 ** 16 / 2], 16)
+
+    @given(st.integers(2, 6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_property_solver_reaches_fixed_point(self, n, data):
+        weights_s = data.draw(st.lists(st.floats(0.1, 1.0), min_size=n,
+                                       max_size=n))
+        weights_i = data.draw(st.lists(st.floats(0.1, 1.0), min_size=n,
+                                       max_size=n))
+        sizes = [w / sum(weights_s) for w in weights_s]
+        insertions = [w / sum(weights_i) for w in weights_i]
+        try:
+            alphas = solve_scaling_factors(sizes, insertions, 8)
+        except InfeasiblePartitioningError:
+            return
+        rates = eviction_rates(alphas, sizes, 8)
+        assert rates == pytest.approx(insertions, abs=1e-7)
+
+
+class TestAnalyticAssociativity:
+    def test_single_partition_aef_is_r_over_r_plus_one(self):
+        for r in (2, 4, 16, 64):
+            assert analytic_aef([1.0], [1.0], r) == pytest.approx(
+                r / (r + 1))
+
+    def test_unscaled_partition_keeps_full_associativity(self):
+        """Section IV-C: an unscaled partition's AEF equals the single-
+        partition value regardless of the other partition's scaling."""
+        for alpha2 in (1.5, 3.0, 10.0):
+            aef = analytic_aef([1.0, alpha2], [0.8, 0.2], R, 0)
+            assert aef == pytest.approx(R / (R + 1), abs=1e-9)
+
+    def test_scaled_partition_degrades(self):
+        aef_scaled = analytic_aef([1.0, 5.0], [0.8, 0.2], R, 1)
+        assert aef_scaled < R / (R + 1)
+
+    def test_degradation_monotone_in_alpha(self):
+        aefs = [analytic_aef([1.0, a], [0.8, 0.2], R, 1)
+                for a in (1.0, 2.0, 4.0, 8.0)]
+        assert aefs == sorted(aefs, reverse=True)
+
+    def test_whole_cache_aef_is_weighted(self):
+        alphas, sizes = [1.0, 3.0], [0.7, 0.3]
+        rates = eviction_rates(alphas, sizes, R)
+        expected = sum(rate * analytic_aef(alphas, sizes, R, i)
+                       for i, rate in enumerate(rates))
+        assert analytic_aef(alphas, sizes, R) == pytest.approx(expected)
+
+    def test_cdf_endpoints_and_monotonicity(self):
+        alphas, sizes = [1.0, 2.0], [0.6, 0.4]
+        assert eviction_futility_cdf(alphas, sizes, R, 1, 0.0) == 0.0
+        assert eviction_futility_cdf(alphas, sizes, R, 1, 1.0) == \
+            pytest.approx(1.0)
+        values = [eviction_futility_cdf(alphas, sizes, R, 1, y)
+                  for y in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert values == sorted(values)
+
+    def test_cdf_validation(self):
+        with pytest.raises(ConfigurationError):
+            eviction_futility_cdf([1.0], [1.0], R, 0, 1.5)
+
+    @given(alpha=st.floats(1.0, 20.0), s2=st.floats(0.05, 0.9),
+           y=st.floats(0.0, 1.0))
+    @settings(max_examples=100)
+    def test_property_cdf_in_unit_interval(self, alpha, s2, y):
+        cdf = eviction_futility_cdf([1.0, alpha], [1 - s2, s2], R, 1, y)
+        assert -1e-9 <= cdf <= 1 + 1e-9
+
+
+class TestApproximatePFAEF:
+    def test_single_partition_exact(self):
+        from repro.core.scaling import approximate_pf_aef
+        assert approximate_pf_aef(1, 16) == pytest.approx(16 / 17)
+
+    def test_monotone_decreasing_in_partitions(self):
+        from repro.core.scaling import approximate_pf_aef
+        values = [approximate_pf_aef(n, 16) for n in (1, 2, 4, 8, 16, 32)]
+        assert values == sorted(values, reverse=True)
+
+    def test_approaches_random_floor(self):
+        from repro.core.scaling import approximate_pf_aef
+        assert approximate_pf_aef(10_000, 16) == pytest.approx(0.5, abs=0.01)
+
+    def test_matches_paper_worst_case_regime(self):
+        """N=32, R=16 (the Fig. 2a endpoint): paper measures ~0.56, our
+        simulation 0.53, the model predicts ~0.52."""
+        from repro.core.scaling import approximate_pf_aef
+        assert approximate_pf_aef(32, 16) == pytest.approx(0.53, abs=0.03)
+
+    def test_validation(self):
+        from repro.core.scaling import approximate_pf_aef
+        with pytest.raises(ConfigurationError):
+            approximate_pf_aef(0, 16)
+        with pytest.raises(ConfigurationError):
+            approximate_pf_aef(2, 0)

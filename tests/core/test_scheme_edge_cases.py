@@ -1,0 +1,118 @@
+"""Edge-case tests across schemes: degenerate targets, single partitions,
+tie handling, and zero-traffic partitions."""
+
+import random
+
+import pytest
+
+from repro.cache.arrays import RandomCandidatesArray, SetAssociativeArray
+from repro.cache.cache import PartitionedCache
+from repro.core.futility import CoarseTimestampLRURanking, LRURanking
+from repro.core.schemes.base import make_scheme
+from repro.core.schemes.vantage import VantageScheme
+
+
+def drive(cache, accesses, parts=2, space=500, seed=0):
+    rng = random.Random(seed)
+    for _ in range(accesses):
+        part = rng.randrange(parts)
+        cache.access(part * 10**6 + rng.randrange(space), part)
+    cache.check_invariants()
+    return cache
+
+
+@pytest.mark.parametrize("scheme_kind", ["pf", "cqvp", "fs", "fs-feedback",
+                                         "vantage", "prism"])
+def test_zero_target_partition(scheme_kind):
+    """A partition with target 0 must be squeezed out, not crash.
+
+    Static FS enforces sizes only through its scaling factors, so it gets
+    an explicit large alpha for the zero-target partition; the adaptive
+    schemes must manage on their own.
+    """
+    scheme = (make_scheme("fs", alphas=[1.0, 1000.0])
+              if scheme_kind == "fs" else make_scheme(scheme_kind))
+    cache = PartitionedCache(SetAssociativeArray(128, 8), LRURanking(),
+                             scheme, 2, targets=[128, 0])
+    drive(cache, 4000, seed=1)
+    assert cache.actual_sizes[1] < 40
+
+
+@pytest.mark.parametrize("scheme_kind", ["pf", "cqvp", "fs", "fs-feedback",
+                                         "vantage", "prism",
+                                         "unpartitioned"])
+def test_single_partition_degenerates_to_plain_cache(scheme_kind):
+    """With one partition every scheme is just a replacement policy; the
+    cache must fill completely and keep serving hits."""
+    cache = PartitionedCache(SetAssociativeArray(64, 8), LRURanking(),
+                             make_scheme(scheme_kind), 1)
+    drive(cache, 3000, parts=1, space=200, seed=2)
+    assert cache.actual_sizes == [64]
+    assert cache.stats.total_hits() > 0
+
+
+@pytest.mark.parametrize("scheme_kind", ["pf", "fs-feedback"])
+def test_silent_partition_is_not_evicted_when_undersized(scheme_kind):
+    """A partition that stops inserting while below target keeps its lines
+    under size-respecting schemes (no other partition is allowed to evict
+    it while they are the oversized ones).  Static FS with neutral alphas
+    is deliberately excluded: it provides no sizing force by itself."""
+    cache = PartitionedCache(RandomCandidatesArray(128, 16, seed=1),
+                             LRURanking(), make_scheme(scheme_kind), 2,
+                             targets=[64, 64])
+    for a in range(32):
+        cache.access(a, 0)       # partition 0: 32 lines, then silence
+    for a in range(5000):
+        cache.access(10**6 + a, 1)
+    assert cache.actual_sizes[0] == 32
+
+
+def test_all_candidates_same_partition_tie():
+    """Candidates all from one partition with identical coarse timestamps:
+    a victim must still be chosen deterministically."""
+    cache = PartitionedCache(SetAssociativeArray(8, 8),
+                             CoarseTimestampLRURanking(),
+                             make_scheme("fs-feedback"), 1)
+    for a in range(8):
+        cache.access(a, 0)
+    cache.access(100, 0)
+    assert sum(cache.stats.evictions) == 1
+    cache.check_invariants()
+
+
+def test_vantage_zero_target_partition_aperture():
+    scheme = VantageScheme()
+    cache = PartitionedCache(SetAssociativeArray(64, 8), LRURanking(),
+                             scheme, 2, targets=[64, 0])
+    # Zero scaled target: aperture saturates so the partition sheds
+    # everything it touches.
+    assert scheme.aperture(1) == scheme.max_aperture
+    drive(cache, 2000, seed=3)
+
+
+def test_prism_single_window_smaller_than_traffic():
+    """A window of 1 refreshes the distribution on every eviction."""
+    cache = PartitionedCache(SetAssociativeArray(64, 8), LRURanking(),
+                             make_scheme("prism", window=1, seed=2), 2)
+    drive(cache, 2000, seed=4)
+
+
+def test_feedback_fs_with_max_level_one():
+    cache = PartitionedCache(SetAssociativeArray(64, 8),
+                             CoarseTimestampLRURanking(),
+                             make_scheme("fs-feedback", max_level=1), 2,
+                             targets=[48, 16])
+    drive(cache, 3000, seed=5)
+    assert all(level <= 1 for level in cache.scheme.scaling_levels())
+
+
+def test_retarget_to_zero_then_back():
+    """Targets can swing to an extreme and back without breaking state."""
+    cache = PartitionedCache(SetAssociativeArray(128, 8), LRURanking(),
+                             make_scheme("pf"), 2)
+    drive(cache, 2000, seed=6)
+    cache.set_targets([128, 0])
+    drive(cache, 2000, seed=7)
+    cache.set_targets([64, 64])
+    drive(cache, 3000, seed=8)
+    assert abs(cache.actual_sizes[0] - 64) < 20

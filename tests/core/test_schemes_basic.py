@@ -1,0 +1,106 @@
+"""Tests for the scheme registry, base helpers, PF and unpartitioned."""
+
+import random
+
+import pytest
+
+from repro.cache.arrays import RandomCandidatesArray, SetAssociativeArray
+from repro.cache.cache import PartitionedCache
+from repro.core.futility import LRURanking
+from repro.core.schemes import available_schemes, make_scheme, register_scheme
+from repro.core.schemes.base import PartitioningScheme
+from repro.core.schemes.partitioning_first import PartitioningFirstScheme
+from repro.core.schemes.unpartitioned import UnpartitionedScheme
+from repro.errors import ConfigurationError
+from tests.conftest import drive_uniform
+
+
+def test_registry_contains_all_paper_schemes():
+    names = available_schemes()
+    for expected in ("pf", "fs", "fs-feedback", "vantage", "prism",
+                     "full-assoc", "way-partition", "unpartitioned"):
+        assert expected in names
+
+
+def test_make_scheme_unknown():
+    with pytest.raises(ConfigurationError):
+        make_scheme("utility-first")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ConfigurationError):
+        @register_scheme
+        class Clone(PartitioningScheme):
+            name = "pf"
+
+
+class TestPartitioningFirst:
+    def make(self, targets=None):
+        return PartitionedCache(SetAssociativeArray(64, 16), LRURanking(),
+                                PartitioningFirstScheme(), 2, targets=targets)
+
+    def test_prefers_invalid_slots(self):
+        cache = self.make()
+        cache.access(1, 0)
+        cache.access(2, 0)
+        assert cache.stats.evictions == [0, 0]
+
+    def test_partition_selection_picks_most_oversized(self):
+        cache = self.make(targets=[32, 32])
+        # Fill partition 0 well beyond partition 1.
+        for a in range(64):
+            cache.access(a, 0)
+        over_before = cache.actual_sizes[0]
+        cache.access(10_000, 1)  # miss from partition 1
+        # The eviction must come from oversized partition 0.
+        assert cache.actual_sizes[0] == over_before - 1
+        assert cache.stats.evictions[0] == 1
+        assert cache.stats.evictions[1] == 0
+
+    def test_victim_is_most_futile_of_chosen_partition(self):
+        # Single partition: PF == evict the LRU line of the (only) set.
+        cache = PartitionedCache(SetAssociativeArray(4, 4), LRURanking(),
+                                 PartitioningFirstScheme(), 1)
+        for a in [1, 2, 3, 4]:
+            cache.access(a, 0)
+        cache.access(2, 0)       # refresh line 2
+        cache.access(5, 0)       # forces eviction: LRU victim is 1
+        assert not cache.contains(1)
+        assert cache.contains(2)
+
+    def test_precise_sizing_under_asymmetric_pressure(self):
+        """PF keeps sizes at target even with a 9:1 insertion imbalance
+        (the Fig. 5 property, MAD < 1 line)."""
+        cache = PartitionedCache(RandomCandidatesArray(256, 16, seed=1),
+                                 LRURanking(), PartitioningFirstScheme(), 2,
+                                 targets=[128, 128])
+        rng = random.Random(0)
+        for i in range(20_000):
+            part = 0 if rng.random() < 0.9 else 1
+            cache.access(part * 10**9 + rng.randrange(4000), part)
+        assert abs(cache.actual_sizes[0] - 128) <= 1
+        assert abs(cache.actual_sizes[1] - 128) <= 1
+
+
+class TestUnpartitioned:
+    def test_ignores_targets(self):
+        cache = PartitionedCache(RandomCandidatesArray(128, 8, seed=2),
+                                 LRURanking(), UnpartitionedScheme(), 2,
+                                 targets=[120, 8])
+        rng = random.Random(1)
+        for _ in range(8000):
+            part = rng.randrange(2)
+            cache.access(part * 10**9 + rng.randrange(2000), part)
+        # Symmetric traffic -> roughly symmetric occupancy despite the
+        # 120/8 targets.
+        assert cache.actual_sizes[1] > 32
+
+    def test_evicts_globally_least_useful(self):
+        cache = PartitionedCache(SetAssociativeArray(4, 4), LRURanking(),
+                                 UnpartitionedScheme(), 2)
+        cache.access(1, 0)
+        cache.access(2, 1)
+        cache.access(3, 1)
+        cache.access(4, 1)
+        cache.access(5, 1)  # evicts the oldest overall: address 1 (part 0)
+        assert not cache.contains(1)

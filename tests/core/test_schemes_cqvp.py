@@ -1,0 +1,72 @@
+"""Tests for the CQVP baseline scheme."""
+
+import random
+
+import pytest
+
+from repro.cache.arrays import RandomCandidatesArray, SetAssociativeArray
+from repro.cache.cache import PartitionedCache
+from repro.core.futility import LRURanking
+from repro.core.schemes.cqvp import CQVPScheme
+
+
+def make(array=None, targets=None, parts=2):
+    return PartitionedCache(array or SetAssociativeArray(64, 16),
+                            LRURanking(), CQVPScheme(), parts,
+                            targets=targets)
+
+
+def drive(cache, accesses, parts=2, space=4000, seed=0):
+    rng = random.Random(seed)
+    for _ in range(accesses):
+        part = rng.randrange(parts)
+        cache.access(part * 10**9 + rng.randrange(space), part)
+    return cache
+
+
+class TestVictimSelection:
+    def test_invalid_first(self):
+        cache = make()
+        cache.access(1, 0)
+        assert cache.stats.evictions == [0, 0]
+
+    def test_evicts_quota_violator(self):
+        cache = make(targets=[32, 32])
+        for a in range(64):
+            cache.access(a, 0)      # partition 0 over quota
+        cache.access(10**9, 1)
+        assert cache.stats.evictions == [1, 0]
+
+    def test_violating_inserter_recycles_own_lines(self):
+        """A partition over its own quota must not displace others."""
+        cache = make(targets=[4, 60])
+        for a in range(20):
+            cache.access(10**9 + a, 1)   # partition 1 fills within quota
+        p1_size = cache.actual_sizes[1]
+        for a in range(64):
+            cache.access(a, 0)           # partition 0 exceeds quota 4
+        # Partition 1 unharmed once partition 0 is the violator.
+        assert cache.actual_sizes[1] == p1_size
+        assert cache.stats.evictions[1] == 0
+
+    def test_quota_enforcement_under_pressure(self):
+        cache = make(RandomCandidatesArray(256, 16, seed=1),
+                     targets=[192, 64])
+        drive(cache, 20_000, seed=2)
+        assert cache.actual_sizes[0] == pytest.approx(192, abs=8)
+        assert cache.actual_sizes[1] == pytest.approx(64, abs=8)
+        cache.check_invariants()
+
+
+class TestAssociativityDegradation:
+    def test_aef_degrades_with_partition_count(self):
+        """CQVP shares PF's failure mode: more partitions -> fewer victim
+        candidates per eviction -> lower AEF (Section II-B)."""
+        def aef_with(parts):
+            cache = PartitionedCache(
+                RandomCandidatesArray(64 * parts, 16, seed=parts),
+                LRURanking(), CQVPScheme(), parts)
+            drive(cache, 12_000 * parts // 2, parts=parts, space=500)
+            return cache.stats.aef(0)
+
+        assert aef_with(8) < aef_with(1) - 0.1

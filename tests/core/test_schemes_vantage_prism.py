@@ -1,0 +1,186 @@
+"""Tests for the Vantage and PriSM baseline reimplementations."""
+
+import random
+
+import pytest
+
+from repro.cache.arrays import RandomCandidatesArray, SetAssociativeArray
+from repro.cache.cache import PartitionedCache
+from repro.core.futility import LRURanking
+from repro.core.schemes.prism import PriSMScheme
+from repro.core.schemes.vantage import VantageScheme
+from repro.errors import ConfigurationError
+
+
+def drive(cache, accesses, parts, space=4000, seed=0, weights=None):
+    rng = random.Random(seed)
+    cumulative = None
+    if weights:
+        total = sum(weights)
+        acc, cumulative = 0.0, []
+        for w in weights:
+            acc += w / total
+            cumulative.append(acc)
+    for _ in range(accesses):
+        if cumulative:
+            x = rng.random()
+            part = next(i for i, c in enumerate(cumulative) if x <= c)
+        else:
+            part = rng.randrange(parts)
+        cache.access(part * 10**9 + rng.randrange(space), part)
+    return cache
+
+
+class TestVantage:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            VantageScheme(unmanaged_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            VantageScheme(unmanaged_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            VantageScheme(max_aperture=0.0)
+        with pytest.raises(ConfigurationError):
+            VantageScheme(slack=0.0)
+
+    def test_targets_scaled_by_managed_fraction(self):
+        scheme = VantageScheme(unmanaged_fraction=0.1)
+        PartitionedCache(SetAssociativeArray(256, 16), LRURanking(),
+                         scheme, 2, targets=[128, 128])
+        assert scheme._scaled_targets == pytest.approx([115.2, 115.2])
+
+    def test_targets_exceeding_capacity_rejected(self):
+        scheme = VantageScheme()
+        cache = PartitionedCache(SetAssociativeArray(256, 16), LRURanking(),
+                                 scheme, 2)
+        with pytest.raises(ConfigurationError):
+            cache.set_targets([200, 100])
+
+    def test_aperture_shape(self):
+        scheme = VantageScheme(max_aperture=0.5, slack=0.1)
+        PartitionedCache(SetAssociativeArray(256, 16), LRURanking(),
+                         scheme, 2, targets=[128, 128])
+        # At/below scaled target: closed.
+        scheme._managed_sizes[0] = 100
+        assert scheme.aperture(0) == 0.0
+        # Far above: saturated at A_max.
+        scheme._managed_sizes[0] = 200
+        assert scheme.aperture(0) == 0.5
+        # In the slack band: linear.
+        target = scheme._scaled_targets[0]
+        scheme._managed_sizes[0] = int(target * 1.05)
+        assert 0.0 < scheme.aperture(0) < 0.5
+
+    def test_managed_size_accounting(self):
+        scheme = VantageScheme()
+        cache = PartitionedCache(SetAssociativeArray(256, 16), LRURanking(),
+                                 scheme, 2)
+        drive(cache, 10_000, 2)
+        cache.check_invariants()
+        managed = scheme.managed_sizes()
+        # Managed counts can never exceed per-partition occupancy.
+        assert all(0 <= m <= s
+                   for m, s in zip(managed, cache.actual_sizes))
+        # Demotions happened under pressure.
+        assert scheme.demotions > 0
+
+    def test_forced_eviction_rate_matches_theory(self):
+        """With unmanaged fraction u and R candidates, forced evictions
+        happen when no candidate is unmanaged: expect a rate in the
+        vicinity of (1-u)**R (18.5% at u=0.1, R=16; Section VIII-A)."""
+        scheme = VantageScheme(unmanaged_fraction=0.1)
+        cache = PartitionedCache(RandomCandidatesArray(2048, 16, seed=3),
+                                 LRURanking(), scheme, 2)
+        drive(cache, 40_000, 2, space=30_000)
+        evictions = sum(cache.stats.evictions)
+        rate = scheme.forced_evictions / evictions
+        assert 0.05 < rate < 0.45
+
+    def test_isolation_weaker_than_pf(self):
+        """Vantage cannot strictly guarantee targets (the paper's 'at most
+        3% below target' observation): occupancies approximate targets."""
+        scheme = VantageScheme()
+        cache = PartitionedCache(SetAssociativeArray(1024, 16), LRURanking(),
+                                 scheme, 2, targets=[768, 256])
+        drive(cache, 30_000, 2)
+        # Partition 0 should be near its target but need not match exactly.
+        assert cache.actual_sizes[0] > 500
+
+
+class TestPriSM:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            PriSMScheme(window=0)
+
+    def test_initial_distribution_uniform(self):
+        scheme = PriSMScheme()
+        PartitionedCache(SetAssociativeArray(64, 16), LRURanking(),
+                         scheme, 4)
+        assert scheme.eviction_probabilities() == pytest.approx([0.25] * 4)
+
+    def test_distribution_refresh_formula(self):
+        """White-box check of the PriSM update: E_i = I_i + drift_i / W,
+        clamped and renormalized."""
+        scheme = PriSMScheme(window=32, seed=1)
+        cache = PartitionedCache(RandomCandidatesArray(256, 16, seed=1),
+                                 LRURanking(), scheme, 2, targets=[192, 64])
+        scheme._window_insertions = [30, 10]          # I = [0.75, 0.25]
+        cache.actual_sizes[0] = 176                   # drift -16/32 = -0.5
+        cache.actual_sizes[1] = 80                    # drift +16/32 = +0.5
+        scheme._refresh_distribution()
+        probs = scheme.eviction_probabilities()
+        assert sum(probs) == pytest.approx(1.0)
+        assert probs[0] == pytest.approx(0.25 / 1.0)  # (0.75-0.5)/(0.25+0.75)
+        assert probs[1] == pytest.approx(0.75 / 1.0)
+        # Counters reset for the next window.
+        assert scheme._window_insertions == [0, 0]
+        assert scheme._evictions_in_window == 0
+
+    def test_distribution_clamped_non_negative(self):
+        scheme = PriSMScheme(window=8, seed=1)
+        cache = PartitionedCache(RandomCandidatesArray(256, 16, seed=1),
+                                 LRURanking(), scheme, 2, targets=[192, 64])
+        scheme._window_insertions = [0, 8]
+        cache.actual_sizes[0] = 64                    # drift -128/8 = -16
+        cache.actual_sizes[1] = 192
+        scheme._refresh_distribution()
+        probs = scheme.eviction_probabilities()
+        assert probs[0] == 0.0
+        assert probs[1] == pytest.approx(1.0)
+
+    def test_abnormality_counted(self):
+        """With many partitions and few candidates the selected partition
+        is frequently absent (the paper's PriSM failure mode)."""
+        scheme = PriSMScheme(seed=0)
+        cache = PartitionedCache(SetAssociativeArray(256, 4), LRURanking(),
+                                 scheme, 16)
+        drive(cache, 12_000, 16, space=2000)
+        assert scheme.selections > 0
+        assert scheme.abnormality_rate() > 0.3
+
+    def test_abnormality_rare_with_few_partitions(self):
+        scheme = PriSMScheme(seed=0)
+        cache = PartitionedCache(SetAssociativeArray(256, 16), LRURanking(),
+                                 scheme, 2)
+        drive(cache, 10_000, 2)
+        assert scheme.abnormality_rate() < 0.2
+
+    def test_abnormality_rate_empty(self):
+        assert PriSMScheme().abnormality_rate() == 0.0
+
+    def test_sampling_determinism(self):
+        a, b = PriSMScheme(seed=9), PriSMScheme(seed=9)
+        ca = PartitionedCache(SetAssociativeArray(256, 16), LRURanking(),
+                              a, 2)
+        cb = PartitionedCache(SetAssociativeArray(256, 16), LRURanking(),
+                              b, 2)
+        drive(ca, 5_000, 2, seed=4)
+        drive(cb, 5_000, 2, seed=4)
+        assert ca.actual_sizes == cb.actual_sizes
+        assert a.abnormalities == b.abnormalities
+
+    def test_sizing_reasonable_at_low_partition_count(self):
+        scheme = PriSMScheme(seed=2)
+        cache = PartitionedCache(SetAssociativeArray(1024, 16), LRURanking(),
+                                 scheme, 2, targets=[768, 256])
+        drive(cache, 30_000, 2)
+        assert cache.actual_sizes[0] == pytest.approx(768, abs=120)

@@ -1,0 +1,44 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.experiments.__main__ import FIGURES, main, render_table_ii
+
+
+def test_figures_registry_complete():
+    assert set(FIGURES) == {f"fig{i}" for i in range(2, 9)}
+
+
+def test_table_ii_command(capsys):
+    assert main(["tableII"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert "32 cores" in out
+
+
+def test_fig3_smoke(capsys):
+    assert main(["fig3", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "alpha_2" in out
+    assert "[fig3 @ smoke:" in out
+
+
+def test_fig5_smoke(capsys):
+    assert main(["fig5", "--scale", "smoke"]) == 0
+    assert "Figure 5" in capsys.readouterr().out
+
+
+def test_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_rejects_unknown_scale():
+    with pytest.raises(SystemExit):
+        main(["fig3", "--scale", "huge"])
+
+
+def test_render_table_ii_rows():
+    text = render_table_ii()
+    for key in ("Cores", "L1 $s", "L2 $", "MCU"):
+        assert key in text

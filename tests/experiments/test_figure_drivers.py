@@ -1,0 +1,180 @@
+"""Smoke-level tests of every figure driver: each runs its tiny config and
+must reproduce the figure's defining qualitative property."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    Fig2Config,
+    Fig3Config,
+    Fig4Config,
+    Fig5Config,
+    Fig6Config,
+    Fig7Config,
+    Fig8Config,
+    format_fig2,
+    format_fig3,
+    format_fig4,
+    format_fig5,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+)
+from repro.experiments.fig7 import vantage_can_run
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2(Fig2Config.smoke())
+
+    def test_aef_decreases_with_partitions(self, result):
+        """Fig. 2a: PF associativity degrades as N grows."""
+        series = result.points["mcf"]
+        ns = sorted(series)
+        aefs = [series[n].aef for n in ns]
+        assert aefs[0] > 0.85
+        assert aefs[-1] < aefs[0] - 0.2
+
+    def test_mcf_misses_increase_lbm_flat(self, result):
+        """Fig. 2b: the sensitive benchmark suffers; streaming does not."""
+        mcf = result.normalized_misses("mcf")
+        lbm = result.normalized_misses("lbm")
+        top_n = max(mcf)
+        assert mcf[top_n] > 1.1
+        assert abs(lbm[top_n] - 1.0) < 0.1
+
+    def test_ipc_mirrors_misses(self, result):
+        """Fig. 2c: IPC of the sensitive benchmark drops with N."""
+        mcf = result.normalized_ipc("mcf")
+        assert mcf[max(mcf)] < 0.97
+
+    def test_cdf_recorded_for_cdf_benchmark(self, result):
+        series = result.points["mcf"]
+        assert any(p.cdf is not None for p in series.values())
+
+    def test_format(self, result):
+        text = format_fig2(result)
+        assert "Figure 2a" in text and "Figure 2c" in text
+
+
+class TestFig3:
+    def test_values_and_feasibility(self):
+        result = run_fig3(Fig3Config.smoke())
+        assert result.max_solver_error < 1e-6
+        assert result.holdable_at_1pct == pytest.approx(0.75, abs=0.01)
+        alpha = result.alphas[0.9][0.2]
+        assert alpha == pytest.approx(2.835, abs=0.01)
+        text = format_fig3(result)
+        assert "alpha_2" in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(Fig4Config.smoke())
+
+    def test_fs_beats_pf_on_small_partition(self, result):
+        by = {(m.scheme, m.split): m for m in result.measurements}
+        fs = by[("fs", (0.9, 0.1))]
+        pf = by[("pf", (0.9, 0.1))]
+        # The 10% partition: FS keeps high associativity, PF collapses.
+        assert fs.aef[1] > pf.aef[1]
+
+    def test_unscaled_partition_near_analytic(self, result):
+        fs = next(m for m in result.measurements if m.scheme == "fs")
+        assert fs.aef[0] == pytest.approx(fs.analytic_aef[0], abs=0.05)
+        assert fs.alphas[0] == 1.0
+
+    def test_format(self, result):
+        assert "Figure 4" in format_fig4(result)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5(Fig5Config.smoke())
+
+    def test_pf_sizes_precisely(self, result):
+        assert result.mad_of("pf", 0.5) < 1.5
+
+    def test_fs_trades_bounded_deviation(self, result):
+        mad = result.mad_of("fs", 0.5)
+        partition = result.config.num_lines // 2
+        assert mad > result.mad_of("pf", 0.5)
+        assert mad < 0.15 * partition
+
+    def test_format(self, result):
+        assert "Figure 5" in format_fig5(result)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6(Fig6Config.smoke())
+
+    def test_sensitive_vs_streaming(self, result):
+        size = result.config.cache_sizes_lines[0]
+        assert result.speedup("lru", "mcf", size) > \
+            result.speedup("lru", "lbm", size)
+        assert result.speedup("lru", "lbm", size) == pytest.approx(1.0,
+                                                                   abs=0.02)
+
+    def test_format(self, result):
+        assert "fully-associative" in format_fig6(result)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(Fig7Config.smoke())
+
+    def test_fs_holds_target_with_high_aef(self, result):
+        config = result.config
+        n = config.subject_counts[0]
+        fs = result.cells[("fs-feedback", "lru")][n]
+        pf = result.cells[("pf", "lru")][n]
+        assert fs.occupancy_ratio > 0.8
+        assert fs.subject_aef > pf.subject_aef
+
+    def test_format(self, result):
+        assert "Figure 7a" in format_fig7(result)
+
+    def test_vantage_skip_rule(self):
+        config = Fig7Config.paper()
+        assert vantage_can_run(config, 1)
+        assert not vantage_can_run(config, 31)   # 97% > 90% managed
+
+
+class TestFig8:
+    def test_sweep_produces_all_cells(self):
+        config = Fig8Config.smoke()
+        result = run_fig8(config)
+        for l in config.interval_lengths:
+            assert (l, config.default_ratio) in result.cells
+        for r in config.changing_ratios:
+            assert (config.default_interval, r) in result.cells
+        cell = result.cells[(16, 2.0)]
+        assert cell.mad >= 0
+        assert not math.isnan(cell.subject_ipc)
+        assert "Figure 8a" in format_fig8(result)
+
+
+class TestResizingExtension:
+    def test_smoke(self):
+        from repro.experiments import ResizingConfig, format_resizing, \
+            run_resizing
+        result = run_resizing(ResizingConfig.smoke())
+        fs = result.cells["fs-feedback"]
+        way = result.cells["way-partition"]
+        assert fs.flushed_lines == 0
+        assert way.flushed_lines > 0
+        assert "smooth resizing" in format_resizing(result)

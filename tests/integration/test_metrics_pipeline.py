@@ -1,0 +1,79 @@
+"""Integration: simulation results flowing into the metrics toolkit."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    fairness,
+    harmonic_mean_speedup,
+    speedups,
+    throughput,
+    weighted_speedup,
+)
+from repro.cache.arrays import SetAssociativeArray
+from repro.cache.cache import PartitionedCache
+from repro.core.futility import LRURanking
+from repro.core.schemes.partitioning_first import PartitioningFirstScheme
+from repro.core.schemes.unpartitioned import UnpartitionedScheme
+from repro.sim.engine import MultiprogramSimulator, simulate_single_thread
+from repro.trace.access import Trace
+
+
+def loop_trace(base, period, n=600, gap=20):
+    return Trace([base + (i % period) for i in range(n)], gaps=[gap] * n)
+
+
+def baseline_ipcs(traces, lines=128):
+    """Each thread alone on the full cache (the standard speedup baseline)."""
+    out = []
+    for t in traces:
+        cache = PartitionedCache(SetAssociativeArray(lines, 8), LRURanking(),
+                                 UnpartitionedScheme(), 1)
+        out.append(simulate_single_thread(cache, t).ipc)
+    return out
+
+
+def test_weighted_speedup_pipeline():
+    traces = [loop_trace(0, 40), loop_trace(10**6, 200)]
+    base = baseline_ipcs(traces)
+    shared = PartitionedCache(SetAssociativeArray(128, 8), LRURanking(),
+                              PartitioningFirstScheme(), 2)
+    result = MultiprogramSimulator(shared, traces,
+                                   instruction_limit=8000).run()
+    ws = weighted_speedup(result.ipcs, base)
+    # Sharing a same-size cache cannot beat each thread owning it alone.
+    assert 0.5 < ws <= 2.0 + 1e-6
+    assert throughput(result.ipcs) > 0
+    assert 0 < harmonic_mean_speedup(result.ipcs, base) <= 1.0 + 1e-6
+    assert 0 < fairness(result.ipcs, base) <= 1.0
+
+
+def test_simulation_result_accessors():
+    traces = [loop_trace(0, 16, n=100)]
+    cache = PartitionedCache(SetAssociativeArray(64, 8), LRURanking(),
+                             PartitioningFirstScheme(), 1)
+    result = MultiprogramSimulator(cache, traces,
+                                   instruction_limit=1000).run()
+    assert result.thread(0) is result.threads[0]
+    assert result.ipcs == [result.threads[0].ipc]
+    assert result.total_cycles >= result.threads[0].cycles
+
+
+def test_partition_protects_small_thread_speedup():
+    """The end-to-end QoS story in miniature: PF partitioning keeps the
+    small thread's speedup near 1.0 where the shared cache degrades it."""
+    victim = loop_trace(0, 30, n=800)
+    polluter = Trace(range(10**6, 10**6 + 800), gaps=[5] * 800)
+    traces = [victim, polluter]
+    base = baseline_ipcs(traces)
+
+    def run(scheme, targets=None):
+        cache = PartitionedCache(SetAssociativeArray(64, 8), LRURanking(),
+                                 scheme, 2, targets=targets)
+        result = MultiprogramSimulator(cache, traces,
+                                       instruction_limit=12_000).run()
+        return speedups(result.ipcs, base)[0]
+
+    shared = run(UnpartitionedScheme())
+    partitioned = run(PartitioningFirstScheme(), targets=[40, 24])
+    assert partitioned > shared
+    assert partitioned > 0.9

@@ -1,0 +1,151 @@
+"""Integration tests of the paper's analytical claims against simulation.
+
+These close the loop between the analytical framework (Section IV) and the
+trace-driven substrate: the model's predictions must hold empirically on a
+random-candidates cache (the array that satisfies the Uniformity
+Assumption).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.associativity import cdf_at
+from repro.cache.arrays import RandomCandidatesArray
+from repro.cache.cache import PartitionedCache
+from repro.core.futility import LRURanking, RandomRanking
+from repro.core.scaling import (
+    alpha_for_two_partitions,
+    analytic_aef,
+    eviction_futility_cdf,
+    eviction_rates,
+    max_holdable_size_fraction,
+)
+from repro.core.schemes.futility_scaling import FutilityScalingScheme
+from repro.core.schemes.partitioning_first import PartitioningFirstScheme
+from repro.trace.access import Trace
+from repro.trace.mixing import run_insertion_rate_controlled
+
+R = 16
+
+
+def stream(base, n=200_000):
+    return Trace(range(base, base + n))
+
+
+def run_controlled(cache, rates, insertions, seed=0):
+    traces = [stream(0), stream(10**9)]
+    run_insertion_rate_controlled(cache, traces, rates, insertions,
+                                  prefill=True, seed=seed)
+    return cache
+
+
+class TestEvictionRateModel:
+    def test_fixed_alphas_drive_sizes_to_model_equilibrium(self):
+        """With fixed scaling factors [1, 2] and symmetric insertions,
+        sizes must drift to the unique split where the model's eviction
+        rates equal the insertion rates (invert Eq. (1) for alpha = 2)."""
+        alphas = [1.0, 2.0]
+        lo, hi = 0.01, 0.49
+        for _ in range(60):  # bisect alpha(S2, I2=0.5) = 2
+            mid = (lo + hi) / 2
+            if alpha_for_two_partitions(mid, 0.5, R) > 2.0:
+                lo = mid
+            else:
+                hi = mid
+        predicted_s2 = (lo + hi) / 2
+        cache = PartitionedCache(
+            RandomCandidatesArray(2048, R, seed=1), LRURanking(),
+            FutilityScalingScheme(alphas=alphas), 2)
+        run_controlled(cache, [0.5, 0.5], 60_000, seed=2)
+        measured_s2 = cache.actual_sizes[1] / cache.num_lines
+        assert measured_s2 == pytest.approx(predicted_s2, abs=0.02)
+        # And in steady state each partition's eviction share equals its
+        # insertion share (conservation).
+        assert cache.stats.eviction_fractions()[1] == pytest.approx(
+            cache.stats.insertion_fractions()[1], abs=0.03)
+
+    def test_equation_one_sizes_are_stationary(self):
+        """Starting *at* the Eq. (1) steady state, sizes stay there."""
+        split = (0.75, 0.25)
+        alpha = alpha_for_two_partitions(split[1], 0.5, R)
+        cache = PartitionedCache(
+            RandomCandidatesArray(2048, R, seed=3), LRURanking(),
+            FutilityScalingScheme(alphas=[1.0, alpha]), 2,
+            targets=[1536, 512])
+        run_controlled(cache, [0.5, 0.5], 60_000, seed=4)
+        assert cache.actual_sizes[1] == pytest.approx(512, abs=80)
+
+
+class TestAssociativityModel:
+    def test_unscaled_partition_aef_matches_r_over_r_plus_1(self):
+        cache = PartitionedCache(
+            RandomCandidatesArray(2048, R, seed=5), LRURanking(),
+            FutilityScalingScheme(alphas=[1.0, 1.6]), 2)
+        run_controlled(cache, [0.5, 0.5], 50_000, seed=6)
+        assert cache.stats.aef(0) == pytest.approx(R / (R + 1), abs=0.02)
+
+    def test_scaled_partition_aef_matches_analytic(self):
+        alphas = [1.0, 2.5]
+        cache = PartitionedCache(
+            RandomCandidatesArray(2048, R, seed=7), LRURanking(),
+            FutilityScalingScheme(alphas=alphas), 2)
+        run_controlled(cache, [0.5, 0.5], 60_000, seed=8)
+        sizes = [s / cache.num_lines for s in cache.actual_sizes]
+        predicted = analytic_aef(alphas, sizes, R, 1)
+        assert cache.stats.aef(1) == pytest.approx(predicted, abs=0.03)
+
+    def test_eviction_cdf_matches_analytic(self):
+        alphas = [1.0, 2.0]
+        cache = PartitionedCache(
+            RandomCandidatesArray(2048, R, seed=9), LRURanking(),
+            FutilityScalingScheme(alphas=alphas), 2)
+        run_controlled(cache, [0.5, 0.5], 60_000, seed=10)
+        sizes = [s / cache.num_lines for s in cache.actual_sizes]
+        samples = cache.stats.eviction_futility_samples(1)
+        for y in (0.3, 0.6, 0.9):
+            predicted = eviction_futility_cdf(alphas, sizes, R, 1, y)
+            assert cdf_at(samples, y) == pytest.approx(predicted, abs=0.04)
+
+    def test_random_ranking_gives_diagonal_cdf(self):
+        """With random futility, any scheme's associativity CDF collapses
+        to the diagonal F_WC(x) = x (the Section III worst case)."""
+        cache = PartitionedCache(
+            RandomCandidatesArray(1024, 1, seed=11), RandomRanking(seed=1),
+            PartitioningFirstScheme(), 1)
+        rng = random.Random(12)
+        for _ in range(30_000):
+            cache.access(rng.randrange(100_000), 0)
+        samples = cache.stats.eviction_futility_samples(0)
+        for y in (0.25, 0.5, 0.75):
+            assert cdf_at(samples, y) == pytest.approx(y, abs=0.03)
+
+
+class TestFeasibilityBound:
+    def test_partition_cannot_exceed_holdable_fraction(self):
+        """Section IV-B: with insertion fraction I, no replacement-based
+        scheme can hold a partition above I**(1/R) of the cache.  Even PF
+        (the most aggressive sizer) must fall short of an over-bound
+        target."""
+        insertion = 0.02
+        bound = max_holdable_size_fraction(insertion, 4)  # R=4: bound ~0.38
+        lines = 1024
+        target0 = int(0.8 * lines)  # far above the holdable fraction
+        cache = PartitionedCache(
+            RandomCandidatesArray(lines, 4, seed=13), LRURanking(),
+            PartitioningFirstScheme(), 2,
+            targets=[target0, lines - target0])
+        run_controlled(cache, [insertion, 1 - insertion], 60_000, seed=14)
+        occupancy_fraction = cache.actual_sizes[0] / lines
+        assert occupancy_fraction < 0.8
+        # It lands in the vicinity of the analytical bound.
+        assert occupancy_fraction == pytest.approx(bound, abs=0.08)
+
+    def test_feasible_target_is_held(self):
+        """Just inside the bound, PF holds the target."""
+        lines = 1024
+        cache = PartitionedCache(
+            RandomCandidatesArray(lines, 4, seed=15), LRURanking(),
+            PartitioningFirstScheme(), 2, targets=[256, 768])
+        run_controlled(cache, [0.3, 0.7], 40_000, seed=16)
+        assert cache.actual_sizes[0] == pytest.approx(256, abs=26)

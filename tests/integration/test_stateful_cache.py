@@ -1,0 +1,109 @@
+"""Stateful property testing of the partitioned-cache engine.
+
+A hypothesis rule-based state machine drives a cache through arbitrary
+interleavings of accesses, target changes, stat resets and invalidations,
+for every scheme family, and continuously checks the engine's global
+invariants (occupancy conservation, ranking-size agreement, lookup
+consistency, flow conservation).
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.cache.arrays import RandomCandidatesArray, SetAssociativeArray
+from repro.cache.cache import PartitionedCache
+from repro.core.futility import CoarseTimestampLRURanking, LRURanking
+from repro.core.schemes.base import make_scheme
+
+LINES = 64
+PARTITIONS = 3
+
+SCHEME_BUILDS = {
+    "pf": ("lru", "set-assoc"),
+    "fs": ("lru", "random"),
+    "fs-feedback": ("coarse", "set-assoc"),
+    "vantage": ("lru", "set-assoc"),
+    "prism": ("lru", "set-assoc"),
+    "unpartitioned": ("lru", "set-assoc"),
+}
+
+
+def build_cache(scheme_name: str) -> PartitionedCache:
+    ranking_kind, array_kind = SCHEME_BUILDS[scheme_name]
+    ranking = (CoarseTimestampLRURanking() if ranking_kind == "coarse"
+               else LRURanking())
+    array = (RandomCandidatesArray(LINES, 8, seed=1)
+             if array_kind == "random" else SetAssociativeArray(LINES, 8))
+    return PartitionedCache(array, ranking, make_scheme(scheme_name),
+                            PARTITIONS)
+
+
+class CacheMachine(RuleBasedStateMachine):
+    scheme_name = "pf"
+
+    @initialize()
+    def setup(self):
+        self.cache = build_cache(self.scheme_name)
+
+    @rule(part=st.integers(0, PARTITIONS - 1), addr=st.integers(0, 200))
+    def access(self, part, addr):
+        self.cache.access(part * 1000 + addr, part)
+
+    @rule(data=st.data())
+    def retarget(self, data):
+        shares = data.draw(st.lists(st.integers(0, 10), min_size=PARTITIONS,
+                                    max_size=PARTITIONS))
+        total = sum(shares)
+        if total == 0:
+            return
+        targets = [s * LINES // total for s in shares]
+        self.cache.set_targets(targets)
+
+    @rule()
+    def reset_stats(self):
+        self.cache.reset_stats()
+
+    @rule(idx=st.integers(0, LINES - 1))
+    def invalidate(self, idx):
+        self.cache.invalidate_index(idx)
+
+    @invariant()
+    def engine_invariants(self):
+        if not hasattr(self, "cache"):
+            return
+        self.cache.check_invariants()
+
+    @invariant()
+    def flow_conservation(self):
+        if not hasattr(self, "cache"):
+            return
+        stats = self.cache.stats
+        resident = sum(self.cache.actual_sizes)
+        # insertions - evictions - flushes == resident lines created since
+        # the last stats reset; resident can only exceed that by lines
+        # surviving from before the reset.
+        created = sum(stats.insertions) - sum(stats.evictions) - stats.flushes
+        assert resident >= created
+
+
+def _machine_for(scheme: str):
+    machine = type(f"CacheMachine_{scheme}", (CacheMachine,),
+                   {"scheme_name": scheme})
+    machine.TestCase.settings = settings(
+        max_examples=15, stateful_step_count=60, deadline=None)
+    return machine.TestCase
+
+
+TestPFMachine = _machine_for("pf")
+TestFSMachine = _machine_for("fs")
+TestFeedbackFSMachine = _machine_for("fs-feedback")
+TestVantageMachine = _machine_for("vantage")
+TestPriSMMachine = _machine_for("prism")
+TestUnpartitionedMachine = _machine_for("unpartitioned")

@@ -1,0 +1,57 @@
+"""Tests for the Table II system configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.config import TABLE_II, SystemConfig, scaled_config
+
+
+def test_table_ii_values():
+    """The paper's exact Table II parameters."""
+    assert TABLE_II.cores == 32
+    assert TABLE_II.frequency_ghz == 2.0
+    assert TABLE_II.l1_size_kb == 32
+    assert TABLE_II.l1_ways == 4
+    assert TABLE_II.l1_latency == 1
+    assert TABLE_II.l2_size_mb == 8.0
+    assert TABLE_II.l2_ways == 16
+    assert TABLE_II.l2_access_latency == 8
+    assert TABLE_II.l1_to_l2_latency == 4
+    assert TABLE_II.l2_banks == 4
+    assert TABLE_II.memory_latency == 200
+    assert TABLE_II.memory_bandwidth_gbps == 32.0
+
+
+def test_derived_geometry():
+    assert TABLE_II.l2_lines == 131_072          # 8MB / 64B
+    assert TABLE_II.l1_lines == 512              # 32KB / 64B
+    assert TABLE_II.l2_hit_latency == 12
+
+
+def test_memory_cycles_per_line():
+    # 32 GB/s at 2 GHz = 16 B/cycle -> 4 cycles per 64B line.
+    assert TABLE_II.memory_cycles_per_line == pytest.approx(4.0)
+
+
+def test_describe_contains_table_rows():
+    rows = TABLE_II.describe()
+    assert set(rows) == {"Cores", "L1 $s", "L2 $", "MCU"}
+    assert "32 cores" in rows["Cores"]
+    assert "16-way" in rows["L2 $"]
+    assert "200 cycles" in rows["MCU"]
+
+
+def test_scaled_config():
+    cfg = scaled_config(1.0, cores=8)
+    assert cfg.l2_lines == 16_384
+    assert cfg.cores == 8
+    assert cfg.l2_ways == TABLE_II.l2_ways
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        SystemConfig(cores=0)
+    with pytest.raises(ConfigurationError):
+        SystemConfig(l2_size_mb=0)
+    with pytest.raises(ConfigurationError):
+        SystemConfig(memory_bandwidth_gbps=0)

@@ -1,0 +1,54 @@
+"""Tests for the private L1 model and trace filtering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.l1 import L1Cache, filter_through_l1
+from repro.trace.access import Trace
+
+
+class TestL1Cache:
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigurationError):
+            L1Cache(0, 4)
+        with pytest.raises(ConfigurationError):
+            L1Cache(10, 4)
+
+    def test_hit_miss(self):
+        l1 = L1Cache(16, 4)
+        assert l1.access(1) is False
+        assert l1.access(1) is True
+        assert l1.hits == 1 and l1.misses == 1
+        assert l1.hit_rate() == 0.5
+
+    def test_lru_within_set(self):
+        l1 = L1Cache(4, 4)  # one set, 4 ways
+        for a in [1, 2, 3, 4]:
+            l1.access(a)
+        l1.access(1)        # refresh 1
+        l1.access(5)        # evicts LRU = 2
+        assert l1.access(2) is False
+        assert l1.access(1) is True
+
+    def test_empty_hit_rate(self):
+        assert L1Cache(16, 4).hit_rate() == 0.0
+
+
+class TestFilterThroughL1:
+    def test_repeated_accesses_absorbed(self):
+        trace = Trace([1, 1, 1, 2], gaps=[10, 10, 10, 10])
+        filtered = filter_through_l1(trace, num_lines=16, ways=4)
+        assert list(filtered.addresses) == [1, 2]
+        # Instruction counts are preserved by merging gaps.
+        assert filtered.instructions == 40
+        assert list(filtered.gaps) == [10, 30]
+
+    def test_streaming_passes_through(self):
+        trace = Trace(range(100))
+        filtered = filter_through_l1(trace, num_lines=16, ways=4)
+        assert len(filtered) == 100
+
+    def test_explicit_l1_instance(self):
+        l1 = L1Cache(16, 4)
+        filter_through_l1(Trace([1, 1]), l1)
+        assert l1.hits == 1

@@ -1,0 +1,76 @@
+"""Tests for the memory controller and NUCA bank models."""
+
+import pytest
+
+from repro.sim.config import TABLE_II, SystemConfig
+from repro.sim.memory import MemoryController
+from repro.sim.nuca import NUCAModel
+
+
+class TestMemoryController:
+    def test_zero_load_latency(self):
+        mcu = MemoryController(TABLE_II)
+        assert mcu.request(0.0) == pytest.approx(200.0)
+
+    def test_spaced_requests_see_no_queueing(self):
+        mcu = MemoryController(TABLE_II)
+        assert mcu.request(0.0) == pytest.approx(200.0)
+        assert mcu.request(100.0) == pytest.approx(200.0)
+
+    def test_burst_queues_at_bandwidth_limit(self):
+        """Back-to-back requests at t=0 serialize at 4 cycles per line."""
+        mcu = MemoryController(TABLE_II)
+        latencies = [mcu.request(0.0) for _ in range(4)]
+        assert latencies == pytest.approx([200.0, 204.0, 208.0, 212.0])
+
+    def test_queue_statistics(self):
+        mcu = MemoryController(TABLE_II)
+        for _ in range(10):
+            mcu.request(0.0)
+        assert mcu.requests == 10
+        assert mcu.mean_queue_delay() == pytest.approx(
+            sum(4.0 * k for k in range(10)) / 10)
+
+    def test_mean_queue_delay_idle(self):
+        assert MemoryController(TABLE_II).mean_queue_delay() == 0.0
+
+    def test_utilization(self):
+        mcu = MemoryController(TABLE_II)
+        for t in range(10):
+            mcu.request(float(t * 100))
+        assert mcu.utilization(1000.0) == pytest.approx(0.04)
+        assert mcu.utilization(0.0) == 0.0
+
+    def test_bandwidth_scales_service_interval(self):
+        fast = MemoryController(SystemConfig(memory_bandwidth_gbps=64.0))
+        fast.request(0.0)
+        assert fast.request(0.0) == pytest.approx(202.0)  # 2 cycles/line
+
+
+class TestNUCA:
+    def test_unloaded_latency(self):
+        nuca = NUCAModel(TABLE_II)
+        assert nuca.access(0, 0.0) == pytest.approx(12.0)  # 4 + 8
+
+    def test_bank_interleaving(self):
+        nuca = NUCAModel(TABLE_II)
+        banks = {nuca.bank_of(a) for a in range(8)}
+        assert banks == {0, 1, 2, 3}
+
+    def test_same_bank_conflicts_queue(self):
+        nuca = NUCAModel(TABLE_II)
+        first = nuca.access(0, 0.0)
+        second = nuca.access(4, 0.0)   # same bank (4 % 4 == 0)
+        assert second == first + NUCAModel.BANK_OCCUPANCY
+
+    def test_different_banks_no_conflict(self):
+        nuca = NUCAModel(TABLE_II)
+        assert nuca.access(0, 0.0) == nuca.access(1, 0.0)
+
+    def test_queue_stats(self):
+        nuca = NUCAModel(TABLE_II)
+        assert nuca.mean_queue_delay() == 0.0
+        nuca.access(0, 0.0)
+        nuca.access(0, 0.0)
+        assert nuca.accesses == 2
+        assert nuca.mean_queue_delay() > 0.0

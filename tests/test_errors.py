@@ -1,0 +1,35 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    InfeasiblePartitioningError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+
+@pytest.mark.parametrize("exc", [
+    ConfigurationError, InfeasiblePartitioningError, TraceError,
+    SimulationError,
+])
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_value_error_compatibility():
+    # Configuration-style errors should also be catchable as ValueError.
+    assert issubclass(ConfigurationError, ValueError)
+    assert issubclass(InfeasiblePartitioningError, ValueError)
+    assert issubclass(TraceError, ValueError)
+
+
+def test_simulation_error_is_runtime_error():
+    assert issubclass(SimulationError, RuntimeError)
+
+
+def test_catchable_as_base():
+    with pytest.raises(ReproError):
+        raise InfeasiblePartitioningError("bound violated")

@@ -1,0 +1,34 @@
+"""The example scripts must stay runnable (fast ones run end-to-end)."""
+
+import ast
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+FAST_EXAMPLES = ["quickstart.py", "trace_pipeline.py"]
+
+
+def test_at_least_three_examples_exist():
+    assert len(ALL_EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_examples_parse_and_have_docstrings(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+    names = {node.name for node in tree.body
+             if isinstance(node, ast.FunctionDef)}
+    assert "main" in names
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_examples_run(name):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()

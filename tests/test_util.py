@@ -1,0 +1,170 @@
+"""Tests for the order-statistic containers in repro._util."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import (
+    FenwickRankTracker,
+    SortedKeyList,
+    check_fraction,
+    check_positive,
+    check_probabilities,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSortedKeyList:
+    def test_empty(self):
+        s = SortedKeyList()
+        assert len(s) == 0
+        assert list(s) == []
+        with pytest.raises(IndexError):
+            s.min()
+        with pytest.raises(IndexError):
+            s.max()
+
+    def test_add_and_order(self):
+        s = SortedKeyList()
+        for v in [5, 1, 3, 2, 4]:
+            s.add(v)
+        assert list(s) == [1, 2, 3, 4, 5]
+        assert s.min() == 1
+        assert s.max() == 5
+
+    def test_init_from_iterable(self):
+        s = SortedKeyList([3, 1, 2])
+        assert list(s) == [1, 2, 3]
+
+    def test_duplicates_allowed(self):
+        s = SortedKeyList()
+        s.add(1)
+        s.add(1)
+        assert len(s) == 2
+        s.remove(1)
+        assert len(s) == 1
+        assert 1 in s
+
+    def test_remove_missing_raises(self):
+        s = SortedKeyList([1, 2])
+        with pytest.raises(KeyError):
+            s.remove(3)
+
+    def test_rank(self):
+        s = SortedKeyList([10, 20, 30])
+        assert s.rank(10) == 0
+        assert s.rank(20) == 1
+        assert s.rank(35) == 3
+        assert s.rank_right(20) == 2
+
+    def test_contains(self):
+        s = SortedKeyList([1, 3])
+        assert 1 in s
+        assert 2 not in s
+
+    def test_kth(self):
+        s = SortedKeyList([5, 1, 3])
+        assert s.kth(0) == 1
+        assert s.kth(-1) == 5
+
+    def test_tuple_keys(self):
+        s = SortedKeyList()
+        s.add((2, 1))
+        s.add((1, 9))
+        assert s.min() == (1, 9)
+        assert s.rank((2, 0)) == 1
+
+    @given(st.lists(st.integers(-1000, 1000)))
+    @settings(max_examples=50)
+    def test_matches_sorted_reference(self, values):
+        s = SortedKeyList()
+        for v in values:
+            s.add(v)
+        reference = sorted(values)
+        assert list(s) == reference
+        for v in values:
+            assert s.rank(v) == reference.index(v)
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 50)), max_size=200))
+    @settings(max_examples=50)
+    def test_interleaved_add_remove(self, ops):
+        s = SortedKeyList()
+        reference = []
+        for is_add, v in ops:
+            if is_add or v not in reference:
+                s.add(v)
+                reference.append(v)
+            else:
+                s.remove(v)
+                reference.remove(v)
+            assert list(s) == sorted(reference)
+
+
+class TestFenwickRankTracker:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FenwickRankTracker(0)
+
+    def test_add_remove_rank(self):
+        f = FenwickRankTracker(16)
+        for k in [3, 5, 5, 10]:
+            f.add(k)
+        assert len(f) == 4
+        assert f.rank(5) == 1
+        assert f.rank_right(5) == 3
+        assert f.count_at(5) == 2
+        f.remove(5)
+        assert f.count_at(5) == 1
+        assert len(f) == 3
+
+    def test_out_of_range(self):
+        f = FenwickRankTracker(4)
+        with pytest.raises(KeyError):
+            f.add(4)
+        with pytest.raises(KeyError):
+            f.add(-1)
+
+    def test_remove_absent(self):
+        f = FenwickRankTracker(4)
+        with pytest.raises(KeyError):
+            f.remove(2)
+
+    @given(st.lists(st.integers(0, 63), max_size=300))
+    @settings(max_examples=50)
+    def test_against_list_reference(self, keys):
+        f = FenwickRankTracker(64)
+        for k in keys:
+            f.add(k)
+        reference = sorted(keys)
+        for probe in range(64):
+            expected_rank = sum(1 for k in reference if k < probe)
+            assert f.rank(probe) == expected_rank
+            assert f.count_at(probe) == reference.count(probe)
+
+
+class TestValidationHelpers:
+    def test_check_positive(self):
+        check_positive(1, "x")
+        with pytest.raises(ConfigurationError):
+            check_positive(0, "x")
+        with pytest.raises(ConfigurationError):
+            check_positive(-3, "x")
+
+    def test_check_fraction(self):
+        check_fraction(0.0, "x")
+        check_fraction(1.0, "x")
+        with pytest.raises(ConfigurationError):
+            check_fraction(-0.1, "x")
+        with pytest.raises(ConfigurationError):
+            check_fraction(1.1, "x")
+        with pytest.raises(ConfigurationError):
+            check_fraction(0.0, "x", inclusive_low=False)
+        with pytest.raises(ConfigurationError):
+            check_fraction(1.0, "x", inclusive_high=False)
+
+    def test_check_probabilities(self):
+        check_probabilities([0.5, 0.5], "p")
+        with pytest.raises(ConfigurationError):
+            check_probabilities([0.5, 0.6], "p")
+        with pytest.raises(ConfigurationError):
+            check_probabilities([-0.1, 1.1], "p")

@@ -1,0 +1,80 @@
+"""Tests for SimPoint-style representative region selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceError
+from repro.trace.access import Trace
+from repro.trace.simpoint import (
+    interval_features,
+    kmeans,
+    representative_trace,
+    select_regions,
+)
+
+
+def phased_trace():
+    """Two clearly distinct phases: low addresses then high addresses."""
+    return Trace(list(range(0, 100)) * 5 + list(range(10_000, 10_100)) * 5)
+
+
+class TestIntervalFeatures:
+    def test_shape_and_normalization(self):
+        f = interval_features(phased_trace(), interval=100, num_buckets=16)
+        assert f.shape == (10, 16)
+        assert np.allclose(f.sum(axis=1), 1.0)
+
+    def test_partial_interval_dropped(self):
+        t = Trace(range(250))
+        f = interval_features(t, interval=100)
+        assert f.shape[0] == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            interval_features(phased_trace(), interval=0)
+        with pytest.raises(TraceError):
+            interval_features(Trace(range(10)), interval=100)
+
+
+class TestKMeans:
+    def test_separates_obvious_clusters(self):
+        f = interval_features(phased_trace(), interval=100, num_buckets=16)
+        labels = kmeans(f, 2, seed=0)
+        first, second = set(labels[:5]), set(labels[5:])
+        assert len(first) == 1 and len(second) == 1
+        assert first != second
+
+    def test_deterministic(self):
+        f = interval_features(phased_trace(), interval=100)
+        assert np.array_equal(kmeans(f, 3, seed=5), kmeans(f, 3, seed=5))
+
+    def test_k_clamped_to_points(self):
+        f = np.eye(3)
+        labels = kmeans(f, 10, seed=0)
+        assert len(set(labels.tolist())) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            kmeans(np.eye(2), 0)
+
+
+class TestSelectRegions:
+    def test_weights_sum_to_one(self):
+        regions = select_regions(phased_trace(), interval=100, k=2)
+        assert sum(r.weight for r in regions) == pytest.approx(1.0)
+        assert regions == sorted(regions, key=lambda r: r.weight,
+                                 reverse=True)
+
+    def test_regions_cover_both_phases(self):
+        t = phased_trace()
+        regions = select_regions(t, interval=100, k=2)
+        starts = sorted(r.start for r in regions)
+        assert starts[0] < 500 <= starts[1]
+
+    def test_representative_trace(self):
+        t = phased_trace()
+        regions = select_regions(t, interval=100, k=2)
+        rep = representative_trace(t, regions)
+        assert len(rep) == 200
+        with pytest.raises(ConfigurationError):
+            representative_trace(t, [])

@@ -1,0 +1,105 @@
+"""Tests for the calibrated SPEC CPU2006 benchmark profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trace.spec import (
+    BENCHMARKS,
+    KB,
+    MB,
+    benchmark_names,
+    benchmark_trace,
+    get_profile,
+    lines_for_bytes,
+)
+
+PAPER_SET = {"mcf", "omnetpp", "gromacs", "h264ref", "astar", "cactusadm",
+             "libquantum", "lbm"}
+
+
+def test_all_paper_benchmarks_modeled():
+    assert set(benchmark_names()) == PAPER_SET
+
+
+def test_lines_for_bytes():
+    assert lines_for_bytes(MB) == 16384
+    assert lines_for_bytes(512 * KB) == 8192
+
+
+def test_get_profile_unknown():
+    with pytest.raises(ConfigurationError):
+        get_profile("gcc")
+
+
+def test_traces_deterministic():
+    a = benchmark_trace("mcf", 2000, seed=4)
+    b = benchmark_trace("mcf", 2000, seed=4)
+    assert list(a.addresses) == list(b.addresses)
+    assert list(a.gaps) == list(b.gaps)
+
+
+def test_seed_changes_trace():
+    a = benchmark_trace("mcf", 2000, seed=1)
+    b = benchmark_trace("mcf", 2000, seed=2)
+    assert list(a.addresses) != list(b.addresses)
+
+
+def test_benchmarks_have_distinct_streams():
+    a = benchmark_trace("mcf", 1000, seed=0)
+    b = benchmark_trace("astar", 1000, seed=0)
+    assert list(a.addresses) != list(b.addresses)
+
+
+def test_addr_base_separates_threads():
+    a = benchmark_trace("mcf", 500, seed=0, addr_base=0)
+    b = benchmark_trace("mcf", 500, seed=0, addr_base=1 << 40)
+    assert set(a.addresses).isdisjoint(set(b.addresses))
+
+
+def test_scale_shrinks_footprint():
+    big = benchmark_trace("mcf", 20_000, seed=0, scale=1.0)
+    small = benchmark_trace("mcf", 20_000, seed=0, scale=0.125)
+    assert small.footprint() < big.footprint()
+
+
+def test_scale_validation():
+    with pytest.raises(ConfigurationError):
+        benchmark_trace("mcf", 100, scale=0.0)
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_SET))
+def test_every_profile_generates(name):
+    t = benchmark_trace(name, 3_000, seed=1)
+    assert len(t) == 3_000
+    assert t.instructions > 3_000
+
+
+def test_streaming_benchmarks_have_negligible_reuse():
+    """lbm and libquantum are the paper's no-reuse workloads."""
+    for name in ("lbm", "libquantum"):
+        t = benchmark_trace(name, 10_000, seed=0)
+        assert t.footprint() >= 9_500
+
+
+def test_memory_intensity_ordering():
+    """lbm is the most memory-intensive (lowest instructions per access),
+    h264ref the least (Section VII-C roles)."""
+    gaps = {name: BENCHMARKS[name].mean_gap for name in PAPER_SET}
+    assert gaps["lbm"] == min(gaps.values())
+    assert gaps["h264ref"] == max(gaps.values())
+    assert gaps["mcf"] < gaps["gromacs"]
+
+
+def test_gromacs_working_set_scale():
+    """gromacs's reuse is concentrated well under ~40K lines (its ~256KB
+    working-set role in the QoS experiments)."""
+    t = benchmark_trace("gromacs", 30_000, seed=0)
+    assert t.footprint() < 15_000
+
+
+def test_mcf_reuse_spans_scales():
+    """mcf touches a working set far larger than gromacs's at the same
+    trace length (its cache-hungry, associativity-sensitive role)."""
+    mcf = benchmark_trace("mcf", 30_000, seed=0)
+    gromacs = benchmark_trace("gromacs", 30_000, seed=0)
+    assert mcf.footprint() > 1.5 * gromacs.footprint()

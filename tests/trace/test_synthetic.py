@@ -1,0 +1,201 @@
+"""Tests for the synthetic workload generators."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, TraceError
+from repro.trace.synthetic import (
+    CyclicScanGenerator,
+    ReuseProfile,
+    SequentialStreamGenerator,
+    StackDistanceGenerator,
+    fixed,
+    geometric,
+    loguniform,
+    uniform,
+)
+
+
+class TestComponents:
+    def test_uniform_range(self):
+        c = uniform(1.0, 5, 10)
+        rng = random.Random(0)
+        for _ in range(200):
+            assert 5 <= c.sample(rng) < 10
+
+    def test_loguniform_range(self):
+        c = loguniform(1.0, 10, 1000)
+        rng = random.Random(0)
+        samples = [c.sample(rng) for _ in range(500)]
+        assert all(10 <= s < 1000 for s in samples)
+        # Log-uniform: roughly half the mass below the geometric midpoint.
+        below = sum(1 for s in samples if s < 100)
+        assert 150 < below < 350
+
+    def test_geometric_mean(self):
+        c = geometric(1.0, 50.0)
+        rng = random.Random(1)
+        samples = [c.sample(rng) for _ in range(5000)]
+        assert sum(samples) / len(samples) == pytest.approx(50.0, rel=0.15)
+
+    def test_fixed(self):
+        c = fixed(1.0, 42)
+        assert c.sample(random.Random(0)) == 42
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            uniform(0.0, 0, 5)
+        with pytest.raises(ConfigurationError):
+            uniform(1.0, 5, 5)
+        with pytest.raises(ConfigurationError):
+            loguniform(1.0, 0, 5)
+        with pytest.raises(ConfigurationError):
+            geometric(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            fixed(1.0, -1)
+
+
+class TestReuseProfile:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReuseProfile([], new_fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            ReuseProfile([fixed(1.0, 1)], new_fraction=1.5)
+
+    def test_pure_streaming_profile(self):
+        p = ReuseProfile([], new_fraction=1.0)
+        rng = random.Random(0)
+        assert all(p.sample_depth(rng) is None for _ in range(50))
+
+    def test_mixture_weights_respected(self):
+        p = ReuseProfile([fixed(0.9, 1), fixed(0.1, 100)], new_fraction=0.0)
+        rng = random.Random(2)
+        counts = Counter(p.sample_depth(rng) for _ in range(5000))
+        assert counts[1] / 5000 == pytest.approx(0.9, abs=0.03)
+
+
+class TestStackDistanceGenerator:
+    def test_length_and_determinism(self):
+        gen = StackDistanceGenerator(
+            ReuseProfile([geometric(1.0, 20)], new_fraction=0.1), seed=5)
+        a = gen.generate(500)
+        b = gen.generate(500)
+        assert len(a) == 500
+        assert list(a.addresses) == list(b.addresses)
+
+    def test_negative_length(self):
+        gen = StackDistanceGenerator(ReuseProfile([], new_fraction=1.0))
+        with pytest.raises(TraceError):
+            gen.generate(-1)
+
+    def test_addr_base_offsets_space(self):
+        gen = StackDistanceGenerator(ReuseProfile([], new_fraction=1.0),
+                                     addr_base=10_000)
+        t = gen.generate(10)
+        assert min(t.addresses) >= 10_000
+
+    def test_reuse_distance_distribution_matches_profile(self):
+        """The emitted trace's empirical LRU stack distances must follow
+        the sampled mixture (the generator's defining property)."""
+        depth = 37
+        gen = StackDistanceGenerator(
+            ReuseProfile([fixed(1.0, depth)], new_fraction=0.02), seed=3)
+        trace = gen.generate(8000)
+        # Re-derive stack distances.
+        stack = []
+        reuse_depths = Counter()
+        for addr in trace.addresses:
+            if addr in stack:
+                d = stack.index(addr)
+                reuse_depths[d] += 1
+                stack.remove(addr)
+            stack.insert(0, addr)
+        total_reuses = sum(reuse_depths.values())
+        assert total_reuses > 0
+        assert reuse_depths[depth] / total_reuses > 0.95
+
+    def test_gap_mean(self):
+        gen = StackDistanceGenerator(ReuseProfile([], new_fraction=1.0),
+                                     mean_gap=40.0, seed=7)
+        t = gen.generate(4000)
+        mean = t.instructions / len(t)
+        assert mean == pytest.approx(40.0, rel=0.15)
+
+    def test_gap_of_one(self):
+        gen = StackDistanceGenerator(ReuseProfile([], new_fraction=1.0),
+                                     mean_gap=1.0)
+        t = gen.generate(100)
+        assert list(t.gaps) == [1] * 100
+
+    def test_mean_gap_validation(self):
+        with pytest.raises(ConfigurationError):
+            StackDistanceGenerator(ReuseProfile([], new_fraction=1.0),
+                                   mean_gap=0.5).generate(1)
+
+
+class TestStreamGenerators:
+    def test_sequential_all_unique(self):
+        t = SequentialStreamGenerator(seed=1).generate(200)
+        assert t.footprint() == 200
+
+    def test_wrap(self):
+        t = SequentialStreamGenerator(wrap=50, seed=1).generate(200)
+        assert t.footprint() == 50
+        assert t.addresses[0] == t.addresses[50]
+
+    def test_wrap_validation(self):
+        with pytest.raises(ConfigurationError):
+            SequentialStreamGenerator(wrap=0)
+
+    def test_cyclic_scan(self):
+        gen = CyclicScanGenerator(working_set=30, seed=2)
+        t = gen.generate(90)
+        assert t.footprint() == 30
+        assert list(t.addresses[:30]) == list(t.addresses[30:60])
+
+
+class TestPhasedGenerator:
+    def make(self):
+        from repro.trace.synthetic import PhasedGenerator
+        low = SequentialStreamGenerator(wrap=20, addr_base=0, seed=1)
+        high = SequentialStreamGenerator(wrap=20, addr_base=100_000, seed=2)
+        return PhasedGenerator([(low, 0.5), (high, 0.5)], name="two-phase")
+
+    def test_length_and_phases(self):
+        t = self.make().generate(400)
+        assert len(t) == 400
+        assert t.name == "two-phase"
+        # First half in the low region, second half high.
+        assert max(t.addresses[:200]) < 100_000
+        assert min(t.addresses[200:]) >= 100_000
+
+    def test_fractions_normalized(self):
+        from repro.trace.synthetic import PhasedGenerator
+        gen = PhasedGenerator([
+            (SequentialStreamGenerator(seed=1), 3),
+            (SequentialStreamGenerator(addr_base=10**6, seed=2), 1)])
+        t = gen.generate(100)
+        low = sum(1 for a in t.addresses if a < 10**6)
+        assert low == 75
+
+    def test_validation(self):
+        from repro.trace.synthetic import PhasedGenerator
+        import pytest as _pytest
+        with _pytest.raises(ConfigurationError):
+            PhasedGenerator([])
+        with _pytest.raises(ConfigurationError):
+            PhasedGenerator([(SequentialStreamGenerator(), 0.0)])
+        with _pytest.raises(TraceError):
+            self.make().generate(-1)
+
+    def test_simpoint_finds_the_phases(self):
+        """The motivating use: SimPoint clustering recovers the phases."""
+        from repro.trace.simpoint import select_regions
+        t = self.make().generate(1000)
+        regions = select_regions(t, interval=100, k=2)
+        starts = sorted(r.start for r in regions)
+        assert starts[0] < 500 <= starts[1]
