@@ -1,10 +1,13 @@
 # Convenience targets for the futility-scaling reproduction.
 
-.PHONY: install test bench bench-smoke bench-paper figures report examples clean
+.PHONY: install test bench bench-smoke bench-paper figures \
+	figures-parallel report examples clean clean-cache
 
 install:
 	pip install -e . || python setup.py develop
 
+# tests/runner/ exercises the worker pool (a --jobs 2 smoke-scale run
+# byte-compared against --jobs 1) on every invocation.
 test:
 	pytest tests/
 
@@ -20,6 +23,9 @@ bench-paper:
 figures:
 	python -m repro.experiments all
 
+figures-parallel:
+	python -m repro.experiments all --scale smoke --jobs 4
+
 report:
 	python -m repro.analysis.report benchmarks/results REPORT.md
 
@@ -29,3 +35,6 @@ examples:
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
 	find . -name __pycache__ -type d -exec rm -rf {} +
+
+clean-cache:
+	rm -rf "$${REPRO_CACHE_DIR:-$$HOME/.cache/repro-experiments}"

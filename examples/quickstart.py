@@ -12,12 +12,7 @@ Run:  python examples/quickstart.py
 
 import random
 
-from repro import (
-    CoarseTimestampLRURanking,
-    FeedbackFutilityScalingScheme,
-    PartitionedCache,
-    SetAssociativeArray,
-)
+from repro import FeedbackFutilityScalingScheme, build_cache
 
 CACHE_LINES = 4096        # 256KB of 64B lines
 WAYS = 16
@@ -26,13 +21,15 @@ ACCESSES = 200_000
 
 
 def main() -> None:
+    # The stable facade: every axis accepts a registry name or an
+    # instance.  The scheme is passed as an instance here so its scaling
+    # factors can be inspected afterwards.
     scheme = FeedbackFutilityScalingScheme()   # l=16, ratio=2, 3-bit shifts
-    cache = PartitionedCache(
-        SetAssociativeArray(CACHE_LINES, WAYS),
-        CoarseTimestampLRURanking(),
-        scheme,
-        num_partitions=2,
-        targets=TARGETS,
+    cache = build_cache(
+        array="set-assoc", num_lines=CACHE_LINES, ways=WAYS,
+        ranking="coarse-ts-lru",
+        scheme=scheme,
+        targets=TARGETS,      # num_partitions inferred from targets
     )
 
     # Two threads with identical behaviour: without scaling they would

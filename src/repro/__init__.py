@@ -26,7 +26,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure.
 """
 
-from . import alloc, analysis, cache, core, sim, trace
+from . import alloc, analysis, cache, core, runner, sim, trace
 from .alloc import (
     EqualSharePolicy,
     QoSPolicy,
@@ -71,13 +71,16 @@ from .core import (
     make_scheme,
     scaling,
 )
+from .api import build_array, build_cache
 from .errors import (
     ConfigurationError,
     InfeasiblePartitioningError,
     ReproError,
     SimulationError,
     TraceError,
+    WorkerError,
 )
+from .runner import Cell, ResultCache, run_cells
 from .sim import (
     TABLE_II,
     MultiprogramSimulator,
@@ -98,10 +101,14 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     # subpackages
-    "alloc", "analysis", "cache", "core", "sim", "trace",
+    "alloc", "analysis", "cache", "core", "runner", "sim", "trace",
+    # stable facade
+    "build_array", "build_cache",
+    # experiment runner
+    "Cell", "ResultCache", "run_cells",
     # errors
     "ReproError", "ConfigurationError", "InfeasiblePartitioningError",
-    "TraceError", "SimulationError",
+    "TraceError", "SimulationError", "WorkerError",
     # cache substrate
     "PartitionedCache", "CacheStats", "SetAssociativeArray",
     "DirectMappedArray", "FullyAssociativeArray", "RandomCandidatesArray",

@@ -1,0 +1,152 @@
+"""Stable top-level facade for assembling partitioned caches.
+
+The library composes three axes — array organization, futility ranking,
+partitioning scheme — whose constructors were historically scattered
+(:func:`make_ranking`, :func:`make_scheme`, per-array classes).
+:func:`build_cache` is the one-call entry point: every axis accepts
+*either* a registry name string *or* an already-built instance, all
+inputs are validated up front, and misconfiguration raises
+:class:`~repro.errors.ConfigurationError` with an actionable message.
+
+Example::
+
+    from repro import build_cache
+
+    cache = build_cache(array="set-assoc", num_lines=131_072, ways=16,
+                        ranking="coarse-ts-lru", scheme="fs-feedback",
+                        num_partitions=32, targets=[4096] * 32)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .cache.arrays import (
+    CacheArray,
+    DirectMappedArray,
+    FullyAssociativeArray,
+    RandomCandidatesArray,
+    SetAssociativeArray,
+    SkewAssociativeArray,
+    ZCacheArray,
+)
+from .cache.cache import PartitionedCache
+from .core.futility import FutilityRanking, make_ranking
+from .core.schemes.base import PartitioningScheme, make_scheme
+from .errors import ConfigurationError
+
+__all__ = ["ARRAY_KINDS", "build_array", "build_cache"]
+
+#: Array registry: name -> constructor taking (num_lines, ways,
+#: candidates, seed) and using whichever parameters apply.
+ARRAY_KINDS = {
+    "set-assoc": lambda n, ways, cand, seed: SetAssociativeArray(n, ways),
+    "random": lambda n, ways, cand, seed: RandomCandidatesArray(
+        n, cand, seed=seed),
+    "skew": lambda n, ways, cand, seed: SkewAssociativeArray(
+        n, ways, hash_seed=seed),
+    "zcache": lambda n, ways, cand, seed: ZCacheArray(
+        n, ways, cand, hash_seed=seed),
+    "full-assoc": lambda n, ways, cand, seed: FullyAssociativeArray(n),
+    "direct-mapped": lambda n, ways, cand, seed: DirectMappedArray(n),
+}
+
+
+def build_array(kind: Union[str, CacheArray], num_lines: Optional[int] = None,
+                *, ways: int = 16, candidates: int = 16,
+                seed: int = 0) -> CacheArray:
+    """Array factory accepting a kind name or a ready instance.
+
+    ``kind`` is one of ``set-assoc`` (XOR-indexed, the Table II L2),
+    ``random`` (the Uniformity-Assumption array of Figs. 4/5), ``skew``,
+    ``zcache``, ``full-assoc`` or ``direct-mapped`` — or an existing
+    :class:`CacheArray`, returned unchanged.
+    """
+    if isinstance(kind, CacheArray):
+        return kind
+    if not isinstance(kind, str):
+        raise ConfigurationError(
+            f"array must be a kind name or a CacheArray instance, "
+            f"got {type(kind).__name__}")
+    try:
+        ctor = ARRAY_KINDS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown array kind {kind!r}; expected one of "
+            f"{sorted(ARRAY_KINDS)}") from None
+    if num_lines is None:
+        raise ConfigurationError(
+            f"num_lines is required to build a {kind!r} array by name")
+    return ctor(int(num_lines), ways, candidates, seed)
+
+
+def build_cache(*, array: Union[str, CacheArray],
+                ranking: Union[str, FutilityRanking] = "lru",
+                scheme: Union[str, PartitioningScheme] = "fs-feedback",
+                num_partitions: Optional[int] = None,
+                targets: Optional[Sequence[int]] = None,
+                num_lines: Optional[int] = None, ways: int = 16,
+                candidates: int = 16, seed: int = 0,
+                **cache_kwargs) -> PartitionedCache:
+    """Build a :class:`PartitionedCache` from names or instances.
+
+    Parameters
+    ----------
+    array:
+        Array kind name (with ``num_lines`` and, as applicable, ``ways``
+        / ``candidates`` / ``seed``) or a :class:`CacheArray` instance.
+    ranking:
+        Futility ranking name (``lru``, ``lfu``, ``opt``,
+        ``coarse-ts-lru``, ``random``) or instance.
+    scheme:
+        Partitioning scheme name (``fs``, ``fs-feedback``, ``pf``,
+        ``vantage``, ``prism``, ...) or instance.
+    num_partitions:
+        Number of partitions; defaults to ``len(targets)`` when targets
+        are given.
+    targets:
+        Optional per-partition target sizes in lines; must match
+        ``num_partitions``.
+    cache_kwargs:
+        Forwarded to :class:`PartitionedCache` (``reference_ranking``,
+        ``deviation_partitions``, ...).
+    """
+    built_array = build_array(array, num_lines, ways=ways,
+                              candidates=candidates, seed=seed)
+    if isinstance(ranking, str):
+        ranking = make_ranking(ranking)
+    elif not isinstance(ranking, FutilityRanking):
+        raise ConfigurationError(
+            f"ranking must be a name or FutilityRanking instance, "
+            f"got {type(ranking).__name__}")
+    if isinstance(scheme, str):
+        scheme = make_scheme(scheme)
+    elif not isinstance(scheme, PartitioningScheme):
+        raise ConfigurationError(
+            f"scheme must be a name or PartitioningScheme instance, "
+            f"got {type(scheme).__name__}")
+
+    if num_partitions is None:
+        if targets is None:
+            raise ConfigurationError(
+                "num_partitions is required when targets are not given")
+        num_partitions = len(targets)
+    num_partitions = int(num_partitions)
+    if num_partitions < 1:
+        raise ConfigurationError(
+            f"num_partitions must be >= 1, got {num_partitions}")
+    if targets is not None:
+        targets = [int(t) for t in targets]
+        if len(targets) != num_partitions:
+            raise ConfigurationError(
+                f"targets has {len(targets)} entries for "
+                f"{num_partitions} partitions")
+        if any(t < 0 for t in targets):
+            raise ConfigurationError("targets must be non-negative")
+        if sum(targets) > built_array.num_lines:
+            raise ConfigurationError(
+                f"targets sum to {sum(targets)} lines but the array has "
+                f"only {built_array.num_lines}")
+        cache_kwargs["targets"] = targets
+    return PartitionedCache(built_array, ranking, scheme, num_partitions,
+                            **cache_kwargs)

@@ -32,3 +32,12 @@ class TraceError(ReproError, ValueError):
 
 class SimulationError(ReproError, RuntimeError):
     """The simulation engine reached an inconsistent state."""
+
+
+class WorkerError(ReproError, RuntimeError):
+    """An experiment cell failed inside a runner worker process.
+
+    Raised by :func:`repro.runner.run_cells` when a cell raises a
+    non-library exception or its worker process dies; library errors
+    (:class:`ReproError` subclasses) propagate unwrapped.
+    """

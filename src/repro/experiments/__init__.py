@@ -4,6 +4,13 @@ Each ``figN`` module reproduces one figure of the paper's evaluation; see
 DESIGN.md section 4 for the experiment index.  Every config dataclass has
 ``paper()`` / ``scaled()`` / ``smoke()`` constructors (see
 :mod:`repro.experiments.common`).
+
+Every experiment is described by an
+:class:`~repro.experiments.registry.ExperimentSpec` — config class, sweep
+decomposition (``cells``), ordered recombination (``reduce``) and
+paper-style renderer (``format``) — registered in
+:mod:`repro.experiments.registry` and runnable in parallel with on-disk
+memoization through :mod:`repro.runner`.
 """
 
 from .common import (
@@ -22,17 +29,27 @@ from .fig5 import Fig5Config, Fig5Result, format_fig5, run_fig5
 from .fig6 import Fig6Config, Fig6Result, format_fig6, run_fig6
 from .fig7 import Fig7Config, Fig7Result, format_fig7, run_fig7
 from .fig8 import Fig8Config, Fig8Result, format_fig8, run_fig8
+from .registry import (
+    ExperimentSpec,
+    experiment_names,
+    get_experiment,
+    iter_experiments,
+    register_experiment,
+)
 from .resizing import (
     ResizingConfig,
     ResizingResult,
     format_resizing,
     run_resizing,
 )
+from .tableii import TableIIConfig, render_table_ii
 
 __all__ = [
     "DEFAULT_SCALE", "ADDRESS_SPACING",
     "build_array", "build_cache", "duplicated_traces", "mixed_traces",
     "format_table",
+    "ExperimentSpec", "register_experiment", "get_experiment",
+    "experiment_names", "iter_experiments",
     "Fig2Config", "Fig2Result", "run_fig2", "format_fig2",
     "Fig3Config", "Fig3Result", "run_fig3", "format_fig3",
     "Fig4Config", "Fig4Result", "run_fig4", "format_fig4",
@@ -40,5 +57,6 @@ __all__ = [
     "Fig6Config", "Fig6Result", "run_fig6", "format_fig6",
     "Fig7Config", "Fig7Result", "run_fig7", "format_fig7",
     "Fig8Config", "Fig8Result", "run_fig8", "format_fig8",
+    "TableIIConfig", "render_table_ii",
     "ResizingConfig", "ResizingResult", "run_resizing", "format_resizing",
 ]

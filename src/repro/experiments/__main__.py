@@ -4,12 +4,21 @@ Regenerate any of the paper's figures from the shell::
 
     python -m repro.experiments fig3
     python -m repro.experiments fig5 --scale smoke
-    python -m repro.experiments all --scale scaled
+    python -m repro.experiments all --scale scaled --jobs 4
     python -m repro.experiments tableII
 
 ``--scale`` selects the config constructor: ``smoke`` (seconds),
 ``scaled`` (default, minutes) or ``paper`` (the publication's exact
 parameters; hours in pure Python).
+
+Sweep cells fan out across a process pool (``--jobs N``, default
+``os.cpu_count()``) and every cell's result is memoized in a
+content-addressed on-disk cache (``--cache-dir``, default
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro-experiments``), so interrupted
+or repeated runs resume instantly.  ``--no-cache`` disables the cache,
+``--force`` recomputes and overwrites existing entries.  Figure tables
+go to stdout and are byte-identical for any ``--jobs``; per-cell
+progress and timing stream to stderr.
 """
 
 from __future__ import annotations
@@ -17,61 +26,106 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import warnings
+from collections.abc import Mapping
 
-from ..sim.config import TABLE_II
-from . import (
-    Fig2Config, Fig3Config, Fig4Config, Fig5Config, Fig6Config, Fig7Config,
-    Fig8Config,
-    format_fig2, format_fig3, format_fig4, format_fig5, format_fig6,
-    format_fig7, format_fig8,
-    run_fig2, run_fig3, run_fig4, run_fig5, run_fig6, run_fig7, run_fig8,
-)
+from ..errors import ConfigurationError
+from ..runner import Progress, ResultCache, default_cache_dir, default_jobs
+from .registry import experiment_names, get_experiment
+from .tableii import render_table_ii  # noqa: F401  (backward-compat export)
 
-FIGURES = {
-    "fig2": (Fig2Config, run_fig2, format_fig2),
-    "fig3": (Fig3Config, run_fig3, format_fig3),
-    "fig4": (Fig4Config, run_fig4, format_fig4),
-    "fig5": (Fig5Config, run_fig5, format_fig5),
-    "fig6": (Fig6Config, run_fig6, format_fig6),
-    "fig7": (Fig7Config, run_fig7, format_fig7),
-    "fig8": (Fig8Config, run_fig8, format_fig8),
-}
+__all__ = ["FIGURES", "main", "render_table_ii"]
 
 
-def render_table_ii() -> str:
-    rows = TABLE_II.describe()
-    width = max(len(k) for k in rows)
-    return "Table II: System Configuration\n" + "\n".join(
-        f"  {k.ljust(width)}  {v}" for k, v in rows.items())
+class _DeprecatedFigures(Mapping):
+    """Deprecated ``FIGURES`` alias over the experiment registry.
+
+    Preserves the historical ``{name: (ConfigCls, run, format)}`` triple
+    view of the ``fig*`` experiments for one release; use
+    :mod:`repro.experiments.registry` instead.
+    """
+
+    @staticmethod
+    def _warn() -> None:
+        warnings.warn(
+            "repro.experiments.__main__.FIGURES is deprecated; use "
+            "repro.experiments.registry (get_experiment/iter_experiments)",
+            DeprecationWarning, stacklevel=3)
+
+    @staticmethod
+    def _names():
+        return [n for n in experiment_names() if n.startswith("fig")]
+
+    def __getitem__(self, name):
+        self._warn()
+        if name not in self._names():
+            raise KeyError(name)
+        spec = get_experiment(name)
+        return (spec.config_cls, spec.run, spec.format)
+
+    def __iter__(self):
+        self._warn()
+        return iter(self._names())
+
+    def __len__(self):
+        return len(self._names())
+
+
+FIGURES = _DeprecatedFigures()
 
 
 def main(argv=None) -> int:
+    names = experiment_names()
+    figures = sorted(n for n in names if n != "tableII")
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate figures from 'Futility Scaling: "
                     "High-Associativity Cache Partitioning' (MICRO 2014).")
-    parser.add_argument("figure",
-                        choices=sorted(FIGURES) + ["tableII", "all"],
+    parser.add_argument("figure", choices=figures + ["tableII", "all"],
                         help="which figure to regenerate")
     parser.add_argument("--scale", default="scaled",
                         choices=("smoke", "scaled", "paper"),
                         help="experiment scale (default: scaled)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for sweep cells "
+                             "(default: os.cpu_count())")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed result cache location "
+                             "(default: $REPRO_CACHE_DIR or "
+                             "~/.cache/repro-experiments)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache entirely")
+    parser.add_argument("--force", action="store_true",
+                        help="recompute cells even when cached")
     args = parser.parse_args(argv)
 
-    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
-    if args.figure in ("tableII", "all"):
-        print(render_table_ii())
-        print()
-        if args.figure == "tableII":
-            return 0
-    for name in names:
-        config_cls, run, fmt = FIGURES[name]
-        config = getattr(config_cls, args.scale)()
+    if args.figure == "all":
+        # Table II leads, then the figures in order — the registry
+        # iteration that used to be a special case.
+        selected = (["tableII"] if "tableII" in names else []) + figures
+    else:
+        selected = [args.figure]
+    jobs = args.jobs if args.jobs and args.jobs > 0 else default_jobs()
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir if args.cache_dir
+                            else default_cache_dir())
+    progress = Progress(sys.stderr)
+
+    for name in selected:
+        spec = get_experiment(name)
         start = time.time()
-        result = run(config)
+        try:
+            result = spec.run(spec.config(args.scale), jobs=jobs,
+                              cache=cache, force=args.force,
+                              progress=progress)
+        except ConfigurationError as exc:
+            print(f"error: {name}: {exc}", file=sys.stderr)
+            return 2
         elapsed = time.time() - start
-        print(fmt(result))
-        print(f"[{name} @ {args.scale}: {elapsed:.1f}s]\n")
+        print(spec.format(result))
+        print()
+        print(f"[{name} @ {args.scale}: {elapsed:.1f}s]", file=sys.stderr)
     return 0
 
 

@@ -21,19 +21,9 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..cache.arrays import (
-    CacheArray,
-    DirectMappedArray,
-    FullyAssociativeArray,
-    RandomCandidatesArray,
-    SetAssociativeArray,
-    SkewAssociativeArray,
-    ZCacheArray,
-)
+from .. import api
+from ..cache.arrays import CacheArray
 from ..cache.cache import PartitionedCache
-from ..core.futility import make_ranking
-from ..core.schemes.base import make_scheme
-from ..errors import ConfigurationError
 from ..trace.access import Trace
 from ..trace.mixing import TraceCursor
 from ..trace.spec import get_profile
@@ -61,34 +51,22 @@ def build_array(kind: str, num_lines: int, *, ways: int = 16,
                 candidates: int = 16, seed: int = 0) -> CacheArray:
     """Array factory for experiment configs.
 
-    ``kind`` is one of ``set-assoc`` (XOR-indexed, the Table II L2),
-    ``random`` (the Uniformity-Assumption array of Figs. 4/5), ``skew``,
-    ``zcache``, ``full-assoc`` or ``direct-mapped``.
+    Thin wrapper over the stable facade :func:`repro.api.build_array`;
+    kept for backward compatibility with the positional signature.
     """
-    if kind == "set-assoc":
-        return SetAssociativeArray(num_lines, ways)
-    if kind == "random":
-        return RandomCandidatesArray(num_lines, candidates, seed=seed)
-    if kind == "skew":
-        return SkewAssociativeArray(num_lines, ways, hash_seed=seed)
-    if kind == "zcache":
-        return ZCacheArray(num_lines, ways, candidates, hash_seed=seed)
-    if kind == "full-assoc":
-        return FullyAssociativeArray(num_lines)
-    if kind == "direct-mapped":
-        return DirectMappedArray(num_lines)
-    raise ConfigurationError(f"unknown array kind {kind!r}")
+    return api.build_array(kind, num_lines, ways=ways,
+                           candidates=candidates, seed=seed)
 
 
 def build_cache(array: CacheArray, ranking, scheme, num_partitions: int,
                 **cache_kwargs) -> PartitionedCache:
-    """Cache factory accepting names or instances for ranking/scheme."""
-    if isinstance(ranking, str):
-        ranking = make_ranking(ranking)
-    if isinstance(scheme, str):
-        scheme = make_scheme(scheme)
-    return PartitionedCache(array, ranking, scheme, num_partitions,
-                            **cache_kwargs)
+    """Cache factory accepting names or instances for ranking/scheme.
+
+    Thin wrapper over the stable facade :func:`repro.api.build_cache`;
+    kept for backward compatibility with the positional signature.
+    """
+    return api.build_cache(array=array, ranking=ranking, scheme=scheme,
+                           num_partitions=num_partitions, **cache_kwargs)
 
 
 def duplicated_traces(benchmark: str, n: int, length: int, *,

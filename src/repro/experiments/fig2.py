@@ -27,15 +27,17 @@ import numpy as np
 
 from ..analysis.associativity import aef, associativity_cdf
 from ..analysis.text_plots import ascii_chart
+from ..api import build_cache
 from ..cache.arrays import SetAssociativeArray
-from ..cache.cache import PartitionedCache
-from ..core.futility import make_ranking
 from ..core.schemes.partitioning_first import PartitioningFirstScheme
+from ..runner import Cell, run_cells
 from ..sim.config import TABLE_II
 from ..sim.engine import MultiprogramSimulator
 from .common import DEFAULT_SCALE, duplicated_traces, format_table
+from .registry import register_experiment
 
-__all__ = ["Fig2Config", "Fig2Point", "Fig2Result", "run_fig2", "format_fig2"]
+__all__ = ["Fig2Config", "Fig2Point", "Fig2Result", "cells_fig2",
+           "reduce_fig2", "run_fig2", "format_fig2"]
 
 PAPER_BENCHMARKS = ("mcf", "omnetpp", "gromacs", "h264ref",
                     "astar", "cactusadm", "libquantum", "lbm")
@@ -106,8 +108,8 @@ def _run_cell(config: Fig2Config, benchmark: str, n: int,
     traces = duplicated_traces(benchmark, n, config.trace_length,
                                scale=config.workload_scale, seed=config.seed)
     array = SetAssociativeArray(config.partition_lines * n, config.ways)
-    cache = PartitionedCache(array, make_ranking(config.ranking),
-                             PartitioningFirstScheme(), n)
+    cache = build_cache(array=array, ranking=config.ranking,
+                        scheme=PartitioningFirstScheme(), num_partitions=n)
     limit = max(1, int(0.9 * min(t.instructions for t in traces)))
     sim = MultiprogramSimulator(cache, traces, TABLE_II,
                                 instruction_limit=limit)
@@ -120,15 +122,18 @@ def _run_cell(config: Fig2Config, benchmark: str, n: int,
         aef=aef(samples), cdf=cdf)
 
 
-def run_fig2(config: Fig2Config = Fig2Config.scaled()) -> Fig2Result:
-    """Run the full (benchmark x N) grid."""
+def reduce_fig2(config: Fig2Config, results: List[Fig2Point]) -> Fig2Result:
+    """Reassemble the (benchmark x N) grid from ordered cell results."""
+    it = iter(results)
     points: Dict[str, Dict[int, Fig2Point]] = {}
     for benchmark in config.benchmarks:
-        want_cdf = benchmark == config.cdf_benchmark
-        points[benchmark] = {
-            n: _run_cell(config, benchmark, n, want_cdf)
-            for n in config.partition_counts}
+        points[benchmark] = {n: next(it) for n in config.partition_counts}
     return Fig2Result(config=config, points=points)
+
+
+def run_fig2(config: Fig2Config = Fig2Config.scaled()) -> Fig2Result:
+    """Run the full (benchmark x N) grid sequentially."""
+    return reduce_fig2(config, run_cells(cells_fig2(config)))
 
 
 def format_fig2(result: Fig2Result) -> str:
@@ -163,3 +168,17 @@ def format_fig2(result: Fig2Result) -> str:
         blocks.append(format_table(
             ["benchmark"] + [f"N={n}" for n in ns], rows, title=title))
     return "\n\n".join(blocks)
+
+
+@register_experiment(name="fig2", config_cls=Fig2Config, reduce=reduce_fig2,
+                     format=format_fig2,
+                     description="Fig. 2: PF associativity loss vs N")
+def cells_fig2(config: Fig2Config) -> List[Cell]:
+    """One cell per (benchmark, N) grid point."""
+    cells = []
+    for benchmark in config.benchmarks:
+        want_cdf = benchmark == config.cdf_benchmark
+        for n in config.partition_counts:
+            cells.append(Cell("fig2", (benchmark, n), _run_cell,
+                              (config, benchmark, n, want_cdf)))
+    return cells

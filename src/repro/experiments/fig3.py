@@ -23,9 +23,12 @@ from ..core.scaling import (
     solve_scaling_factors,
 )
 from ..errors import InfeasiblePartitioningError
+from ..runner import Cell, run_cells
 from .common import format_table
+from .registry import register_experiment
 
-__all__ = ["Fig3Config", "Fig3Result", "run_fig3", "format_fig3"]
+__all__ = ["Fig3Config", "Fig3Result", "cells_fig3", "reduce_fig3",
+           "run_fig3", "format_fig3"]
 
 
 @dataclass(frozen=True)
@@ -63,27 +66,39 @@ class Fig3Result:
     holdable_at_1pct: float
 
 
-def run_fig3(config: Fig3Config = Fig3Config()) -> Fig3Result:
-    """Evaluate Equation (1) over the configured sweep."""
+def _run_row(config: Fig3Config,
+             i2: float) -> Tuple[Dict[float, Optional[float]], float]:
+    """One sweep row: alpha_2 over all S_2 at a fixed insertion rate."""
+    row: Dict[float, Optional[float]] = {}
+    max_error = 0.0
+    for s2 in config.size_fractions:
+        try:
+            alpha = alpha_for_two_partitions(s2, i2, config.candidates)
+        except InfeasiblePartitioningError:
+            row[s2] = None
+            continue
+        row[s2] = alpha
+        if config.cross_check:
+            solved = solve_scaling_factors(
+                [1.0 - s2, s2], [1.0 - i2, i2], config.candidates)
+            max_error = max(max_error, abs(solved[1] - alpha))
+    return row, max_error
+
+
+def reduce_fig3(config: Fig3Config, results: List[Tuple]) -> Fig3Result:
     alphas: Dict[float, Dict[float, Optional[float]]] = {}
     max_error = 0.0
-    for i2 in config.insertion_rates:
-        row: Dict[float, Optional[float]] = {}
-        for s2 in config.size_fractions:
-            try:
-                alpha = alpha_for_two_partitions(s2, i2, config.candidates)
-            except InfeasiblePartitioningError:
-                row[s2] = None
-                continue
-            row[s2] = alpha
-            if config.cross_check:
-                solved = solve_scaling_factors(
-                    [1.0 - s2, s2], [1.0 - i2, i2], config.candidates)
-                max_error = max(max_error, abs(solved[1] - alpha))
+    for i2, (row, row_error) in zip(config.insertion_rates, results):
         alphas[i2] = row
+        max_error = max(max_error, row_error)
     return Fig3Result(
         config=config, alphas=alphas, max_solver_error=max_error,
         holdable_at_1pct=max_holdable_size_fraction(0.01, config.candidates))
+
+
+def run_fig3(config: Fig3Config = Fig3Config()) -> Fig3Result:
+    """Evaluate Equation (1) over the configured sweep."""
+    return reduce_fig3(config, run_cells(cells_fig3(config)))
 
 
 def format_fig3(result: Fig3Result) -> str:
@@ -106,3 +121,12 @@ def format_fig3(result: Fig3Result) -> str:
         f"{result.holdable_at_1pct * 100:.1f}% (paper: ~75%)",
     ]
     return table + "\n" + "\n".join(extras)
+
+
+@register_experiment(name="fig3", config_cls=Fig3Config, reduce=reduce_fig3,
+                     format=format_fig3,
+                     description="Fig. 3: Equation (1) scaling factors")
+def cells_fig3(config: Fig3Config) -> List[Cell]:
+    """One cell per insertion-rate row of the analytical sweep."""
+    return [Cell("fig3", (i2,), _run_row, (config, i2))
+            for i2 in config.insertion_rates]

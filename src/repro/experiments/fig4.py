@@ -28,18 +28,19 @@ import numpy as np
 
 from ..analysis.associativity import aef, associativity_cdf
 from ..analysis.text_plots import ascii_chart
+from ..api import build_cache
 from ..cache.arrays import RandomCandidatesArray
-from ..cache.cache import PartitionedCache
-from ..core.futility import make_ranking
 from ..core.scaling import analytic_aef, scaling_factors_two_partitions
 from ..core.schemes.futility_scaling import FutilityScalingScheme
 from ..core.schemes.partitioning_first import PartitioningFirstScheme
+from ..runner import Cell, run_cells
 from ..trace.mixing import run_insertion_rate_controlled
 from ..trace.spec import get_profile
 from .common import ADDRESS_SPACING, DEFAULT_SCALE, format_table
+from .registry import register_experiment
 
-__all__ = ["Fig4Config", "Fig4Measurement", "Fig4Result", "run_fig4",
-           "format_fig4"]
+__all__ = ["Fig4Config", "Fig4Measurement", "Fig4Result", "cells_fig4",
+           "reduce_fig4", "run_fig4", "format_fig4"]
 
 
 @dataclass(frozen=True)
@@ -118,8 +119,8 @@ def _run_one(config: Fig4Config, scheme_name: str,
                                   seed=config.seed)
     targets = [int(round(split[0] * config.num_lines))]
     targets.append(config.num_lines - targets[0])
-    cache = PartitionedCache(array, make_ranking(config.ranking), scheme, 2,
-                             targets=targets)
+    cache = build_cache(array=array, ranking=config.ranking, scheme=scheme,
+                        num_partitions=2, targets=targets)
     run_insertion_rate_controlled(
         cache, _make_traces(config), list(rates), config.num_insertions,
         warmup_insertions=config.warmup_insertions,
@@ -131,12 +132,13 @@ def _run_one(config: Fig4Config, scheme_name: str,
         cdfs=tuple(associativity_cdf(s) for s in samples))
 
 
+def reduce_fig4(config: Fig4Config,
+                results: List[Fig4Measurement]) -> Fig4Result:
+    return Fig4Result(config=config, measurements=list(results))
+
+
 def run_fig4(config: Fig4Config = Fig4Config.scaled()) -> Fig4Result:
-    measurements = []
-    for split in config.size_splits:
-        for scheme_name in ("fs", "pf"):
-            measurements.append(_run_one(config, scheme_name, split))
-    return Fig4Result(config=config, measurements=measurements)
+    return reduce_fig4(config, run_cells(cells_fig4(config)))
 
 
 def format_fig4(result: Fig4Result) -> str:
@@ -170,3 +172,14 @@ def format_fig4(result: Fig4Result) -> str:
                   "(x: eviction futility 0..1):\n"
                   + ascii_chart(curves, x_label="futility", y_label="CDF"))
     return table
+
+
+@register_experiment(name="fig4", config_cls=Fig4Config, reduce=reduce_fig4,
+                     format=format_fig4,
+                     description="Fig. 4: FS vs PF associativity")
+def cells_fig4(config: Fig4Config) -> List[Cell]:
+    """One cell per (size split, scheme) run."""
+    return [Cell("fig4", (scheme_name,) + split, _run_one,
+                 (config, scheme_name, split))
+            for split in config.size_splits
+            for scheme_name in ("fs", "pf")]

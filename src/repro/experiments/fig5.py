@@ -29,18 +29,19 @@ from ..analysis.sizing import (
     mean_absolute_deviation,
     mean_deviation,
 )
+from ..api import build_cache
 from ..cache.arrays import RandomCandidatesArray
-from ..cache.cache import PartitionedCache
-from ..core.futility import make_ranking
 from ..core.scaling import scaling_factors_two_partitions
 from ..core.schemes.futility_scaling import FutilityScalingScheme
 from ..core.schemes.partitioning_first import PartitioningFirstScheme
+from ..runner import Cell, run_cells
 from ..trace.mixing import run_insertion_rate_controlled
 from ..trace.spec import get_profile
 from .common import ADDRESS_SPACING, DEFAULT_SCALE, format_table
+from .registry import register_experiment
 
-__all__ = ["Fig5Config", "Fig5Measurement", "Fig5Result", "run_fig5",
-           "format_fig5"]
+__all__ = ["Fig5Config", "Fig5Measurement", "Fig5Result", "cells_fig5",
+           "reduce_fig5", "run_fig5", "format_fig5"]
 
 
 @dataclass(frozen=True)
@@ -108,9 +109,10 @@ def _run_one(config: Fig5Config, scheme_name: str,
     array = RandomCandidatesArray(config.num_lines, config.candidates,
                                   seed=config.seed)
     half = config.num_lines // 2
-    cache = PartitionedCache(array, make_ranking(config.ranking), scheme, 2,
-                             targets=[half, config.num_lines - half],
-                             deviation_partitions=[0])
+    cache = build_cache(array=array, ranking=config.ranking, scheme=scheme,
+                        num_partitions=2,
+                        targets=[half, config.num_lines - half],
+                        deviation_partitions=[0])
     profile = get_profile(config.benchmark)
     traces = [profile.trace(config.trace_length, seed=config.seed + tid,
                             addr_base=(tid + 1) * ADDRESS_SPACING,
@@ -127,12 +129,13 @@ def _run_one(config: Fig5Config, scheme_name: str,
         cdf=deviation_cdf(samples))
 
 
+def reduce_fig5(config: Fig5Config,
+                results: List[Fig5Measurement]) -> Fig5Result:
+    return Fig5Result(config=config, measurements=list(results))
+
+
 def run_fig5(config: Fig5Config = Fig5Config.scaled()) -> Fig5Result:
-    measurements = []
-    for split in config.insertion_splits:
-        for scheme_name in ("fs", "pf"):
-            measurements.append(_run_one(config, scheme_name, split))
-    return Fig5Result(config=config, measurements=measurements)
+    return reduce_fig5(config, run_cells(cells_fig5(config)))
 
 
 def format_fig5(result: Fig5Result) -> str:
@@ -152,3 +155,14 @@ def format_fig5(result: Fig5Result) -> str:
         rows,
         title=(f"Figure 5: size deviation of partition 1 "
                f"(equal split, {partition_lines}-line partitions)"))
+
+
+@register_experiment(name="fig5", config_cls=Fig5Config, reduce=reduce_fig5,
+                     format=format_fig5,
+                     description="Fig. 5: FS vs PF sizing precision")
+def cells_fig5(config: Fig5Config) -> List[Cell]:
+    """One cell per (insertion split, scheme) run."""
+    return [Cell("fig5", (scheme_name,) + split, _run_one,
+                 (config, scheme_name, split))
+            for split in config.insertion_splits
+            for scheme_name in ("fs", "pf")]

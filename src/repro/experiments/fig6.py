@@ -21,17 +21,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from ..cache.arrays import DirectMappedArray, FullyAssociativeArray
-from ..cache.cache import PartitionedCache
-from ..core.futility import make_ranking
+from ..api import build_cache
 from ..core.schemes.full_assoc import FullAssocScheme
 from ..core.schemes.unpartitioned import UnpartitionedScheme
+from ..runner import Cell, run_cells
 from ..sim.config import TABLE_II
 from ..sim.engine import simulate_single_thread
 from ..trace.spec import get_profile, lines_for_bytes
 from .common import DEFAULT_SCALE, format_table
+from .registry import register_experiment
 
-__all__ = ["Fig6Config", "Fig6Result", "run_fig6", "format_fig6"]
+__all__ = ["Fig6Config", "Fig6Result", "cells_fig6", "reduce_fig6",
+           "run_fig6", "format_fig6"]
 
 PAPER_BENCHMARKS = ("mcf", "omnetpp", "gromacs", "astar", "cactusadm", "lbm")
 PAPER_SIZES_KB = (128, 256, 512, 1024, 2048, 4096, 8192)
@@ -84,17 +85,18 @@ def _run_cell(config: Fig6Config, benchmark: str, size: int, ranking: str,
     trace = get_profile(benchmark).trace(
         config.trace_length, seed=config.seed, scale=config.workload_scale)
     if organization == "fa":
-        cache = PartitionedCache(FullyAssociativeArray(size),
-                                 make_ranking(ranking), FullAssocScheme(), 1)
+        cache = build_cache(array="full-assoc", num_lines=size,
+                            ranking=ranking, scheme=FullAssocScheme(),
+                            num_partitions=1)
     else:
-        cache = PartitionedCache(DirectMappedArray(size),
-                                 make_ranking(ranking),
-                                 UnpartitionedScheme(), 1,
-                                 track_eviction_futility=False)
+        cache = build_cache(array="direct-mapped", num_lines=size,
+                            ranking=ranking, scheme=UnpartitionedScheme(),
+                            num_partitions=1, track_eviction_futility=False)
     return simulate_single_thread(cache, trace, TABLE_II).ipc
 
 
-def run_fig6(config: Fig6Config = Fig6Config.scaled()) -> Fig6Result:
+def reduce_fig6(config: Fig6Config, results: List[float]) -> Fig6Result:
+    it = iter(results)
     ipcs: Dict[str, Dict[str, Dict[int, Dict[str, float]]]] = {}
     for ranking in config.rankings:
         ipcs[ranking] = {}
@@ -102,9 +104,12 @@ def run_fig6(config: Fig6Config = Fig6Config.scaled()) -> Fig6Result:
             ipcs[ranking][benchmark] = {}
             for size in config.cache_sizes_lines:
                 ipcs[ranking][benchmark][size] = {
-                    org: _run_cell(config, benchmark, size, ranking, org)
-                    for org in ("fa", "dm")}
+                    org: next(it) for org in ("fa", "dm")}
     return Fig6Result(config=config, ipcs=ipcs)
+
+
+def run_fig6(config: Fig6Config = Fig6Config.scaled()) -> Fig6Result:
+    return reduce_fig6(config, run_cells(cells_fig6(config)))
 
 
 def format_fig6(result: Fig6Result) -> str:
@@ -125,3 +130,16 @@ def format_fig6(result: Fig6Result) -> str:
             title=f"Figure {label}: fully-associative vs direct-mapped "
                   f"speedup"))
     return "\n\n".join(blocks)
+
+
+@register_experiment(name="fig6", config_cls=Fig6Config, reduce=reduce_fig6,
+                     format=format_fig6,
+                     description="Fig. 6: associativity sensitivity")
+def cells_fig6(config: Fig6Config) -> List[Cell]:
+    """One cell per (ranking, benchmark, size, organization) simulation."""
+    return [Cell("fig6", (ranking, benchmark, size, org), _run_cell,
+                 (config, benchmark, size, ranking, org))
+            for ranking in config.rankings
+            for benchmark in config.benchmarks
+            for size in config.cache_sizes_lines
+            for org in ("fa", "dm")]

@@ -26,8 +26,8 @@ from typing import Dict, List, Tuple
 
 from ..alloc.policies import QoSPolicy
 from ..analysis.associativity import aef
+from ..api import build_cache
 from ..cache.arrays import FullyAssociativeArray, SetAssociativeArray
-from ..cache.cache import PartitionedCache
 from ..core.futility import (
     CoarseTimestampLRURanking,
     LRURanking,
@@ -40,13 +40,15 @@ from ..core.schemes.partitioning_first import PartitioningFirstScheme
 from ..core.schemes.prism import PriSMScheme
 from ..core.schemes.vantage import VantageScheme
 from ..errors import ConfigurationError
+from ..runner import Cell, run_cells
 from ..sim.config import TABLE_II
 from ..sim.engine import MultiprogramSimulator
 from .common import (DEFAULT_SCALE, format_table, mixed_traces,
                      prefill_to_targets)
+from .registry import register_experiment
 
-__all__ = ["Fig7Config", "Fig7Cell", "Fig7Result", "run_fig7", "format_fig7",
-           "PAPER_SCHEMES"]
+__all__ = ["Fig7Config", "Fig7Cell", "Fig7Result", "cells_fig7",
+           "reduce_fig7", "run_fig7", "format_fig7", "PAPER_SCHEMES"]
 
 PAPER_SCHEMES = ("full-assoc", "pf", "vantage", "prism", "fs-feedback")
 
@@ -178,8 +180,10 @@ def _run_cell(config: Fig7Config, scheme_name: str, ranking: str,
         array = FullyAssociativeArray(config.total_lines)
     else:
         array = SetAssociativeArray(config.total_lines, config.ways)
-    cache = PartitionedCache(array, _build_ranking(scheme_name, ranking),
-                             scheme, config.num_threads, targets=targets)
+    cache = build_cache(array=array,
+                        ranking=_build_ranking(scheme_name, ranking),
+                        scheme=scheme, num_partitions=config.num_threads,
+                        targets=targets)
     if config.warmup:
         prefill_to_targets(cache, traces)
     sim = MultiprogramSimulator(cache, traces, TABLE_II,
@@ -214,17 +218,28 @@ def _run_cell(config: Fig7Config, scheme_name: str, ranking: str,
         diagnostics=diagnostics)
 
 
-def run_fig7(config: Fig7Config = Fig7Config.scaled()) -> Fig7Result:
-    cells: Dict[Tuple[str, str], Dict[int, Fig7Cell]] = {}
+def _grid(config: Fig7Config):
+    """The (ranking, scheme, N) points actually run (Vantage skips mixes
+    whose guarantees exceed its managed fraction)."""
     for ranking in config.rankings:
         for scheme_name in config.schemes:
-            series: Dict[int, Fig7Cell] = {}
             for n in config.subject_counts:
                 if scheme_name == "vantage" and not vantage_can_run(config, n):
                     continue
-                series[n] = _run_cell(config, scheme_name, ranking, n)
-            cells[(scheme_name, ranking)] = series
+                yield ranking, scheme_name, n
+
+
+def reduce_fig7(config: Fig7Config, results: List[Fig7Cell]) -> Fig7Result:
+    cells: Dict[Tuple[str, str], Dict[int, Fig7Cell]] = {
+        (scheme_name, ranking): {}
+        for ranking in config.rankings for scheme_name in config.schemes}
+    for (ranking, scheme_name, n), cell in zip(_grid(config), results):
+        cells[(scheme_name, ranking)][n] = cell
     return Fig7Result(config=config, cells=cells)
+
+
+def run_fig7(config: Fig7Config = Fig7Config.scaled()) -> Fig7Result:
+    return reduce_fig7(config, run_cells(cells_fig7(config)))
 
 
 def format_fig7(result: Fig7Result) -> str:
@@ -263,3 +278,13 @@ def format_fig7(result: Fig7Result) -> str:
         if lines:
             blocks.append("\n".join(lines))
     return "\n\n".join(blocks)
+
+
+@register_experiment(name="fig7", config_cls=Fig7Config, reduce=reduce_fig7,
+                     format=format_fig7,
+                     description="Fig. 7: QoS on a 32-thread CMP")
+def cells_fig7(config: Fig7Config) -> List[Cell]:
+    """One cell per (ranking, scheme, N_subject) run."""
+    return [Cell("fig7", (scheme_name, ranking, n), _run_cell,
+                 (config, scheme_name, ranking, n))
+            for ranking, scheme_name, n in _grid(config)]

@@ -22,15 +22,16 @@ from typing import Dict, List, Tuple
 
 from ..analysis.associativity import aef
 from ..analysis.sizing import mean_absolute_deviation
-from ..cache.arrays import SetAssociativeArray
-from ..cache.cache import PartitionedCache
-from ..core.futility import CoarseTimestampLRURanking
+from ..api import build_cache
 from ..core.schemes.futility_scaling import FeedbackFutilityScalingScheme
+from ..runner import Cell, run_cells
 from ..sim.config import TABLE_II
 from ..sim.engine import MultiprogramSimulator
 from .common import DEFAULT_SCALE, format_table, mixed_traces
+from .registry import register_experiment
 
-__all__ = ["Fig8Config", "Fig8Cell", "Fig8Result", "run_fig8", "format_fig8"]
+__all__ = ["Fig8Config", "Fig8Cell", "Fig8Result", "cells_fig8",
+           "reduce_fig8", "run_fig8", "format_fig8"]
 
 
 @dataclass(frozen=True)
@@ -94,10 +95,10 @@ def _run_cell(config: Fig8Config, interval: int, ratio: float) -> Fig8Cell:
         config.trace_length, scale=config.workload_scale, seed=config.seed)
     scheme = FeedbackFutilityScalingScheme(interval_length=interval,
                                            changing_ratio=ratio)
-    cache = PartitionedCache(
-        SetAssociativeArray(config.total_lines, config.ways),
-        CoarseTimestampLRURanking(), scheme, 2, targets=targets,
-        deviation_partitions=[0])
+    cache = build_cache(array="set-assoc", num_lines=config.total_lines,
+                        ways=config.ways, ranking="coarse-ts-lru",
+                        scheme=scheme, num_partitions=2, targets=targets,
+                        deviation_partitions=[0])
     sim = MultiprogramSimulator(cache, traces, TABLE_II,
                                 instruction_limit=config.instruction_limit)
     result = sim.run()
@@ -109,17 +110,29 @@ def _run_cell(config: Fig8Config, interval: int, ratio: float) -> Fig8Cell:
         subject_ipc=result.threads[0].ipc)
 
 
-def run_fig8(config: Fig8Config = Fig8Config.scaled()) -> Fig8Result:
-    """Two one-dimensional sweeps through the paper's default point."""
-    cells: Dict[Tuple[int, float], Fig8Cell] = {}
+def _sweep_keys(config: Fig8Config) -> List[Tuple[int, float]]:
+    """Two one-dimensional sweeps through the paper's default point,
+    deduplicated in run order."""
+    keys: List[Tuple[int, float]] = []
     for interval in config.interval_lengths:
         key = (interval, config.default_ratio)
-        cells[key] = _run_cell(config, *key)
+        if key not in keys:
+            keys.append(key)
     for ratio in config.changing_ratios:
         key = (config.default_interval, ratio)
-        if key not in cells:
-            cells[key] = _run_cell(config, *key)
-    return Fig8Result(config=config, cells=cells)
+        if key not in keys:
+            keys.append(key)
+    return keys
+
+
+def reduce_fig8(config: Fig8Config, results: List[Fig8Cell]) -> Fig8Result:
+    return Fig8Result(config=config,
+                      cells=dict(zip(_sweep_keys(config), results)))
+
+
+def run_fig8(config: Fig8Config = Fig8Config.scaled()) -> Fig8Result:
+    """Two one-dimensional sweeps through the paper's default point."""
+    return reduce_fig8(config, run_cells(cells_fig8(config)))
 
 
 def format_fig8(result: Fig8Result) -> str:
@@ -145,3 +158,12 @@ def format_fig8(result: Fig8Result) -> str:
             [knob, "MAD (lines)", "MAD/target", "subject AEF", "subject IPC"],
             rows, title=title))
     return "\n\n".join(blocks)
+
+
+@register_experiment(name="fig8", config_cls=Fig8Config, reduce=reduce_fig8,
+                     format=format_fig8,
+                     description="Fig. 8: feedback-FS knob sensitivity")
+def cells_fig8(config: Fig8Config) -> List[Cell]:
+    """One cell per (interval length, changing ratio) setting."""
+    return [Cell("fig8", key, _run_cell, (config,) + key)
+            for key in _sweep_keys(config)]

@@ -1,0 +1,61 @@
+"""Table II: the simulated system configuration, as a registered experiment.
+
+Historically the CLI special-cased Table II outside the figure loop;
+registering it as a (single-cell, parameterless) :class:`ExperimentSpec`
+lets ``python -m repro.experiments all`` fold it into the same registry
+iteration as the figures, with the same caching and error handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..runner import Cell
+from ..sim.config import TABLE_II
+from .registry import register_experiment
+
+__all__ = ["TableIIConfig", "render_table_ii", "format_table_ii"]
+
+
+@dataclass(frozen=True)
+class TableIIConfig:
+    """Table II has no tunable parameters; every scale is identical."""
+
+    @classmethod
+    def paper(cls) -> "TableIIConfig":
+        return cls()
+
+    @classmethod
+    def scaled(cls) -> "TableIIConfig":
+        return cls()
+
+    @classmethod
+    def smoke(cls) -> "TableIIConfig":
+        return cls()
+
+
+def render_table_ii() -> str:
+    """The aligned two-column Table II text block."""
+    rows = TABLE_II.describe()
+    width = max(len(k) for k in rows)
+    return "Table II: System Configuration\n" + "\n".join(
+        f"  {k.ljust(width)}  {v}" for k, v in rows.items())
+
+
+def _render_cell(config: TableIIConfig) -> str:
+    return render_table_ii()
+
+
+def reduce_table_ii(config: TableIIConfig, results) -> str:
+    return results[0]
+
+
+def format_table_ii(result: str) -> str:
+    return result
+
+
+@register_experiment(name="tableII", config_cls=TableIIConfig,
+                     reduce=reduce_table_ii, format=format_table_ii,
+                     description="Table II: simulated system configuration")
+def cells_table_ii(config: TableIIConfig):
+    return [Cell("tableII", ("render",), _render_cell, (config,))]

@@ -1,0 +1,33 @@
+"""Experiment-execution engine: parallel cells with content-addressed memoization.
+
+The runner decomposes an experiment into independent :class:`Cell`\\ s,
+executes them inline or across a ``multiprocessing`` worker pool
+(:func:`run_cells`), memoizes each cell's result on disk keyed by a
+SHA-256 of its full configuration (:class:`ResultCache`), and streams
+per-cell progress to stderr (:class:`Progress`).  Reduction is ordered,
+so parallel runs produce byte-identical output to sequential runs; see
+:mod:`repro.experiments.registry` for how experiments plug in.
+"""
+
+from .cache import (
+    ResultCache,
+    canonical_encode,
+    cell_key,
+    code_version_salt,
+    default_cache_dir,
+)
+from .cells import Cell
+from .pool import default_jobs, run_cells
+from .progress import Progress
+
+__all__ = [
+    "Cell",
+    "Progress",
+    "ResultCache",
+    "canonical_encode",
+    "cell_key",
+    "code_version_salt",
+    "default_cache_dir",
+    "default_jobs",
+    "run_cells",
+]

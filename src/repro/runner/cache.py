@@ -1,0 +1,168 @@
+"""Content-addressed on-disk memoization of experiment cells.
+
+Every cell's result is stored under a key that is the SHA-256 of a
+canonical JSON encoding of the cell's full identity (experiment name,
+executing function, complete argument tuple including the config
+dataclass) plus a code-version salt.  Identical configs therefore hit
+the same entry across runs *and across processes*, while any change to
+the config, the sweep coordinates, the library version or the cache
+format produces a fresh key.  Interrupted sweeps resume instantly: only
+the missing cells execute on a rerun.
+
+Layout on disk (two-level fan-out to keep directories small)::
+
+    <cache-dir>/<key[:2]>/<key>.pkl
+
+Entries are pickled results written atomically (temp file + rename), so
+a killed run never leaves a truncated entry behind; unreadable entries
+are treated as misses and recomputed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .cells import Cell
+
+__all__ = [
+    "ResultCache",
+    "canonical_encode",
+    "cell_key",
+    "code_version_salt",
+    "default_cache_dir",
+]
+
+#: Bump to invalidate every existing cache entry after a format change.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable appended to the salt (tests use it to force
+#: invalidation without touching the library version).
+CACHE_SALT_ENV = "REPRO_CACHE_SALT"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-experiments``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-experiments"
+
+
+def code_version_salt() -> str:
+    """Version salt mixed into every cache key.
+
+    Combines the library version with the cache format version so
+    upgrading either invalidates stale entries wholesale.
+    """
+    from .. import __version__  # lazy: avoids a cycle at package init
+
+    salt = f"repro-{__version__}/cache-{CACHE_FORMAT_VERSION}"
+    extra = os.environ.get(CACHE_SALT_ENV)
+    return f"{salt}/{extra}" if extra else salt
+
+
+def canonical_encode(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-stable structure.
+
+    Supports the vocabulary experiment configs are built from: ``None``,
+    ``bool``, ``int``, ``float``, ``str``, tuples/lists, string-keyed
+    dicts and (nested) dataclasses.  Anything else raises
+    :class:`~repro.errors.ConfigurationError` — failing loudly beats
+    silently computing a wrong key.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [canonical_encode(v) for v in obj]
+    if isinstance(obj, dict):
+        for k in obj:
+            if not isinstance(k, str):
+                raise ConfigurationError(
+                    f"cache keys require string dict keys, got {k!r}")
+        return {k: canonical_encode(obj[k]) for k in sorted(obj)}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        return {
+            "__dataclass__": f"{cls.__module__}:{cls.__qualname__}",
+            "fields": {f.name: canonical_encode(getattr(obj, f.name))
+                       for f in dataclasses.fields(obj)},
+        }
+    raise ConfigurationError(
+        f"cannot canonically encode {type(obj).__name__!r} value {obj!r} "
+        f"for a cell cache key")
+
+
+def cell_key(cell: Cell, salt: Optional[str] = None) -> str:
+    """SHA-256 hex key for a cell: canonical JSON of its fingerprint."""
+    payload = {
+        "salt": salt if salt is not None else code_version_salt(),
+        "cell": canonical_encode(cell.fingerprint()),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Pickle store addressed by :func:`cell_key` hashes."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)``; unreadable/corrupt entries count as misses."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                return True, pickle.load(fh)
+        except FileNotFoundError:
+            return False, None
+        except Exception:  # truncated/corrupt entry: recompute
+            return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically persist ``value`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                   prefix=f".{key[:8]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def purge(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for entry in self.root.glob("*/*.pkl"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,148 @@
+"""Parallel, cached execution of experiment cells with an ordered reduce.
+
+:func:`run_cells` is the single entry point.  It resolves cache hits in
+the parent, fans the remaining cells out across a process pool
+(``jobs > 1``) or runs them inline (``jobs == 1``), persists every
+freshly computed result to the cache *as it completes* (so an
+interrupted sweep resumes from where it died), and returns results in
+cell order — the reduce step therefore sees the exact sequence a
+sequential run would have produced, making parallel output
+byte-identical to sequential output.
+
+Determinism: before executing a cell, the runner reseeds the global
+``random`` and ``numpy.random`` generators from the cell's
+content-addressed key.  This happens identically inline and in workers,
+so a cell that (incorrectly) reaches for global randomness still cannot
+diverge between ``--jobs 1`` and ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError, WorkerError
+from .cache import ResultCache, cell_key
+from .cells import Cell
+from .progress import Progress
+
+__all__ = ["run_cells", "default_jobs"]
+
+_PENDING = object()
+
+
+def default_jobs() -> int:
+    """Default worker count: ``os.cpu_count()``."""
+    return os.cpu_count() or 1
+
+
+def _seed_from_key(key: str) -> None:
+    """Deterministically reseed global RNGs for one cell.
+
+    Cells are expected to derive their own seeded ``random.Random`` from
+    their config; this is belt-and-braces so global-state randomness can
+    never differ between sequential and parallel execution.
+    """
+    seed = int(key[:16], 16)
+    random.seed(seed)
+    try:
+        import numpy as np
+
+        np.random.seed(seed & 0xFFFFFFFF)
+    except ImportError:  # numpy is a hard dep, but stay defensive
+        pass
+
+
+def _execute(payload: Tuple[int, str, Cell]) -> Tuple[int, float, Any]:
+    """Worker body: run one cell, returning (index, elapsed, result)."""
+    index, key, cell = payload
+    _seed_from_key(key)
+    start = time.perf_counter()
+    result = cell.run()
+    return index, time.perf_counter() - start, result
+
+
+def run_cells(cells: Sequence[Cell], *, jobs: int = 1,
+              cache: Optional[ResultCache] = None, force: bool = False,
+              progress: Optional[Progress] = None) -> List[Any]:
+    """Execute ``cells`` and return their results in cell order.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) runs inline; ``None`` or
+        ``0`` means :func:`default_jobs`.
+    cache:
+        Optional :class:`ResultCache`.  Hits short-circuit execution;
+        fresh results are persisted as soon as each cell completes.
+    force:
+        Ignore (and overwrite) existing cache entries.
+    progress:
+        Optional :class:`~repro.runner.progress.Progress` receiving one
+        line per completed cell on stderr.
+    """
+    jobs = jobs or default_jobs()
+    if jobs < 1:
+        jobs = default_jobs()
+    cells = list(cells)
+    keys = [cell_key(cell) for cell in cells]
+    results: List[Any] = [_PENDING] * len(cells)
+    if progress is not None:
+        progress.begin(len(cells))
+
+    pending: List[int] = []
+    for i, cell in enumerate(cells):
+        if cache is not None and not force:
+            hit, value = cache.get(keys[i])
+            if hit:
+                results[i] = value
+                if progress is not None:
+                    progress.cell(cell, cached=True)
+                continue
+        pending.append(i)
+
+    if pending and (jobs == 1 or len(pending) == 1):
+        for i in pending:
+            _, elapsed, value = _execute((i, keys[i], cells[i]))
+            results[i] = value
+            if cache is not None:
+                cache.put(keys[i], value)
+            if progress is not None:
+                progress.cell(cells[i], elapsed=elapsed)
+    elif pending:
+        errors: List[Tuple[int, BaseException]] = []
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as ex:
+            futures = {ex.submit(_execute, (i, keys[i], cells[i])): i
+                       for i in pending}
+            for future in as_completed(futures):
+                i = futures[future]
+                try:
+                    _, elapsed, value = future.result()
+                except BaseException as exc:  # noqa: BLE001 — reported below
+                    errors.append((i, exc))
+                    continue
+                results[i] = value
+                # Persist immediately: an interrupt later in the sweep
+                # must not lose cells that already finished.
+                if cache is not None:
+                    cache.put(keys[i], value)
+                if progress is not None:
+                    progress.cell(cells[i], elapsed=elapsed)
+        if errors:
+            errors.sort(key=lambda pair: pair[0])
+            index, exc = errors[0]
+            if isinstance(exc, ReproError):
+                raise exc
+            raise WorkerError(
+                f"cell {cells[index].label} failed in worker: "
+                f"{type(exc).__name__}: {exc}") from exc
+
+    missing = [i for i, r in enumerate(results) if r is _PENDING]
+    if missing:  # defensive: should be unreachable
+        raise WorkerError(
+            f"{len(missing)} cell(s) produced no result "
+            f"(first: {cells[missing[0]].label})")
+    return results

@@ -1,0 +1,43 @@
+"""Per-cell progress/timing lines on stderr.
+
+Figure tables go to stdout and must be byte-identical regardless of
+``--jobs`` or cache state; everything run-dependent (timings, cache
+hits, completion counters) therefore streams here instead.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+from .cells import Cell
+
+__all__ = ["Progress"]
+
+
+class Progress:
+    """Emit one ``[experiment done/total] label: status`` line per cell."""
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 enabled: bool = True) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self._done = 0
+        self._total = 0
+
+    def begin(self, total: int) -> None:
+        """Reset counters for a sweep of ``total`` cells."""
+        self._done = 0
+        self._total = total
+
+    def cell(self, cell: Cell, *, elapsed: Optional[float] = None,
+             cached: bool = False) -> None:
+        """Record one completed cell (freshly run or served from cache)."""
+        self._done += 1
+        status = "cached" if cached else f"{elapsed:.2f}s"
+        self.emit(f"[{cell.experiment} {self._done}/{self._total}] "
+                  f"{cell.label}: {status}")
+
+    def emit(self, message: str) -> None:
+        if self.enabled:
+            print(message, file=self.stream, flush=True)

@@ -1,0 +1,61 @@
+"""Module-level cell functions for runner tests.
+
+Cells are pickled by reference into worker processes, so test cell
+bodies must live at module scope (not inside test functions).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+
+from repro.runner import Cell
+
+
+def square(config, x):
+    return x * x
+
+
+def touch_and_return(sentinel_dir, name, value):
+    """Record that this cell executed, then return ``value``."""
+    Path(sentinel_dir, name).write_text("ran")
+    return value
+
+
+def raise_value_error(message):
+    raise ValueError(message)
+
+
+def raise_configuration_error(message):
+    from repro.errors import ConfigurationError
+    raise ConfigurationError(message)
+
+
+def kill_after_peers(sentinel_dir, peers):
+    """Wait until every peer cell has recorded execution, then die hard
+    (simulating a worker killed mid-sweep)."""
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        if all(Path(sentinel_dir, p).exists() for p in peers):
+            break
+        time.sleep(0.01)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def kill_after_cached(cache_root, count):
+    """Die hard once the parent has persisted ``count`` cache entries.
+
+    Polling the cache (not execution sentinels) makes the interrupt test
+    deterministic: peers' results are on disk, not merely in flight."""
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        if len(list(Path(cache_root).rglob("*.pkl"))) >= count:
+            break
+        time.sleep(0.01)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def square_cells(n, config=None):
+    return [Cell("squares", (i,), square, (config, i)) for i in range(n)]

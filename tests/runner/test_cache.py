@@ -1,0 +1,141 @@
+"""Content-addressed cell cache: key canonicalization and storage."""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import (
+    Cell,
+    ResultCache,
+    canonical_encode,
+    cell_key,
+    default_cache_dir,
+    run_cells,
+)
+
+from .helpers import square, touch_and_return
+
+
+@dataclass(frozen=True)
+class DemoConfig:
+    lines: int = 128
+    splits: tuple = ((0.9, 0.1), (0.5, 0.5))
+    name: str = "demo"
+    flag: bool = True
+
+
+def demo_cell(x: int = 3) -> Cell:
+    return Cell("demo", ("a", x), square, (DemoConfig(), x))
+
+
+class TestCanonicalEncode:
+    def test_primitives_pass_through(self):
+        assert canonical_encode(3) == 3
+        assert canonical_encode(0.5) == 0.5
+        assert canonical_encode("s") == "s"
+        assert canonical_encode(None) is None
+        assert canonical_encode(True) is True
+
+    def test_tuples_and_lists_equivalent(self):
+        assert canonical_encode((1, 2)) == canonical_encode([1, 2])
+
+    def test_dict_keys_sorted(self):
+        enc = canonical_encode({"b": 1, "a": 2})
+        assert list(enc) == ["a", "b"]
+
+    def test_dataclass_includes_type_and_fields(self):
+        enc = canonical_encode(DemoConfig())
+        assert "DemoConfig" in enc["__dataclass__"]
+        assert enc["fields"]["lines"] == 128
+        assert enc["fields"]["splits"] == [[0.9, 0.1], [0.5, 0.5]]
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(ConfigurationError):
+            canonical_encode(object())
+        with pytest.raises(ConfigurationError):
+            canonical_encode({1: "non-string key"})
+
+
+class TestCellKey:
+    def test_stable_within_process(self):
+        assert cell_key(demo_cell()) == cell_key(demo_cell())
+
+    def test_stable_across_processes(self):
+        """The key must be reproducible in a different interpreter —
+        resumption depends on it."""
+        with ProcessPoolExecutor(max_workers=1) as ex:
+            child_key = ex.submit(cell_key, demo_cell()).result()
+        assert child_key == cell_key(demo_cell())
+
+    def test_sensitive_to_config(self):
+        a = Cell("demo", ("a", 3), square, (DemoConfig(lines=128), 3))
+        b = Cell("demo", ("a", 3), square, (DemoConfig(lines=256), 3))
+        assert cell_key(a) != cell_key(b)
+
+    def test_sensitive_to_salt(self):
+        key = cell_key(demo_cell())
+        assert cell_key(demo_cell(), salt="other") != key
+
+    def test_sensitive_to_function(self):
+        a = Cell("demo", ("a", 3), square, (DemoConfig(), 3))
+        b = Cell("demo", ("a", 3), touch_and_return, (DemoConfig(), 3))
+        assert cell_key(a) != cell_key(b)
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cell_key(demo_cell())
+        assert cache.get(key) == (False, None)
+        cache.put(key, {"x": [1, 2, 3]})
+        assert key in cache
+        assert cache.get(key) == (True, {"x": [1, 2, 3]})
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cell_key(demo_cell())
+        cache.put(key, "value")
+        cache.path_for(key).write_bytes(b"\x80truncated garbage")
+        assert cache.get(key) == (False, None)
+
+    def test_purge(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for x in range(3):
+            cache.put(cell_key(demo_cell(x)), x)
+        assert cache.purge() == 3
+        assert len(cache) == 0
+
+    def test_default_dir_honors_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+
+class TestCacheShortCircuit:
+    def test_hit_skips_execution(self, tmp_path):
+        sentinels = tmp_path / "s"
+        sentinels.mkdir()
+        cache = ResultCache(tmp_path / "cache")
+        cells = [Cell("t", (i,), touch_and_return,
+                      (str(sentinels), f"c{i}", i)) for i in range(3)]
+        assert run_cells(cells, cache=cache) == [0, 1, 2]
+        # Wipe the execution record; a cached rerun must not recreate it.
+        for f in sentinels.iterdir():
+            f.unlink()
+        assert run_cells(cells, cache=cache) == [0, 1, 2]
+        assert list(sentinels.iterdir()) == []
+
+    def test_force_reexecutes(self, tmp_path):
+        sentinels = tmp_path / "s"
+        sentinels.mkdir()
+        cache = ResultCache(tmp_path / "cache")
+        cells = [Cell("t", (0,), touch_and_return,
+                      (str(sentinels), "c0", 7))]
+        run_cells(cells, cache=cache)
+        (sentinels / "c0").unlink()
+        assert run_cells(cells, cache=cache, force=True) == [7]
+        assert (sentinels / "c0").exists()

@@ -1,0 +1,79 @@
+"""Worker-pool semantics: ordering, errors, interrupt resumption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkerError
+from repro.runner import Cell, Progress, ResultCache, run_cells
+
+from .helpers import (
+    kill_after_cached,
+    raise_configuration_error,
+    raise_value_error,
+    square_cells,
+    touch_and_return,
+)
+
+
+class TestOrderingAndJobs:
+    def test_sequential_matches_parallel(self):
+        cells = square_cells(8)
+        assert run_cells(cells, jobs=1) == run_cells(cells, jobs=2)
+
+    def test_results_are_in_cell_order(self):
+        assert run_cells(square_cells(5), jobs=4) == [0, 1, 4, 9, 16]
+
+    def test_jobs_zero_means_cpu_count(self):
+        assert run_cells(square_cells(2), jobs=0) == [0, 1]
+
+    def test_empty_sweep(self):
+        assert run_cells([], jobs=4) == []
+
+    def test_progress_counts_every_cell(self, capsys):
+        import sys
+
+        run_cells(square_cells(3), progress=Progress(sys.stderr))
+        err = capsys.readouterr().err
+        assert "[squares 1/3]" in err
+        assert "[squares 3/3]" in err
+
+
+class TestErrorPropagation:
+    def test_library_errors_unwrapped_parallel(self):
+        cells = square_cells(2) + [
+            Cell("t", ("boom",), raise_configuration_error, ("bad knob",))]
+        with pytest.raises(ConfigurationError, match="bad knob"):
+            run_cells(cells, jobs=2)
+
+    def test_foreign_errors_wrapped(self):
+        cells = [Cell("t", ("boom",), raise_value_error, ("oops",))]
+        with pytest.raises(ValueError, match="oops"):
+            run_cells(cells, jobs=1)
+        with pytest.raises(WorkerError, match="oops"):
+            run_cells(cells + square_cells(1), jobs=2)
+
+
+class TestResumeAfterInterrupt:
+    def test_killed_worker_loses_only_its_cell(self, tmp_path):
+        """Kill a worker mid-sweep; rerun must execute only the missing
+        cell and still produce the full ordered result."""
+        sentinels = tmp_path / "s"
+        sentinels.mkdir()
+        cache = ResultCache(tmp_path / "cache")
+        good = [Cell("t", (i,), touch_and_return, (str(sentinels), f"c{i}", i))
+                for i in range(3)]
+        killer = Cell("t", (3,), kill_after_cached,
+                      (str(tmp_path / "cache"), 3))
+
+        with pytest.raises(WorkerError):
+            run_cells(good + [killer], jobs=2, cache=cache)
+        # Every completed cell was persisted before the crash surfaced.
+        assert len(cache) == 3
+
+        # "Fix" the broken cell and rerun: only it may execute.
+        for f in sentinels.iterdir():
+            f.unlink()
+        fixed = Cell("t", (3,), touch_and_return, (str(sentinels), "c3", 3))
+        assert run_cells(good + [fixed], jobs=2, cache=cache) == [0, 1, 2, 3]
+        assert [f.name for f in sentinels.iterdir()] == ["c3"]

@@ -1,0 +1,93 @@
+"""The stable build_cache/build_array facade and its validation."""
+
+import pytest
+
+import repro
+from repro import build_array, build_cache
+from repro.cache.arrays import SetAssociativeArray, SkewAssociativeArray
+from repro.cache.cache import PartitionedCache
+from repro.core.futility import make_ranking
+from repro.core.schemes.base import make_scheme
+from repro.errors import ConfigurationError
+
+
+class TestBuildArray:
+    def test_by_name(self):
+        array = build_array("set-assoc", 256, ways=8)
+        assert isinstance(array, SetAssociativeArray)
+        assert array.num_lines == 256
+
+    def test_instance_passthrough(self):
+        array = SkewAssociativeArray(128, 4)
+        assert build_array(array) is array
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="zcache"):
+            build_array("z-cache", 128)
+
+    def test_name_requires_num_lines(self):
+        with pytest.raises(ConfigurationError, match="num_lines"):
+            build_array("set-assoc")
+
+    def test_rejects_non_array_object(self):
+        with pytest.raises(ConfigurationError, match="CacheArray"):
+            build_array(42)
+
+
+class TestBuildCache:
+    def test_all_names(self):
+        cache = build_cache(array="set-assoc", num_lines=256, ways=8,
+                            ranking="lru", scheme="fs-feedback",
+                            targets=[64, 64])
+        assert isinstance(cache, PartitionedCache)
+        assert cache.num_partitions == 2
+
+    def test_all_instances(self):
+        cache = build_cache(array=SetAssociativeArray(256, 8),
+                            ranking=make_ranking("lfu"),
+                            scheme=make_scheme("fs"),
+                            num_partitions=4)
+        assert cache.num_partitions == 4
+
+    def test_partitions_inferred_from_targets(self):
+        cache = build_cache(array="set-assoc", num_lines=512,
+                            targets=[100, 100, 100])
+        assert cache.num_partitions == 3
+
+    def test_requires_partitions_or_targets(self):
+        with pytest.raises(ConfigurationError, match="num_partitions"):
+            build_cache(array="set-assoc", num_lines=256)
+
+    def test_rejects_target_count_mismatch(self):
+        with pytest.raises(ConfigurationError, match="2 entries"):
+            build_cache(array="set-assoc", num_lines=256,
+                        num_partitions=3, targets=[64, 64])
+
+    def test_rejects_negative_targets(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            build_cache(array="set-assoc", num_lines=256, targets=[-1, 64])
+
+    def test_rejects_oversubscribed_targets(self):
+        with pytest.raises(ConfigurationError, match="only 256"):
+            build_cache(array="set-assoc", num_lines=256, targets=[200, 200])
+
+    def test_rejects_wrong_ranking_type(self):
+        with pytest.raises(ConfigurationError, match="FutilityRanking"):
+            build_cache(array="set-assoc", num_lines=256,
+                        ranking=object(), num_partitions=2)
+
+    def test_rejects_wrong_scheme_type(self):
+        with pytest.raises(ConfigurationError, match="PartitioningScheme"):
+            build_cache(array="set-assoc", num_lines=256,
+                        scheme=3.14, num_partitions=2)
+
+    def test_unknown_ranking_name(self):
+        with pytest.raises(ConfigurationError):
+            build_cache(array="set-assoc", num_lines=256,
+                        ranking="mru", num_partitions=2)
+
+
+def test_facade_exported_at_top_level():
+    assert repro.build_cache is build_cache
+    assert repro.build_array is build_array
+    assert "build_cache" in repro.__all__
