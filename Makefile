@@ -1,7 +1,12 @@
 # Convenience targets for the futility-scaling reproduction.
 
 .PHONY: install test bench bench-smoke bench-paper figures \
-	figures-parallel report examples clean clean-cache
+	figures-parallel report examples lint typecheck check \
+	clean clean-cache
+
+# PYTHONPATH=src keeps every target usable from a bare checkout
+# (no editable install required), matching the tier-1 test invocation.
+PY := PYTHONPATH=src python
 
 install:
 	pip install -e . || python setup.py develop
@@ -29,8 +34,31 @@ figures-parallel:
 report:
 	python -m repro.analysis.report benchmarks/results REPORT.md
 
+# Static analysis (hard CI gates; see CONTRIBUTING.md).
+# reprolint always runs (in-tree, zero deps).  ruff and mypy run when
+# installed (`pip install -e .[dev]`) and are skipped — loudly — when
+# not, so offline checkouts aren't blocked; CI always installs both.
+lint:
+	$(PY) -m repro.devtools.lint src
+	@if python -c "import ruff" >/dev/null 2>&1; then \
+		python -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed (pip install -e .[dev]); skipping"; \
+	fi
+
+typecheck:
+	@if python -c "import mypy" >/dev/null 2>&1; then \
+		PYTHONPATH=src python -m mypy -m repro.api -p repro.runner \
+			-m repro.experiments.registry; \
+	else \
+		echo "mypy not installed (pip install -e .[dev]); skipping"; \
+	fi
+
+check: test lint typecheck
+
 examples:
-	for f in examples/*.py; do echo "== $$f"; python "$$f" || exit 1; done
+	for f in examples/*.py; do echo "== $$f"; \
+		PYTHONPATH=src:$$PYTHONPATH python "$$f" || exit 1; done
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks

@@ -48,8 +48,16 @@ _TITLES = {
 
 def build_report(results_dir: Union[str, Path],
                  title: str = "Futility Scaling reproduction — "
-                              "regenerated results") -> str:
-    """Collate every saved result table into one markdown document."""
+                              "regenerated results",
+                 generated: Optional[str] = None) -> str:
+    """Collate every saved result table into one markdown document.
+
+    ``build_report`` is a pure function of the result tables on disk:
+    it never reads the wall clock, so regenerating a report from the
+    same tables is byte-identical.  Pass ``generated`` (e.g. an ISO
+    date) to stamp the header; the CLI does this by default and offers
+    ``--no-date`` for reproducible output.
+    """
     results_dir = Path(results_dir)
     if not results_dir.is_dir():
         raise ConfigurationError(f"{results_dir} is not a directory")
@@ -59,9 +67,9 @@ def build_report(results_dir: Union[str, Path],
     ordered: List[str] = [name for name in _SECTION_ORDER
                           if name in available]
     ordered += [name for name in sorted(available) if name not in ordered]
+    stamp = f"Generated {generated} from " if generated else "Generated from "
     parts = [f"# {title}", "",
-             f"Generated {date.today().isoformat()} from "
-             f"`{results_dir}` ({len(ordered)} result tables).", ""]
+             f"{stamp}`{results_dir}` ({len(ordered)} result tables).", ""]
     for name in ordered:
         parts.append(f"## {_TITLES.get(name, name)}")
         parts.append("")
@@ -75,11 +83,18 @@ def build_report(results_dir: Union[str, Path],
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point: collate result tables into one markdown file."""
     args = list(sys.argv[1:] if argv is None else argv)
+    no_date = "--no-date" in args
+    if no_date:
+        args.remove("--no-date")
     if not 1 <= len(args) <= 2:
         print("usage: python -m repro.analysis.report "
-              "<results-dir> [output.md]", file=sys.stderr)
+              "[--no-date] <results-dir> [output.md]", file=sys.stderr)
         return 2
-    report = build_report(args[0])
+    # Presentation-only stamp on the human-facing document; results and
+    # cache keys never see it, and --no-date restores byte-stable output.
+    generated = None if no_date else \
+        date.today().isoformat()  # reprolint: disable=DET002
+    report = build_report(args[0], generated=generated)
     if len(args) == 2:
         Path(args[1]).write_text(report)
         print(f"wrote {args[1]}")

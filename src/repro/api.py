@@ -19,7 +19,7 @@ Example::
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Any, Callable, Dict, Optional, Sequence, Union
 
 from .cache.arrays import (
     CacheArray,
@@ -39,7 +39,7 @@ __all__ = ["ARRAY_KINDS", "build_array", "build_cache"]
 
 #: Array registry: name -> constructor taking (num_lines, ways,
 #: candidates, seed) and using whichever parameters apply.
-ARRAY_KINDS = {
+ARRAY_KINDS: Dict[str, Callable[[int, int, int, int], CacheArray]] = {
     "set-assoc": lambda n, ways, cand, seed: SetAssociativeArray(n, ways),
     "random": lambda n, ways, cand, seed: RandomCandidatesArray(
         n, cand, seed=seed),
@@ -87,7 +87,7 @@ def build_cache(*, array: Union[str, CacheArray],
                 targets: Optional[Sequence[int]] = None,
                 num_lines: Optional[int] = None, ways: int = 16,
                 candidates: int = 16, seed: int = 0,
-                **cache_kwargs) -> PartitionedCache:
+                **cache_kwargs: Any) -> PartitionedCache:
     """Build a :class:`PartitionedCache` from names or instances.
 
     Parameters

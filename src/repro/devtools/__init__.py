@@ -1,0 +1,15 @@
+"""Developer tooling for the futility-scaling reproduction.
+
+Currently one subsystem: :mod:`repro.devtools.lint` ("reprolint"), an
+AST-based determinism and correctness analyzer enforcing the invariants
+the experiment pipeline depends on (content-addressed cache soundness,
+byte-identical ``--jobs N`` output).  Run it with::
+
+    python -m repro.devtools.lint src
+
+See CONTRIBUTING.md for the ruleset and suppression syntax.
+"""
+
+from . import lint
+
+__all__ = ["lint"]

@@ -1,0 +1,393 @@
+"""The built-in reprolint ruleset.
+
+Determinism rules (``DET``) enforce the invariants the runner's
+content-addressed cache and byte-identical ``--jobs N`` output depend
+on (:mod:`repro.runner`); correctness rules (``COR``) catch classic
+Python footguns in simulation code.  Rule IDs are stable: never reuse
+or renumber a published ID — retire it and mint the next number.
+
+See CONTRIBUTING.md for the user-facing documentation of every rule,
+and ``tests/devtools/fixtures/`` for the canonical tripping /
+non-tripping examples.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Optional, Set
+
+from .core import FileContext, Finding, Rule, dotted_name, register_rule
+
+__all__ = [
+    "BareExceptRule",
+    "FloatEqualityRule",
+    "MutableDefaultRule",
+    "UnorderedIterationRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+]
+
+
+def _call_has_arguments(node: ast.Call) -> bool:
+    return bool(node.args or node.keywords)
+
+
+@register_rule
+class UnseededRandomRule(Rule):
+    """DET001: RNGs must be constructed from an explicit seed.
+
+    An unseeded ``random.Random()`` / ``np.random.default_rng()`` (or
+    any use of the process-global ``random.*`` / ``np.random.*``
+    generators) makes a cell's output depend on interpreter state, so
+    identical configs can cache different results and ``--jobs N``
+    stdout can diverge from ``--jobs 1``.  The one sanctioned global
+    reseed lives in ``repro/runner/pool.py``.
+    """
+
+    rule_id = "DET001"
+    summary = ("unseeded RNG construction or module-level global RNG use "
+               "(derive every generator from a config seed)")
+    allow = ("repro/runner/pool.py",)
+
+    #: ``random`` module functions operating on the shared global RNG.
+    GLOBAL_RANDOM: FrozenSet[str] = frozenset({
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+        "randbytes", "randint", "random", "randrange", "sample", "seed",
+        "shuffle", "triangular", "uniform", "vonmisesvariate",
+        "weibullvariate",
+    })
+    #: ``numpy.random`` module functions operating on the legacy global
+    #: RandomState.
+    GLOBAL_NUMPY: FrozenSet[str] = frozenset({
+        "binomial", "choice", "exponential", "normal", "permutation",
+        "poisson", "rand", "randint", "randn", "random", "random_sample",
+        "seed", "shuffle", "standard_normal", "uniform",
+    })
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = dotted_name(node.func, ctx.aliases)
+            if qual is None:
+                continue
+            if qual == "random.Random" and not _call_has_arguments(node):
+                yield self.finding(
+                    ctx, node,
+                    "random.Random() constructed without a seed; pass a "
+                    "seed derived from the experiment config")
+            elif qual == "random.SystemRandom":
+                yield self.finding(
+                    ctx, node,
+                    "random.SystemRandom is OS-entropy-backed and can "
+                    "never be reproduced; use a seeded random.Random")
+            elif (qual in ("numpy.random.default_rng",
+                           "numpy.random.RandomState")
+                  and not _call_has_arguments(node)):
+                yield self.finding(
+                    ctx, node,
+                    f"{qual}() constructed without a seed; pass a seed "
+                    f"derived from the experiment config")
+            elif qual.startswith("random.") and qual.split(".")[1] in \
+                    self.GLOBAL_RANDOM and len(qual.split(".")) == 2:
+                yield self.finding(
+                    ctx, node,
+                    f"{qual}() uses the process-global RNG; derive a "
+                    f"seeded random.Random from the config instead")
+            elif (qual.startswith("numpy.random.")
+                  and qual.split(".")[2] in self.GLOBAL_NUMPY
+                  and len(qual.split(".")) == 3):
+                yield self.finding(
+                    ctx, node,
+                    f"np.random.{qual.split('.')[2]}() uses the legacy "
+                    f"global RandomState; use np.random.default_rng(seed)")
+
+
+@register_rule
+class WallClockRule(Rule):
+    """DET002: wall-clock reads must stay out of result-producing code.
+
+    ``time.time()`` / ``datetime.now()`` values that leak into a cell
+    result or a cache key make reruns non-reproducible and cache
+    entries unsound.  Monotonic interval timing (``time.perf_counter``,
+    ``time.monotonic``) is deliberately *not* flagged: the runner uses
+    it for per-cell timings that stream to stderr, never into results.
+    The CLI's progress/timing path in ``repro/experiments/__main__.py``
+    is the one sanctioned wall-clock site.
+    """
+
+    rule_id = "DET002"
+    summary = ("wall-clock read (time.time / datetime.now) in code that "
+               "may feed results or cache keys")
+    allow = ("repro/experiments/__main__.py",)
+
+    WALL_CLOCK: FrozenSet[str] = frozenset({
+        "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+        "time.ctime", "time.strftime",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    })
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = dotted_name(node.func, ctx.aliases)
+            if qual in self.WALL_CLOCK:
+                yield self.finding(
+                    ctx, node,
+                    f"{qual}() reads the wall clock; results and cache "
+                    f"keys must be pure functions of config + seed "
+                    f"(use time.perf_counter for stderr-only timings)")
+
+
+#: Builtins whose single-argument call we look through when judging an
+#: iteration target (``enumerate(set(...))`` is still set iteration).
+_TRANSPARENT_WRAPPERS = frozenset({"enumerate", "list", "tuple", "iter"})
+
+#: Set methods that return another (unordered) set.
+_SET_RETURNING_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    """DET003: don't iterate unordered collections into output.
+
+    Set iteration order depends on hash randomization and insertion
+    history, so any serialized output derived from it can differ
+    between runs.  Iterating ``d.keys()`` (rather than ``sorted(d)``)
+    is flagged for the same reason: the dict's insertion order is an
+    accident of code path, not a stable contract for rendered output.
+    Wrap the iterable in ``sorted(...)`` or suppress where order
+    provably never reaches serialized output.
+    """
+
+    rule_id = "DET003"
+    summary = ("iteration over a set / dict view that may feed "
+               "order-sensitive output; wrap in sorted(...)")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        set_names = self._set_valued_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.For):
+                targets.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                targets.extend(gen.iter for gen in node.generators)
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Attribute)
+                  and node.func.attr == "join" and len(node.args) == 1):
+                targets.append(node.args[0])
+            for target in targets:
+                unwrapped = self._unwrap(target)
+                reason = self._unordered_reason(unwrapped, set_names)
+                if reason is not None:
+                    yield self.finding(
+                        ctx, target,
+                        f"iterating {reason} has no deterministic order; "
+                        f"wrap it in sorted(...) if the order can reach "
+                        f"serialized output")
+
+    @staticmethod
+    def _unwrap(node: ast.expr) -> ast.expr:
+        while (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+               and node.func.id in _TRANSPARENT_WRAPPERS
+               and len(node.args) >= 1):
+            node = node.args[0]
+        return node
+
+    @staticmethod
+    def _set_valued_names(tree: ast.Module) -> Set[str]:
+        """Names bound (anywhere in the file) to an obvious set value.
+
+        A deliberately shallow, file-wide binding scan: precise scope
+        analysis is not worth the complexity for a lint heuristic, and
+        a name that holds a set in *any* scope is worth a second look
+        in every scope.
+        """
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                value = node.value
+                if UnorderedIterationRule._is_set_expr(value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+        return names
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                    "set", "frozenset"):
+                return True
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _SET_RETURNING_METHODS):
+                return False  # receiver type unknown; stay conservative
+        return False
+
+    def _unordered_reason(self, node: ast.expr,
+                          set_names: Set[str]) -> Optional[str]:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set literal"
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                    "set", "frozenset"):
+                return f"a {node.func.id}(...)"
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "keys" and not node.args):
+                return "a dict .keys() view"
+        if isinstance(node, ast.Name) and node.id in set_names:
+            return f"{node.id!r} (bound to a set in this file)"
+        return None
+
+
+#: Callables whose result is float-typed for COR001 evidence purposes.
+_FLOAT_CALLS = frozenset({
+    "float", "math.sqrt", "math.exp", "math.log", "math.log2", "math.log10",
+    "math.sin", "math.cos", "math.tan", "math.pow", "math.fsum",
+    "math.hypot", "math.fabs",
+})
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    """COR001: exact ``==`` / ``!=`` on floating-point values.
+
+    Scoped to the numeric heart of the library (``repro/core/``,
+    ``repro/analysis/``) where an exact comparison against a computed
+    float is almost always a latent bug — use ``math.isclose`` (as
+    ``repro/core/scaling.py`` does at its feasibility bound) or an
+    explicit tolerance.
+    """
+
+    rule_id = "COR001"
+    summary = ("float == / != comparison in numeric code; use "
+               "math.isclose or an explicit tolerance")
+    include = ("repro/core/", "repro/analysis/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if self._floatish(left, ctx) or self._floatish(right, ctx):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        ctx, node,
+                        f"exact float {symbol} comparison; use "
+                        f"math.isclose(..) or compare against a tolerance")
+
+    def _floatish(self, node: ast.expr, ctx: FileContext) -> bool:
+        """Syntactic evidence that ``node`` is float-typed."""
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.UnaryOp):
+            return self._floatish(node.operand, ctx)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            return self._floatish(node.left, ctx) or \
+                self._floatish(node.right, ctx)
+        if isinstance(node, ast.Call):
+            qual = dotted_name(node.func, ctx.aliases)
+            if qual in _FLOAT_CALLS:
+                return True
+            if isinstance(node.func, ast.Name) and node.func.id == "float":
+                return True
+        return False
+
+
+#: Constructors producing freshly-mutable containers.
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "collections.defaultdict", "collections.OrderedDict",
+    "collections.Counter", "collections.deque",
+})
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """COR002: mutable default argument values.
+
+    The default is evaluated once at ``def`` time and shared across
+    every call — state leaks between calls (and between experiment
+    cells sharing a worker process).  Use ``None`` plus an in-body
+    default, or an immutable tuple.
+    """
+
+    rule_id = "COR002"
+    summary = "mutable default argument (list/dict/set/... evaluated once)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            args = node.args
+            positional = list(args.posonlyargs) + list(args.args)
+            defaulted = positional[len(positional) - len(args.defaults):]
+            pairs = list(zip(defaulted, args.defaults))
+            pairs.extend((arg, default) for arg, default
+                         in zip(args.kwonlyargs, args.kw_defaults)
+                         if default is not None)
+            for arg, default in pairs:
+                reason = self._mutable_reason(default, ctx)
+                if reason is not None:
+                    yield self.finding(
+                        ctx, default,
+                        f"argument {arg.arg!r} defaults to {reason}, "
+                        f"evaluated once and shared across calls; use "
+                        f"None (or a tuple) and build it in the body")
+
+    @staticmethod
+    def _mutable_reason(node: ast.expr, ctx: FileContext) -> Optional[str]:
+        if isinstance(node, ast.List):
+            return "a list literal"
+        if isinstance(node, ast.Dict):
+            return "a dict literal"
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+            return "a comprehension"
+        if isinstance(node, ast.Call):
+            qual = dotted_name(node.func, ctx.aliases)
+            if qual in _MUTABLE_CALLS:
+                return f"{qual}()"
+            if isinstance(node.func, ast.Name) and \
+                    node.func.id in _MUTABLE_CALLS:
+                return f"{node.func.id}()"
+        return None
+
+
+@register_rule
+class BareExceptRule(Rule):
+    """COR003: bare ``except:`` clauses.
+
+    A bare handler swallows ``KeyboardInterrupt`` / ``SystemExit`` and
+    every library error alike, turning interrupted sweeps into silent
+    data corruption.  Catch a concrete class (the library's exceptions
+    all derive from :class:`repro.errors.ReproError`), or at minimum
+    ``Exception``.
+    """
+
+    rule_id = "COR003"
+    summary = "bare except: clause (catches KeyboardInterrupt/SystemExit)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare 'except:' also catches KeyboardInterrupt and "
+                    "SystemExit; name a concrete exception class")

@@ -24,7 +24,7 @@ sweep through :func:`repro.runner.run_cells`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Type
 
 from ..errors import ConfigurationError
 from ..runner import Cell, Progress, ResultCache, run_cells
@@ -38,6 +38,9 @@ __all__ = [
     "experiment_names",
     "iter_experiments",
 ]
+
+#: Signature of a spec's sweep-decomposition hook.
+CellsFn = Callable[[Any], List[Cell]]
 
 _REGISTRY: Dict[str, "ExperimentSpec"] = {}
 
@@ -65,8 +68,8 @@ class ExperimentSpec:
     """
 
     name: str
-    config_cls: type
-    cells: Callable[[Any], List[Cell]] = field(compare=False)
+    config_cls: Type[Any]
+    cells: CellsFn = field(compare=False)
     reduce: Callable[[Any, List[Any]], Any] = field(compare=False)
     format: Callable[[Any], str] = field(compare=False)
     description: str = ""
@@ -109,13 +112,13 @@ def unregister(name: str) -> None:
     _REGISTRY.pop(name, None)
 
 
-def register_experiment(*, name: str, config_cls: type,
+def register_experiment(*, name: str, config_cls: Type[Any],
                         reduce: Callable[[Any, List[Any]], Any],
                         format: Callable[[Any], str],
                         description: str = "",
-                        replace: bool = False) -> Callable:
+                        replace: bool = False) -> Callable[[CellsFn], CellsFn]:
     """Decorator registering the decorated ``cells`` function as a spec."""
-    def decorator(cells_fn: Callable[[Any], List[Cell]]) -> Callable:
+    def decorator(cells_fn: CellsFn) -> CellsFn:
         register(ExperimentSpec(
             name=name, config_cls=config_cls, cells=cells_fn,
             reduce=reduce, format=format, description=description),

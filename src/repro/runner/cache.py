@@ -27,7 +27,7 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Optional, Tuple
+from typing import Any, Optional, Tuple, Union
 
 from ..errors import ConfigurationError
 from .cells import Cell
@@ -116,7 +116,7 @@ def cell_key(cell: Cell, salt: Optional[str] = None) -> str:
 class ResultCache:
     """Pickle store addressed by :func:`cell_key` hashes."""
 
-    def __init__(self, root) -> None:
+    def __init__(self, root: Union[str, "os.PathLike[str]"]) -> None:
         self.root = Path(root)
 
     def path_for(self, key: str) -> Path:

@@ -47,9 +47,9 @@ class Cell:
     """
 
     experiment: str
-    key: Tuple
+    key: Tuple[Any, ...]
     fn: Callable[..., Any] = field(compare=False)
-    args: Tuple = ()
+    args: Tuple[Any, ...] = ()
 
     @property
     def label(self) -> str:

@@ -65,7 +65,7 @@ def _execute(payload: Tuple[int, str, Cell]) -> Tuple[int, float, Any]:
     return index, time.perf_counter() - start, result
 
 
-def run_cells(cells: Sequence[Cell], *, jobs: int = 1,
+def run_cells(cells: Sequence[Cell], *, jobs: Optional[int] = 1,
               cache: Optional[ResultCache] = None, force: bool = False,
               progress: Optional[Progress] = None) -> List[Any]:
     """Execute ``cells`` and return their results in cell order.

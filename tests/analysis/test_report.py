@@ -49,3 +49,30 @@ def test_main_prints_to_stdout(results_dir, capsys):
 
 def test_main_usage_error(capsys):
     assert main([]) == 2
+
+
+# Regression tests for the DET002 fix: build_report is a pure function
+# of the tables on disk, and only the CLI (optionally) stamps a date.
+
+def test_build_report_is_byte_stable(results_dir):
+    assert build_report(results_dir) == build_report(results_dir)
+    assert "Generated from" in build_report(results_dir)
+
+
+def test_build_report_stamps_injected_date_only(results_dir):
+    report = build_report(results_dir, generated="2026-08-06")
+    assert "Generated 2026-08-06 from" in report
+    assert "Generated 2026-08-06" not in build_report(results_dir)
+
+
+def test_main_default_stamps_a_date(results_dir, capsys):
+    assert main([str(results_dir)]) == 0
+    assert "Generated 2" in capsys.readouterr().out  # ISO year prefix
+
+
+def test_main_no_date_is_byte_stable(results_dir, capsys):
+    assert main(["--no-date", str(results_dir)]) == 0
+    first = capsys.readouterr().out
+    assert main(["--no-date", str(results_dir)]) == 0
+    assert capsys.readouterr().out == first
+    assert "Generated from" in first

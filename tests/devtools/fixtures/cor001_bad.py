@@ -1,0 +1,11 @@
+"""Known-bad COR001 fixture: exact float comparisons that must trip."""
+
+
+def check(alpha: float, ratio: float, total: float) -> bool:
+    if alpha == 0.1:
+        return True
+    if ratio != 1 / 3:
+        return False
+    if float(total) == alpha:
+        return True
+    return -0.5 == alpha

@@ -1,0 +1,13 @@
+"""Known-good COR001 fixture: tolerances and integer equality — clean."""
+
+import math
+
+
+def check(alpha: float, ratio: float, count: int) -> bool:
+    if math.isclose(alpha, 0.1, rel_tol=1e-12):
+        return True
+    if abs(ratio - 1 / 3) > 1e-9:
+        return False
+    if count == 0:  # integer equality is exact and fine
+        return True
+    return count != 16

@@ -1,0 +1,29 @@
+"""Known-bad COR002 fixture: mutable defaults that must trip the rule."""
+
+import collections
+
+
+def accumulate(value, bucket=[]):
+    bucket.append(value)
+    return bucket
+
+
+def tally(key, *, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def uniques(item, seen=set()):
+    seen.add(item)
+    return seen
+
+
+def grouped(pairs, groups=collections.defaultdict(list)):
+    for key, value in pairs:
+        groups[key].append(value)
+    return groups
+
+
+def fresh(n, items=list()):
+    items.append(n)
+    return items

@@ -1,0 +1,17 @@
+"""Known-good COR002 fixture: None/immutable defaults — zero findings."""
+
+
+def accumulate(value, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(value)
+    return bucket
+
+
+def tally(key, *, counts=None):
+    counts = {} if counts is None else counts
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def windowed(values, shape=(4, 4), label="cells", limit=16):
+    return [values[:limit]] * shape[0], label

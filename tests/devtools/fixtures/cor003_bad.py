@@ -1,0 +1,18 @@
+"""Known-bad COR003 fixture: bare except clauses that must trip the rule."""
+
+
+def swallow_everything(work):
+    try:
+        return work()
+    except:
+        return None
+
+
+def nested(work):
+    try:
+        try:
+            return work()
+        except:
+            raise
+    except ValueError:
+        return None

@@ -1,0 +1,12 @@
+"""Known-good COR003 fixture: typed exception handlers — zero findings."""
+
+
+def careful(work):
+    try:
+        return work()
+    except ValueError:
+        return None
+    except (KeyError, IndexError) as exc:
+        raise RuntimeError("lookup failed") from exc
+    except Exception:  # broad but explicit is allowed (COR003 is bare-only)
+        return None

@@ -1,0 +1,15 @@
+"""Known-bad DET001 fixture: every statement below must trip the rule."""
+
+import random
+
+import numpy as np
+
+unseeded = random.Random()
+entropy = random.SystemRandom()
+generator = np.random.default_rng()
+legacy = np.random.RandomState()
+
+value = random.randint(0, 10)
+weights = np.random.rand(4)
+random.seed(1234)
+np.random.seed(1234)

@@ -1,0 +1,30 @@
+"""Known-good DET001 fixture: seeded construction only — zero findings."""
+
+import random
+
+import numpy as np
+
+SEED = 42
+
+seeded = random.Random(SEED)
+keyword = random.Random(x=SEED)
+generator = np.random.default_rng(SEED)
+legacy = np.random.RandomState(seed=SEED)
+
+value = seeded.randint(0, 10)
+weights = generator.random(4)
+
+
+class Sampler:
+    """Instances derive their generator from an explicit config seed."""
+
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+
+    def draw(self) -> float:
+        return self._rng.random()
+
+
+# A local variable shadowing the module name is not module-global use.
+def shadowed(random: "Sampler") -> float:
+    return random.draw()

@@ -1,0 +1,14 @@
+"""Known-bad DET002 fixture: wall-clock reads that must trip the rule."""
+
+import time
+from datetime import date, datetime
+
+started_at = time.time()
+started_ns = time.time_ns()
+stamp = datetime.now()
+utc = datetime.utcnow()
+today = date.today()
+
+
+def result_payload() -> dict:
+    return {"generated": time.strftime("%Y-%m-%d"), "value": 1.0}

@@ -1,0 +1,24 @@
+"""Known-good DET002 fixture: monotonic interval timing — zero findings.
+
+Monotonic clocks are sanctioned for *interval* measurement streamed to
+stderr; they never stamp results or cache keys.
+"""
+
+import time
+
+
+def timed(work) -> float:
+    start = time.perf_counter()
+    work()
+    return time.perf_counter() - start
+
+
+def timed_coarse(work) -> float:
+    start = time.monotonic()
+    work()
+    return time.monotonic() - start
+
+
+def stamp_from_config(config_date: str) -> dict:
+    """Timestamps must come from the config, not the wall clock."""
+    return {"generated": config_date, "value": 1.0}

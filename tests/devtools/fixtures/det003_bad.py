@@ -1,0 +1,17 @@
+"""Known-bad DET003 fixture: unordered iteration that must trip the rule."""
+
+KINDS = {"fs", "pf", "vantage"}
+
+
+def render(table: dict) -> str:
+    lines = []
+    for kind in KINDS:
+        lines.append(kind)
+    for name in table.keys():
+        lines.append(name)
+    for tag in {"a", "b", "c"}:
+        lines.append(tag)
+    for item in set(table):
+        lines.append(item)
+    parts = [x for x in frozenset(lines)]
+    return ",".join(set(parts)) + "".join(parts)

@@ -1,0 +1,16 @@
+"""Known-good DET003 fixture: sorted iteration / membership — zero findings."""
+
+KINDS = {"fs", "pf", "vantage"}
+
+
+def render(table: dict) -> str:
+    lines = []
+    for kind in sorted(KINDS):
+        lines.append(kind)
+    for name in sorted(table):
+        lines.append(name)
+    for key, value in table.items():  # insertion-ordered pairs, not a set
+        lines.append(f"{key}={value}")
+    if "fs" in KINDS:  # membership tests don't observe iteration order
+        lines.append("fs")
+    return ",".join(sorted(set(lines)))

@@ -1,0 +1,133 @@
+"""Every rule must trip on its known-bad fixture and stay silent on the
+known-good one, and the CLI exit codes must hold — including exit 0 over
+the real ``src/repro`` tree (the cache-soundness gate CI enforces)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.devtools.lint import Checker, main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+PACKAGE_DIR = Path(repro.__file__).parent
+
+ALL_RULES = ["DET001", "DET002", "DET003", "COR001", "COR002", "COR003"]
+
+#: Findings each known-bad fixture must produce (lower bound, so adding
+#: detection breadth never breaks the suite).
+MIN_BAD_FINDINGS = {
+    "DET001": 8,
+    "DET002": 6,
+    "DET003": 6,
+    "COR001": 4,
+    "COR002": 5,
+    "COR003": 2,
+}
+
+
+def lint_fixture(name: str, virtual: str):
+    """Lint a fixture under a location-independent virtual path.
+
+    Using a virtual path outside any ``repro`` package directory keeps
+    include-scoped rules (COR001) active no matter where the repository
+    is checked out.
+    """
+    source = (FIXTURES / name).read_text()
+    return Checker().check_source(source, path=virtual)
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULES)
+def test_bad_fixture_trips_rule(rule_id):
+    name = f"{rule_id.lower()}_bad.py"
+    findings = lint_fixture(name, f"fixtures/{name}")
+    fired = [f for f in findings if f.rule_id == rule_id]
+    assert len(fired) >= MIN_BAD_FINDINGS[rule_id], (
+        f"{name} must trip {rule_id} at least "
+        f"{MIN_BAD_FINDINGS[rule_id]} times, got {len(fired)}: {findings}")
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULES)
+def test_good_fixture_is_clean(rule_id):
+    name = f"{rule_id.lower()}_good.py"
+    findings = lint_fixture(name, f"fixtures/{name}")
+    assert findings == [], f"{name} must produce no findings: {findings}"
+
+
+def test_suppressed_fixture_is_clean():
+    findings = lint_fixture("suppressed.py", "fixtures/suppressed.py")
+    assert findings == []
+
+
+def test_suppressed_fixture_is_noisy_without_suppressions():
+    source = (FIXTURES / "suppressed.py").read_text()
+    checker = Checker(respect_suppressions=False)
+    findings = checker.check_source(source, path="fixtures/suppressed.py")
+    assert {f.rule_id for f in findings} >= {
+        "DET001", "DET002", "DET003", "COR002", "COR003"}
+
+
+# ---------------------------------------------------------------- CLI --
+
+
+def test_cli_exits_nonzero_on_each_bad_fixture(capsys):
+    for rule_id in ALL_RULES:
+        path = FIXTURES / f"{rule_id.lower()}_bad.py"
+        code = main(["--select", rule_id, str(path)])
+        out = capsys.readouterr()
+        assert code == 1, f"{path.name} must fail the build"
+        assert rule_id in out.out
+
+
+def test_cli_exits_zero_on_good_fixtures(capsys):
+    for rule_id in ALL_RULES:
+        path = FIXTURES / f"{rule_id.lower()}_good.py"
+        assert main(["--select", rule_id, str(path)]) == 0
+        assert capsys.readouterr().out == ""
+
+
+def test_cli_src_tree_is_clean(capsys):
+    """The acceptance gate: reprolint over the shipped package exits 0."""
+    assert main([str(PACKAGE_DIR)]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_cli_json_format(capsys):
+    path = FIXTURES / "cor003_bad.py"
+    assert main(["--format", "json", "--select", "COR003", str(path)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert isinstance(payload, list) and payload
+    assert all(item["rule"] == "COR003" for item in payload)
+    assert {"path", "line", "col", "rule", "message"} <= set(payload[0])
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ALL_RULES:
+        assert rule_id in out
+
+
+def test_cli_usage_errors(tmp_path, capsys):
+    assert main([]) == 2  # no paths
+    assert main(["--select", "NOPE01", str(FIXTURES)]) == 2
+    assert main([str(tmp_path / "missing.py")]) == 2
+    broken = tmp_path / "broken.py"
+    broken.write_text("def broken(:\n")
+    assert main([str(broken)]) == 2
+    err = capsys.readouterr().err
+    assert "syntax error" in err
+
+
+def test_cli_ignore_drops_rule(capsys):
+    path = FIXTURES / "cor003_bad.py"
+    assert main(["--ignore", "COR003", str(path)]) == 0
+    capsys.readouterr()
+
+
+def test_cli_directory_walk_hits_all_bad_fixtures(capsys):
+    assert main([str(FIXTURES)]) == 1
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "DET002", "DET003", "COR002", "COR003"):
+        assert rule_id in out
