@@ -71,16 +71,18 @@ from .core import (
     make_scheme,
     scaling,
 )
-from .api import build_array, build_cache
+from .api import build_array, build_cache, run_experiment
 from .errors import (
+    CellTimeoutError,
     ConfigurationError,
     InfeasiblePartitioningError,
     ReproError,
     SimulationError,
+    SweepError,
     TraceError,
     WorkerError,
 )
-from .runner import Cell, ResultCache, run_cells
+from .runner import Cell, FailedCell, ResultCache, run_cells
 from .sim import (
     TABLE_II,
     MultiprogramSimulator,
@@ -103,12 +105,13 @@ __all__ = [
     # subpackages
     "alloc", "analysis", "cache", "core", "runner", "sim", "trace",
     # stable facade
-    "build_array", "build_cache",
+    "build_array", "build_cache", "run_experiment",
     # experiment runner
-    "Cell", "ResultCache", "run_cells",
+    "Cell", "FailedCell", "ResultCache", "run_cells",
     # errors
     "ReproError", "ConfigurationError", "InfeasiblePartitioningError",
-    "TraceError", "SimulationError", "WorkerError",
+    "TraceError", "SimulationError", "WorkerError", "CellTimeoutError",
+    "SweepError",
     # cache substrate
     "PartitionedCache", "CacheStats", "SetAssociativeArray",
     "DirectMappedArray", "FullyAssociativeArray", "RandomCandidatesArray",

@@ -1,4 +1,4 @@
-"""Stable top-level facade for assembling partitioned caches.
+"""Stable top-level facade for assembling caches and running experiments.
 
 The library composes three axes — array organization, futility ranking,
 partitioning scheme — whose constructors were historically scattered
@@ -8,17 +8,25 @@ partitioning scheme — whose constructors were historically scattered
 inputs are validated up front, and misconfiguration raises
 :class:`~repro.errors.ConfigurationError` with an actionable message.
 
+:func:`run_experiment` is the matching one-call entry point for the
+experiment side: registry lookup, config construction, the parallel
+cached runner and its fault-tolerance knobs (retries, per-cell
+timeouts, keep-going sweeps) behind a single function.
+
 Example::
 
-    from repro import build_cache
+    from repro import build_cache, run_experiment
 
     cache = build_cache(array="set-assoc", num_lines=131_072, ways=16,
                         ranking="coarse-ts-lru", scheme="fs-feedback",
                         num_partitions=32, targets=[4096] * 32)
+    result = run_experiment("fig3", scale="smoke", jobs=4,
+                            retries=2, keep_going=True)
 """
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Dict, Optional, Sequence, Union
 
 from .cache.arrays import (
@@ -35,7 +43,7 @@ from .core.futility import FutilityRanking, make_ranking
 from .core.schemes.base import PartitioningScheme, make_scheme
 from .errors import ConfigurationError
 
-__all__ = ["ARRAY_KINDS", "build_array", "build_cache"]
+__all__ = ["ARRAY_KINDS", "build_array", "build_cache", "run_experiment"]
 
 #: Array registry: name -> constructor taking (num_lines, ways,
 #: candidates, seed) and using whichever parameters apply.
@@ -150,3 +158,52 @@ def build_cache(*, array: Union[str, CacheArray],
         cache_kwargs["targets"] = targets
     return PartitionedCache(built_array, ranking, scheme, num_partitions,
                             **cache_kwargs)
+
+
+def run_experiment(name: str, *, scale: str = "scaled",
+                   config: Optional[Any] = None, jobs: int = 1,
+                   cache: Union[str, "os.PathLike[str]", Any, None] = None,
+                   force: bool = False, retries: int = 0,
+                   cell_timeout: Optional[float] = None,
+                   keep_going: bool = False,
+                   progress: Optional[Any] = None) -> Any:
+    """Run a registered experiment end to end and return its result.
+
+    One-call front door to the experiment registry and the
+    fault-tolerant parallel runner:
+
+    - ``name`` is a registry key (``"fig2"`` ... ``"fig8"``,
+      ``"tableII"``); unknown names raise
+      :class:`~repro.errors.ConfigurationError` listing what exists.
+    - ``config`` overrides the config object; otherwise it is built
+      from ``scale`` (``smoke``/``scaled``/``paper``).
+    - ``cache`` may be a :class:`~repro.runner.ResultCache`, a
+      directory path (a cache is opened there), or ``None`` (no
+      memoization).
+    - ``retries``, ``cell_timeout`` and ``keep_going`` are the
+      resilience knobs of :func:`repro.runner.run_cells`; under
+      ``keep_going`` a sweep with permanently failed cells raises
+      :class:`~repro.errors.SweepError` carrying the
+      :class:`~repro.runner.FailedCell` sentinels and partial results.
+    """
+    # Lazy: `repro` imports this module at package-import time, and the
+    # experiment modules register themselves on first import — pulling
+    # them in here keeps `import repro` light and cycle-free.
+    from .experiments import registry as _registry
+    from .runner import Progress, ResultCache
+
+    try:
+        spec = _registry.get_experiment(name)
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; registered: "
+            f"{_registry.experiment_names()}") from None
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(os.fspath(cache))
+    if config is None:
+        config = spec.config(scale)
+    if progress is None:
+        progress = Progress(enabled=False)
+    return spec.run(config, jobs=jobs, cache=cache, force=force,
+                    progress=progress, retries=retries,
+                    cell_timeout=cell_timeout, keep_going=keep_going)

@@ -112,9 +112,12 @@ class WallClockRule(Rule):
     result or a cache key make reruns non-reproducible and cache
     entries unsound.  Monotonic interval timing (``time.perf_counter``,
     ``time.monotonic``) is deliberately *not* flagged: the runner uses
-    it for per-cell timings that stream to stderr, never into results.
-    The CLI's progress/timing path in ``repro/experiments/__main__.py``
-    is the one sanctioned wall-clock site.
+    it for per-cell timings that stream to stderr, never into results,
+    and the resilience layer (``repro/runner/resilience.py``) uses it
+    for retry backoff and per-cell deadlines — scheduling decisions
+    that never reach results or cache keys.  The CLI's progress/timing
+    path in ``repro/experiments/__main__.py`` is the one sanctioned
+    wall-clock site.
     """
 
     rule_id = "DET002"

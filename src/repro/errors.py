@@ -6,6 +6,8 @@ catch everything from this package with a single ``except`` clause.
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -37,7 +39,37 @@ class SimulationError(ReproError, RuntimeError):
 class WorkerError(ReproError, RuntimeError):
     """An experiment cell failed inside a runner worker process.
 
-    Raised by :func:`repro.runner.run_cells` when a cell raises a
-    non-library exception or its worker process dies; library errors
-    (:class:`ReproError` subclasses) propagate unwrapped.
+    Raised by :func:`repro.runner.run_cells` when cells raise non-library
+    exceptions or their worker processes die; a single failing library
+    error (:class:`ReproError` subclass) propagates unwrapped, and when
+    several cells fail the message lists *every* failed cell.
     """
+
+
+class CellTimeoutError(ReproError, RuntimeError):
+    """An experiment cell exceeded its per-cell wall-clock budget.
+
+    Raised (or recorded in a :class:`~repro.runner.FailedCell`) by
+    :func:`repro.runner.run_cells` when ``cell_timeout`` is set and a
+    cell is still running past its deadline; the hung worker pool is
+    torn down and respawned, and the cell is retried if it has retry
+    budget left.
+    """
+
+
+class SweepError(ReproError, RuntimeError):
+    """A ``keep_going`` sweep completed with permanently failed cells.
+
+    Raised by :meth:`repro.experiments.registry.ExperimentSpec.run`
+    after the sweep *finished* — every other cell's result was computed
+    and persisted to the cache.  ``failures`` holds the
+    :class:`~repro.runner.FailedCell` sentinels and ``results`` the full
+    ordered result list (sentinels included), so callers that can
+    tolerate holes may still reduce over the partial results.
+    """
+
+    def __init__(self, message: str, failures: Sequence[Any] = (),
+                 results: Sequence[Any] = ()) -> None:
+        super().__init__(message)
+        self.failures = list(failures)
+        self.results = list(results)

@@ -19,6 +19,15 @@ or repeated runs resume instantly.  ``--no-cache`` disables the cache,
 ``--force`` recomputes and overwrites existing entries.  Figure tables
 go to stdout and are byte-identical for any ``--jobs``; per-cell
 progress and timing stream to stderr.
+
+Fault tolerance: ``--retries N`` re-executes failing cells with capped
+deterministic backoff (retried cells are byte-identical to first-try
+runs), ``--cell-timeout SEC`` kills and retries hung cells, and
+``--keep-going`` completes the sweep despite permanently failed cells,
+recording them in a JSON failure manifest at
+``<cache-dir>/failures/<experiment>.json`` and exiting 1.  Rerunning
+the same command re-executes only the failed cells — everything else
+is served from the cache.
 """
 
 from __future__ import annotations
@@ -28,9 +37,16 @@ import sys
 import time
 import warnings
 from collections.abc import Mapping
+from pathlib import Path
 
-from ..errors import ConfigurationError
-from ..runner import Progress, ResultCache, default_cache_dir, default_jobs
+from ..errors import ConfigurationError, SweepError
+from ..runner import (
+    Progress,
+    ResultCache,
+    default_cache_dir,
+    default_jobs,
+    write_manifest,
+)
 from .registry import experiment_names, get_experiment
 from .tableii import render_table_ii  # noqa: F401  (backward-compat export)
 
@@ -97,6 +113,18 @@ def main(argv=None) -> int:
                         help="disable the result cache entirely")
     parser.add_argument("--force", action="store_true",
                         help="recompute cells even when cached")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="extra attempts per failing cell, with capped "
+                             "deterministic backoff (default: 0)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SEC",
+                        help="per-cell wall-clock limit; a hung cell's "
+                             "worker is killed, the pool respawned, and "
+                             "the cell retried or failed")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="complete the sweep despite failing cells, "
+                             "write a JSON failure manifest under the "
+                             "cache dir, and exit 1")
     args = parser.parse_args(argv)
 
     if args.figure == "all":
@@ -112,21 +140,53 @@ def main(argv=None) -> int:
                             else default_cache_dir())
     progress = Progress(sys.stderr)
 
+    exit_code = 0
     for name in selected:
         spec = get_experiment(name)
         start = time.time()
         try:
             result = spec.run(spec.config(args.scale), jobs=jobs,
                               cache=cache, force=args.force,
-                              progress=progress)
+                              progress=progress, retries=args.retries,
+                              cell_timeout=args.cell_timeout,
+                              keep_going=args.keep_going)
         except ConfigurationError as exc:
             print(f"error: {name}: {exc}", file=sys.stderr)
             return 2
+        except SweepError as exc:
+            # The sweep *completed*: every non-failing cell is in the
+            # cache.  Record the failures and move on to the next
+            # experiment; stdout stays untouched (no partial tables).
+            for failure in exc.failures:
+                print(f"error: {name}: {failure.label} failed after "
+                      f"{failure.attempts} attempt(s): "
+                      f"{failure.error_type}: {failure.message}",
+                      file=sys.stderr)
+            manifest = _write_failure_manifest(cache, name, exc.failures)
+            where = f"; manifest: {manifest}" if manifest else ""
+            print(f"[{name} @ {args.scale}: {len(exc.failures)} failed "
+                  f"cell(s){where}; rerun the same command to retry only "
+                  f"the failed cells]", file=sys.stderr)
+            exit_code = 1
+            continue
         elapsed = time.time() - start
+        if args.keep_going and cache is not None:
+            # An empty manifest records that the sweep fully recovered.
+            _write_failure_manifest(cache, name, [])
         print(spec.format(result))
         print()
         print(f"[{name} @ {args.scale}: {elapsed:.1f}s]", file=sys.stderr)
-    return 0
+    return exit_code
+
+
+def _write_failure_manifest(cache, name, failures):
+    """Write ``<cache-dir>/failures/<name>.json``; None without a cache."""
+    if cache is None:
+        print(f"[{name}: no cache dir; failure manifest not written]",
+              file=sys.stderr)
+        return None
+    return write_manifest(Path(cache.root) / "failures" / f"{name}.json",
+                          name, failures)
 
 
 if __name__ == "__main__":

@@ -26,8 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Type
 
-from ..errors import ConfigurationError
-from ..runner import Cell, Progress, ResultCache, run_cells
+from ..errors import ConfigurationError, SweepError
+from ..runner import Cell, FailedCell, Progress, ResultCache, run_cells
 
 __all__ = [
     "ExperimentSpec",
@@ -85,16 +85,35 @@ class ExperimentSpec:
 
     def run(self, config: Any = None, *, jobs: int = 1,
             cache: Optional[ResultCache] = None, force: bool = False,
-            progress: Optional[Progress] = None) -> Any:
+            progress: Optional[Progress] = None, retries: int = 0,
+            cell_timeout: Optional[float] = None,
+            keep_going: bool = False) -> Any:
         """Run the full sweep and reduce it to the result object.
 
-        With the defaults (``jobs=1``, no cache) this is exactly the
-        legacy sequential ``run_figN(config)`` behavior.
+        With the defaults (``jobs=1``, no cache, no retries) this is
+        exactly the legacy sequential ``run_figN(config)`` behavior.
+        ``retries`` / ``cell_timeout`` / ``keep_going`` thread through
+        to :func:`repro.runner.run_cells`.  Under ``keep_going`` a
+        sweep that finishes with permanently failed cells raises
+        :class:`~repro.errors.SweepError` instead of reducing — the
+        error carries the :class:`~repro.runner.FailedCell` sentinels
+        and the full partial result list, so callers that tolerate
+        holes can still reduce over ``err.results`` themselves.
         """
         if config is None:
             config = self.config("scaled")
         results = run_cells(self.cells(config), jobs=jobs, cache=cache,
-                            force=force, progress=progress)
+                            force=force, progress=progress, retries=retries,
+                            cell_timeout=cell_timeout, keep_going=keep_going)
+        if keep_going:
+            failures = [r for r in results if isinstance(r, FailedCell)]
+            if failures:
+                labels = ", ".join(f.label for f in failures)
+                raise SweepError(
+                    f"{len(failures)} of {len(results)} cells of "
+                    f"{self.name} permanently failed ({labels}); every "
+                    f"other cell completed and was cached",
+                    failures=failures, results=results)
         return self.reduce(config, results)
 
 

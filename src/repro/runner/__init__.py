@@ -3,13 +3,23 @@
 The runner decomposes an experiment into independent :class:`Cell`\\ s,
 executes them inline or across a ``multiprocessing`` worker pool
 (:func:`run_cells`), memoizes each cell's result on disk keyed by a
-SHA-256 of its full configuration (:class:`ResultCache`), and streams
-per-cell progress to stderr (:class:`Progress`).  Reduction is ordered,
-so parallel runs produce byte-identical output to sequential runs; see
+SHA-256 of its full configuration (:class:`ResultCache`, checksummed
+and self-quarantining), and streams per-cell progress to stderr
+(:class:`Progress`).  Reduction is ordered, so parallel runs produce
+byte-identical output to sequential runs; see
 :mod:`repro.experiments.registry` for how experiments plug in.
+
+Execution is fault tolerant (:mod:`repro.runner.resilience`): failing
+cells retry with capped deterministic backoff, hung cells are killed by
+per-cell timeouts, dead workers respawn the pool and requeue only the
+lost cells, and ``keep_going`` sweeps complete with
+:class:`FailedCell` sentinels plus a JSON failure manifest instead of
+aborting.  A deterministic fault-injection harness
+(:mod:`repro.runner.faults`) makes all of it testable.
 """
 
 from .cache import (
+    CacheCorruptionWarning,
     ResultCache,
     canonical_encode,
     cell_key,
@@ -17,17 +27,33 @@ from .cache import (
     default_cache_dir,
 )
 from .cells import Cell
+from .faults import FAULTS_ENV, Fault, FaultPlan, InjectedFaultError
 from .pool import default_jobs, run_cells
 from .progress import Progress
+from .resilience import (
+    FailedCell,
+    RetryPolicy,
+    load_manifest,
+    write_manifest,
+)
 
 __all__ = [
     "Cell",
+    "CacheCorruptionWarning",
+    "FAULTS_ENV",
+    "FailedCell",
+    "Fault",
+    "FaultPlan",
+    "InjectedFaultError",
     "Progress",
     "ResultCache",
+    "RetryPolicy",
     "canonical_encode",
     "cell_key",
     "code_version_salt",
     "default_cache_dir",
     "default_jobs",
+    "load_manifest",
     "run_cells",
+    "write_manifest",
 ]

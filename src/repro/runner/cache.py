@@ -14,8 +14,13 @@ Layout on disk (two-level fan-out to keep directories small)::
     <cache-dir>/<key[:2]>/<key>.pkl
 
 Entries are pickled results written atomically (temp file + rename), so
-a killed run never leaves a truncated entry behind; unreadable entries
-are treated as misses and recomputed.
+a killed run never leaves a truncated entry behind.  Each entry carries
+a header with a SHA-256 checksum of its payload; an entry that fails
+validation (bad header, checksum mismatch, unpicklable payload) is
+**quarantined** to ``<entry>.pkl.corrupt`` with a
+:class:`CacheCorruptionWarning` and treated as a miss — corruption is
+surfaced and preserved for inspection, never silently recomputed over.
+A missing entry is the one silent case: that is just a clean miss.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Optional, Tuple, Union
 
@@ -33,6 +39,8 @@ from ..errors import ConfigurationError
 from .cells import Cell
 
 __all__ = [
+    "CACHE_MAGIC",
+    "CacheCorruptionWarning",
     "ResultCache",
     "canonical_encode",
     "cell_key",
@@ -41,7 +49,16 @@ __all__ = [
 ]
 
 #: Bump to invalidate every existing cache entry after a format change.
-CACHE_FORMAT_VERSION = 1
+#: v2: checksummed entry header (CACHE_MAGIC + SHA-256 + payload).
+CACHE_FORMAT_VERSION = 2
+
+#: Leading bytes of every v2 cache entry, followed by the 64-hex-char
+#: SHA-256 of the pickled payload, a newline, then the payload itself.
+CACHE_MAGIC = b"repro/result-cache/v2\n"
+
+
+class CacheCorruptionWarning(RuntimeWarning):
+    """A result-cache entry failed validation and was quarantined."""
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -123,25 +140,74 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.pkl"
 
     def get(self, key: str) -> Tuple[bool, Any]:
-        """``(hit, value)``; unreadable/corrupt entries count as misses."""
+        """``(hit, value)``; a missing entry is a clean miss.
+
+        A *present but invalid* entry — bad header, SHA-256 mismatch,
+        payload that will not unpickle — is quarantined to
+        ``<entry>.pkl.corrupt`` with a :class:`CacheCorruptionWarning`
+        and reported as a miss, so the cell recomputes while the
+        corrupt bytes stay on disk for inspection.
+        """
         path = self.path_for(key)
         try:
-            with open(path, "rb") as fh:
-                return True, pickle.load(fh)
+            blob = path.read_bytes()
         except FileNotFoundError:
             return False, None
-        except Exception:  # truncated/corrupt entry: recompute
+        except OSError as exc:
+            warnings.warn(
+                f"result-cache entry {key[:12]}... is unreadable "
+                f"({type(exc).__name__}: {exc}); treating as a miss",
+                CacheCorruptionWarning, stacklevel=2)
             return False, None
+        head = len(CACHE_MAGIC)
+        reason = None
+        if not blob.startswith(CACHE_MAGIC) or blob[head + 64:head + 65] != \
+                b"\n":
+            reason = "missing or malformed entry header"
+        else:
+            digest = blob[head:head + 64]
+            payload = blob[head + 65:]
+            if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+                reason = "SHA-256 checksum mismatch"
+            else:
+                try:
+                    return True, pickle.loads(payload)
+                except Exception as exc:
+                    reason = (f"checksummed payload failed to unpickle "
+                              f"({type(exc).__name__}: {exc})")
+        quarantined = self.quarantine(key)
+        where = (f"quarantined to {quarantined}" if quarantined is not None
+                 else "quarantine failed; entry left in place")
+        warnings.warn(
+            f"result-cache entry {key[:12]}... is corrupt ({reason}); "
+            f"{where}; the cell will be recomputed",
+            CacheCorruptionWarning, stacklevel=2)
+        return False, None
+
+    def quarantine(self, key: str) -> Optional[Path]:
+        """Move ``key``'s entry aside to ``*.pkl.corrupt``; None on failure."""
+        path = self.path_for(key)
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            return None
+        return target
 
     def put(self, key: str, value: Any) -> None:
-        """Atomically persist ``value`` under ``key``."""
+        """Atomically persist ``value`` (checksummed) under ``key``."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
         fd, tmp = tempfile.mkstemp(dir=path.parent,
                                    prefix=f".{key[:8]}-", suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(CACHE_MAGIC)
+                fh.write(digest)
+                fh.write(b"\n")
+                fh.write(payload)
             os.replace(tmp, path)
         except BaseException:
             try:

@@ -11,9 +11,14 @@ byte-identical to sequential output.
 
 Determinism: before executing a cell, the runner reseeds the global
 ``random`` and ``numpy.random`` generators from the cell's
-content-addressed key.  This happens identically inline and in workers,
-so a cell that (incorrectly) reaches for global randomness still cannot
-diverge between ``--jobs 1`` and ``--jobs N``.
+content-addressed key.  This happens identically inline, in workers,
+and on *every retry attempt* (:mod:`repro.runner.resilience`), so a
+cell that (incorrectly) reaches for global randomness still cannot
+diverge between ``--jobs 1``, ``--jobs N``, or a retried run.
+
+Fault tolerance (``retries`` / ``cell_timeout`` / ``keep_going``) is
+provided by :mod:`repro.runner.resilience`; deterministic fault
+injection for testing it by :mod:`repro.runner.faults`.
 """
 
 from __future__ import annotations
@@ -21,13 +26,14 @@ from __future__ import annotations
 import os
 import random
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError, WorkerError
 from .cache import ResultCache, cell_key
 from .cells import Cell
+from .faults import active_plan, corrupt_cache_entries, inject
 from .progress import Progress
+from .resilience import FailedCell, RetryPolicy, run_pool
 
 __all__ = ["run_cells", "default_jobs"]
 
@@ -40,11 +46,11 @@ def default_jobs() -> int:
 
 
 def _seed_from_key(key: str) -> None:
-    """Deterministically reseed global RNGs for one cell.
+    """Deterministically reseed global RNGs for one cell attempt.
 
     Cells are expected to derive their own seeded ``random.Random`` from
     their config; this is belt-and-braces so global-state randomness can
-    never differ between sequential and parallel execution.
+    never differ between sequential, parallel, or retried execution.
     """
     seed = int(key[:16], 16)
     random.seed(seed)
@@ -56,18 +62,69 @@ def _seed_from_key(key: str) -> None:
         pass
 
 
-def _execute(payload: Tuple[int, str, Cell]) -> Tuple[int, float, Any]:
-    """Worker body: run one cell, returning (index, elapsed, result)."""
-    index, key, cell = payload
+def _execute(payload: Tuple[int, str, Cell, int]) -> Tuple[int, float, Any]:
+    """Worker body: run one cell attempt, returning (index, elapsed, result).
+
+    Reseeds the global RNGs from the cell key before *every* attempt, so
+    a retried cell is byte-identical to a first-try run; then gives the
+    fault-injection harness its chance to misbehave (a no-op unless a
+    plan is active in the environment).
+    """
+    index, key, cell, attempt = payload
     _seed_from_key(key)
+    inject(cell.label, attempt)
     start = time.perf_counter()
     result = cell.run()
     return index, time.perf_counter() - start, result
 
 
+def _run_inline(cells: Sequence[Cell], keys: Sequence[str],
+                pending: Sequence[int], policy: RetryPolicy,
+                results: List[Any], cache: Optional[ResultCache],
+                progress: Optional[Progress]) -> None:
+    """Sequential execution with retries; raises raw on permanent failure
+    (unless ``keep_going``), preserving the historical inline semantics."""
+    for i in pending:
+        failed_attempts = 0
+        total_elapsed = 0.0
+        while True:
+            attempt = failed_attempts + 1
+            start = time.monotonic()
+            try:
+                _, elapsed, value = _execute((i, keys[i], cells[i], attempt))
+            except Exception as exc:
+                total_elapsed += time.monotonic() - start
+                failed_attempts += 1
+                if failed_attempts <= policy.retries:
+                    backoff = policy.delay(failed_attempts)
+                    if progress is not None:
+                        progress.retry(cells[i], attempt, exc, backoff)
+                    time.sleep(backoff)
+                    continue
+                if not policy.keep_going:
+                    raise
+                results[i] = FailedCell(
+                    index=i, label=cells[i].label, key=keys[i],
+                    error_type=type(exc).__name__, message=str(exc),
+                    attempts=attempt, elapsed=round(total_elapsed, 3),
+                    exc=exc)
+                if progress is not None:
+                    progress.cell(cells[i], failed=True)
+                break
+            results[i] = value
+            if cache is not None:
+                cache.put(keys[i], value)
+            if progress is not None:
+                progress.cell(cells[i], elapsed=elapsed)
+            break
+
+
 def run_cells(cells: Sequence[Cell], *, jobs: Optional[int] = 1,
               cache: Optional[ResultCache] = None, force: bool = False,
-              progress: Optional[Progress] = None) -> List[Any]:
+              progress: Optional[Progress] = None, retries: int = 0,
+              cell_timeout: Optional[float] = None,
+              keep_going: bool = False, backoff_base: float = 0.05,
+              backoff_cap: float = 2.0) -> List[Any]:
     """Execute ``cells`` and return their results in cell order.
 
     Parameters
@@ -83,15 +140,38 @@ def run_cells(cells: Sequence[Cell], *, jobs: Optional[int] = 1,
     progress:
         Optional :class:`~repro.runner.progress.Progress` receiving one
         line per completed cell on stderr.
+    retries:
+        Extra attempts per failing cell, with capped deterministic
+        backoff (``backoff_base`` / ``backoff_cap``); the RNG reseed
+        before every attempt keeps retried results byte-identical.
+    cell_timeout:
+        Per-cell wall-clock limit in seconds.  A cell past its deadline
+        is charged a failed attempt and its hung worker is killed (the
+        pool respawns and innocent in-flight cells are requeued), so
+        timeouts force pool execution even at ``jobs=1``.
+    keep_going:
+        Complete the sweep despite permanently failed cells: their
+        result slots hold :class:`~repro.runner.FailedCell` sentinels
+        instead of aborting the run.  Without it (default), a single
+        failing :class:`~repro.errors.ReproError` propagates unwrapped
+        and any other permanent failure raises
+        :class:`~repro.errors.WorkerError` listing *every* failed cell.
     """
     jobs = jobs or default_jobs()
     if jobs < 1:
         jobs = default_jobs()
+    policy = RetryPolicy(retries=retries, backoff_base=backoff_base,
+                         backoff_cap=backoff_cap, cell_timeout=cell_timeout,
+                         keep_going=keep_going)
     cells = list(cells)
     keys = [cell_key(cell) for cell in cells]
     results: List[Any] = [_PENDING] * len(cells)
     if progress is not None:
         progress.begin(len(cells))
+
+    plan = active_plan()
+    if plan is not None and cache is not None and not force:
+        corrupt_cache_entries(plan, cells, keys, cache)
 
     pending: List[int] = []
     for i, cell in enumerate(cells):
@@ -104,41 +184,28 @@ def run_cells(cells: Sequence[Cell], *, jobs: Optional[int] = 1,
                 continue
         pending.append(i)
 
-    if pending and (jobs == 1 or len(pending) == 1):
-        for i in pending:
-            _, elapsed, value = _execute((i, keys[i], cells[i]))
-            results[i] = value
-            if cache is not None:
-                cache.put(keys[i], value)
-            if progress is not None:
-                progress.cell(cells[i], elapsed=elapsed)
-    elif pending:
-        errors: List[Tuple[int, BaseException]] = []
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as ex:
-            futures = {ex.submit(_execute, (i, keys[i], cells[i])): i
-                       for i in pending}
-            for future in as_completed(futures):
-                i = futures[future]
-                try:
-                    _, elapsed, value = future.result()
-                except BaseException as exc:  # noqa: BLE001 — reported below
-                    errors.append((i, exc))
-                    continue
+    if pending:
+        inline = (policy.cell_timeout is None
+                  and (jobs == 1 or len(pending) == 1))
+        if inline:
+            _run_inline(cells, keys, pending, policy, results, cache,
+                        progress)
+        else:
+            pool_results, _ = run_pool(
+                cells, keys, pending, jobs=jobs, policy=policy,
+                execute=_execute, cache=cache, progress=progress)
+            for i, value in pool_results.items():
                 results[i] = value
-                # Persist immediately: an interrupt later in the sweep
-                # must not lose cells that already finished.
-                if cache is not None:
-                    cache.put(keys[i], value)
-                if progress is not None:
-                    progress.cell(cells[i], elapsed=elapsed)
-        if errors:
-            errors.sort(key=lambda pair: pair[0])
-            index, exc = errors[0]
-            if isinstance(exc, ReproError):
-                raise exc
-            raise WorkerError(
-                f"cell {cells[index].label} failed in worker: "
-                f"{type(exc).__name__}: {exc}") from exc
+
+    failures = [r for r in results if isinstance(r, FailedCell)]
+    if failures and not policy.keep_going:
+        # (The inline path raised already; this is the pool path.)
+        if len(failures) == 1 and isinstance(failures[0].exc, ReproError):
+            raise failures[0].exc
+        detail = "; ".join(f"{f.label}: {f.error_type}: {f.message}"
+                           for f in failures)
+        raise WorkerError(
+            f"{len(failures)} cell(s) failed: {detail}") from failures[0].exc
 
     missing = [i for i, r in enumerate(results) if r is _PENDING]
     if missing:  # defensive: should be unreachable

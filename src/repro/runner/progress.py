@@ -31,12 +31,27 @@ class Progress:
         self._total = total
 
     def cell(self, cell: Cell, *, elapsed: Optional[float] = None,
-             cached: bool = False) -> None:
-        """Record one completed cell (freshly run or served from cache)."""
+             cached: bool = False, failed: bool = False) -> None:
+        """Record one concluded cell: fresh run, cache hit, or permanent
+        failure (``failed=True``, counted as done so the ``done/total``
+        counter still reaches ``total`` in a keep-going sweep)."""
         self._done += 1
-        status = "cached" if cached else f"{elapsed:.2f}s"
+        if failed:
+            status = "FAILED"
+        elif cached:
+            status = "cached"
+        else:
+            status = f"{elapsed:.2f}s"
         self.emit(f"[{cell.experiment} {self._done}/{self._total}] "
                   f"{cell.label}: {status}")
+
+    def retry(self, cell: Cell, attempt: int, error: BaseException,
+              backoff: float) -> None:
+        """Record a failed attempt that will be retried (not counted as
+        done — the cell is still in flight)."""
+        self.emit(f"[{cell.experiment}] {cell.label}: attempt {attempt} "
+                  f"failed ({type(error).__name__}: {error}); "
+                  f"retrying in {backoff:.2f}s")
 
     def emit(self, message: str) -> None:
         if self.enabled:

@@ -46,5 +46,5 @@ def load_trace(path: Union[str, Path]) -> Trace:
             name = bytes(data["name"]).decode("utf-8")
         except KeyError as missing:
             raise TraceError(f"{path} is not a trace archive "
-                             f"(missing {missing})")
+                             f"(missing {missing})") from missing
     return Trace(addresses.tolist(), gaps.tolist(), name=name)

@@ -9,6 +9,7 @@ from __future__ import annotations
 import os
 import signal
 import time
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.runner import Cell
@@ -59,3 +60,42 @@ def kill_after_cached(cache_root, count):
 
 def square_cells(n, config=None):
     return [Cell("squares", (i,), square, (config, i)) for i in range(n)]
+
+
+def succeed_after(sentinel_dir, name, failures, value):
+    """Raise ``ValueError`` on the first ``failures`` calls, then return
+    ``value``.  Attempts are counted with marker files so the count
+    survives process boundaries (each retry may land in a fresh worker)."""
+    attempt = len(list(Path(sentinel_dir).glob(f"{name}.attempt*"))) + 1
+    Path(sentinel_dir, f"{name}.attempt{attempt}").write_text("tried")
+    if attempt <= failures:
+        raise ValueError(f"{name}: transient failure on attempt {attempt}")
+    return value
+
+
+def sleep_forever():
+    """Hang well past any test's per-cell timeout."""
+    time.sleep(600)
+
+
+def kill_once(sentinel_dir, name, value):
+    """Die hard on the first call, return ``value`` on the retry."""
+    marker = Path(sentinel_dir, f"{name}.killed")
+    if not marker.exists():
+        marker.write_text("killed")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value
+
+
+@dataclass(frozen=True)
+class FlakyConfig:
+    """Config for CLI-registered test experiments (picklable, with the
+    scale constructors the registry expects)."""
+
+    n: int = 3
+
+    @classmethod
+    def smoke(cls):
+        return cls(n=3)
+
+    scaled = paper = smoke

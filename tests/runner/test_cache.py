@@ -9,6 +9,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.runner import (
+    CacheCorruptionWarning,
     Cell,
     ResultCache,
     canonical_encode,
@@ -16,6 +17,7 @@ from repro.runner import (
     default_cache_dir,
     run_cells,
 )
+from repro.runner.cache import CACHE_MAGIC
 
 from .helpers import square, touch_and_return
 
@@ -96,12 +98,73 @@ class TestResultCache:
         assert cache.get(key) == (True, {"x": [1, 2, 3]})
         assert len(cache) == 1
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_warns_and_quarantines(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = cell_key(demo_cell())
         cache.put(key, "value")
-        cache.path_for(key).write_bytes(b"\x80truncated garbage")
-        assert cache.get(key) == (False, None)
+        path = cache.path_for(key)
+        path.write_bytes(b"\x80truncated garbage")
+        with pytest.warns(CacheCorruptionWarning, match="quarantined"):
+            assert cache.get(key) == (False, None)
+        # The bad bytes were moved aside for inspection, not deleted.
+        assert not path.exists()
+        corrupt = path.with_name(path.name + ".corrupt")
+        assert corrupt.read_bytes() == b"\x80truncated garbage"
+        assert len(cache) == 0
+        # The quarantined entry does not shadow a fresh write.
+        cache.put(key, "value")
+        assert cache.get(key) == (True, "value")
+
+    def test_checksum_mismatch_is_detected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cell_key(demo_cell())
+        cache.put(key, [1, 2, 3])
+        path = cache.path_for(key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip one payload bit; the header stays valid
+        path.write_bytes(bytes(blob))
+        with pytest.warns(CacheCorruptionWarning, match="checksum mismatch"):
+            assert cache.get(key) == (False, None)
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_unpicklable_payload_is_quarantined(self, tmp_path):
+        """A payload that passes the checksum but fails to unpickle is
+        still corruption, not a crash."""
+        import hashlib
+
+        cache = ResultCache(tmp_path)
+        key = cell_key(demo_cell())
+        payload = b"definitely not a pickle"
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(CACHE_MAGIC + digest + b"\n" + payload)
+        with pytest.warns(CacheCorruptionWarning, match="unpickle"):
+            assert cache.get(key) == (False, None)
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_missing_entry_is_a_silent_miss(self, tmp_path, recwarn):
+        cache = ResultCache(tmp_path)
+        assert cache.get(cell_key(demo_cell())) == (False, None)
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, CacheCorruptionWarning)]
+
+    def test_corrupt_entry_triggers_recompute(self, tmp_path):
+        """run_cells treats a corrupt entry as a miss: the cell reruns
+        and the fresh result overwrites the quarantined one."""
+        sentinels = tmp_path / "s"
+        sentinels.mkdir()
+        cache = ResultCache(tmp_path / "cache")
+        cells = [Cell("t", (0,), touch_and_return,
+                      (str(sentinels), "c0", 41))]
+        assert run_cells(cells, cache=cache) == [41]
+        key = cell_key(cells[0])
+        cache.path_for(key).write_bytes(b"garbage")
+        (sentinels / "c0").unlink()
+        with pytest.warns(CacheCorruptionWarning):
+            assert run_cells(cells, cache=cache) == [41]
+        assert (sentinels / "c0").exists()  # really re-executed
+        assert cache.get(key) == (True, 41)
 
     def test_purge(self, tmp_path):
         cache = ResultCache(tmp_path)

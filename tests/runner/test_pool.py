@@ -53,6 +53,34 @@ class TestErrorPropagation:
         with pytest.raises(WorkerError, match="oops"):
             run_cells(cells + square_cells(1), jobs=2)
 
+    def test_library_errors_unwrapped_inline(self):
+        cells = square_cells(2) + [
+            Cell("t", ("boom",), raise_configuration_error, ("bad knob",))]
+        with pytest.raises(ConfigurationError, match="bad knob"):
+            run_cells(cells, jobs=1)
+
+    def test_worker_error_lists_every_failed_cell(self):
+        """A multi-failure sweep reports ALL failed cells, not just the
+        first one the pool happened to surface."""
+        cells = [
+            Cell("t", ("a",), raise_value_error, ("first boom",)),
+            Cell("t", (1,), raise_value_error, ("second boom",)),
+        ] + square_cells(2)
+        with pytest.raises(WorkerError) as excinfo:
+            run_cells(cells, jobs=2)
+        message = str(excinfo.value)
+        assert "2 cell(s) failed" in message
+        assert "t[a]: ValueError: first boom" in message
+        assert "t[1]: ValueError: second boom" in message
+        # The chain preserves a real underlying exception for debugging.
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_worker_error_chains_cause_parallel(self):
+        cells = [Cell("t", ("boom",), raise_value_error, ("oops",))]
+        with pytest.raises(WorkerError) as excinfo:
+            run_cells(cells + square_cells(1), jobs=2)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
 
 class TestResumeAfterInterrupt:
     def test_killed_worker_loses_only_its_cell(self, tmp_path):

@@ -35,8 +35,12 @@ def test_wrong_archive(tmp_path):
     import numpy as np
     path = tmp_path / "bogus.npz"
     np.savez(path, foo=np.arange(3))
-    with pytest.raises(TraceError):
+    with pytest.raises(TraceError) as excinfo:
         load_trace(path)
+    # The original KeyError is chained, not swallowed: the message names
+    # the missing array and the cause survives for debugging.
+    assert "missing" in str(excinfo.value)
+    assert isinstance(excinfo.value.__cause__, KeyError)
 
 
 def test_large_addresses_preserved(tmp_path):
