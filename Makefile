@@ -1,8 +1,8 @@
 # Convenience targets for the futility-scaling reproduction.
 
-.PHONY: install test bench bench-smoke bench-paper figures \
-	figures-parallel report examples lint typecheck check \
-	clean clean-cache
+.PHONY: install test bench bench-smoke bench-paper bench-throughput \
+	bench-regression figures figures-parallel report examples lint \
+	typecheck check clean clean-cache
 
 # PYTHONPATH=src keeps every target usable from a bare checkout
 # (no editable install required), matching the tier-1 test invocation.
@@ -16,8 +16,22 @@ install:
 test:
 	pytest tests/
 
-bench:
+bench: bench-throughput
 	pytest benchmarks/ --benchmark-only
+
+# Re-measure per-scheme access throughput into BENCH_throughput.json
+# (merges under the "after" label; run with BENCH_LABEL=before on a
+# pre-change tree to refresh the baseline side).
+bench-throughput:
+	$(PY) benchmarks/test_simulator_throughput.py \
+		--out BENCH_throughput.json --label $${BENCH_LABEL:-after}
+
+# CI smoke: fail when access throughput regresses >30% below the
+# committed BENCH_throughput.json (spin-calibrated across machines).
+bench-regression:
+	$(PY) -m pytest -q -p no:cacheprovider \
+		benchmarks/test_simulator_throughput.py::test_benchmark_covers_every_scheme \
+		benchmarks/test_simulator_throughput.py::test_throughput_regression
 
 bench-smoke:
 	REPRO_BENCH_SCALE=smoke pytest benchmarks/ --benchmark-only

@@ -17,10 +17,12 @@ module implements the arrays:
   locations plus block relocation on insert, giving R > W candidates with
   only W ways.
 
-All arrays store *line addresses* (ints).  Line metadata (owner partition,
-futility state) lives in :class:`~repro.cache.cache.PartitionedCache`,
-indexed by line index; arrays that relocate resident blocks report the moves
-so the cache can keep metadata consistent.
+All arrays store *line addresses* (ints) in a shared struct-of-arrays
+:class:`~repro.cache.linetable.LineTable`; the owning
+:class:`~repro.cache.cache.PartitionedCache` adopts the *same* table for
+its per-line metadata (owner partition, dirty bits), so there is exactly
+one record of per-line state.  Arrays that relocate resident blocks report
+the moves so the cache can keep metadata consistent.
 
 A ``place`` call returns the list of ``(src_idx, dst_idx)`` relocations it
 performed (empty for all arrays except the zcache).
@@ -29,11 +31,12 @@ performed (empty for all arrays except the zcache).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ._util_arrays import check_geometry
 from .hashing import H3Hash, IndexHash, make_hash
+from .linetable import INVALID, LineTable
 
 __all__ = [
     "CacheArray",
@@ -45,16 +48,14 @@ __all__ = [
     "ZCacheArray",
 ]
 
-INVALID = -1
-
 
 class CacheArray:
     """Base class: associative lookup plus replacement-candidate generation.
 
     Subclasses must set ``num_lines`` and ``candidate_count`` (the nominal
-    number of replacement candidates R provided on an eviction) and maintain
-    ``_slots`` (line index -> resident address or ``INVALID``) together with
-    ``_where`` (address -> line index).
+    number of replacement candidates R provided on an eviction).  Per-line
+    state lives in :attr:`lines`, a :class:`LineTable`; ``_slots`` and
+    ``_where`` are aliases of its ``tag`` array and ``where`` map.
     """
 
     def __init__(self, num_lines: int, candidate_count: int) -> None:
@@ -65,8 +66,10 @@ class CacheArray:
                 f"candidate_count must be positive, got {candidate_count}")
         self.num_lines = int(num_lines)
         self.candidate_count = int(candidate_count)
-        self._slots: List[int] = [INVALID] * self.num_lines
-        self._where: Dict[int, int] = {}
+        #: Struct-of-arrays per-line metadata, shared with the owning cache.
+        self.lines = LineTable(self.num_lines)
+        self._slots = self.lines.tag
+        self._where = self.lines.where
 
     # -- lookup ----------------------------------------------------------
     def lookup(self, addr: int) -> Optional[int]:
@@ -82,7 +85,7 @@ class CacheArray:
         return len(self._where)
 
     # -- replacement -----------------------------------------------------
-    def candidates(self, addr: int) -> List[int]:
+    def candidates(self, addr: int) -> Sequence[int]:
         """Replacement candidate line indices for an insertion of ``addr``."""
         raise NotImplementedError
 
@@ -130,9 +133,11 @@ class SetAssociativeArray(CacheArray):
         """Set index ``addr`` maps to."""
         return self._hash(addr)
 
-    def candidates(self, addr: int) -> List[int]:
+    def candidates(self, addr: int) -> Sequence[int]:
+        # A range object: candidate lists are consumed by index-array
+        # kernels that only iterate, so there is no reason to materialize.
         base = self._hash(addr) * self.ways
-        return list(range(base, base + self.ways))
+        return range(base, base + self.ways)
 
 
 class DirectMappedArray(SetAssociativeArray):
@@ -195,18 +200,29 @@ class RandomCandidatesArray(CacheArray):
                 f"candidate_count {candidate_count} exceeds num_lines {num_lines}")
         super().__init__(num_lines, candidate_count)
         self._rng = random.Random(seed)
+        # randrange(n) resolves to _randbelow_with_getrandbits: draw
+        # n.bit_length() bits, reject draws >= n.  candidates() inlines that
+        # loop (same RNG call sequence, so historical streams replay
+        # byte-identically) to skip the per-draw wrapper overhead;
+        # tests/cache/test_arrays.py pins the sequence against randrange.
+        self._draw_bits = self.num_lines.bit_length()
 
     def candidates(self, addr: int) -> List[int]:
-        randrange = self._rng.randrange
+        getrandbits = self._rng.getrandbits
         n = self.num_lines
+        k = self._draw_bits
         want = self.candidate_count
         picked: List[int] = []
-        seen = set()
+        append = picked.append
+        seen: set = set()
+        add = seen.add
         while len(picked) < want:
-            idx = randrange(n)
+            idx = getrandbits(k)
+            while idx >= n:
+                idx = getrandbits(k)
             if idx not in seen:
-                seen.add(idx)
-                picked.append(idx)
+                add(idx)
+                append(idx)
         return picked
 
 

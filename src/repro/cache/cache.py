@@ -4,8 +4,9 @@
 (Section III-A): a *cache array* (candidate generation), a *futility
 ranking* (per-partition uselessness order) and a *replacement policy* (a
 partitioning scheme choosing victims).  It owns all per-line metadata
-(owner partition), per-partition occupancy accounting, and the statistics
-the evaluation measures.
+(owner partition, dirty bits — stored in the array's shared
+:class:`~repro.cache.linetable.LineTable`) and per-partition occupancy
+accounting.
 
 Measurement note: associativity statistics (eviction futility, AEF) are
 always recorded as **normalized rank futility** so they are comparable
@@ -14,19 +15,70 @@ the decision ranking is approximate (coarse-grain timestamp LRU) a parallel
 *reference ranking* (exact LRU by default) is maintained purely for
 measurement; with an exact decision ranking the same object serves both
 roles at no extra cost.
+
+Layering (see DESIGN.md): the access path is a *compiled kernel* — a
+closure built by :meth:`PartitionedCache._build_access` that captures the
+LineTable buffers, the ranking's event hooks, the scheme's victim chooser
+and the current event-handler tuples as locals.  Everything that merely
+*measures* the cache (statistics, the reference ranking, experiment
+probes) subscribes to the typed :class:`~repro.cache.events.CacheEventBus`
+instead of being hard-wired into that kernel, so a run with measurement
+disabled iterates empty handler tuples and pays nothing else.  The kernel
+is rebuilt whenever the subscription set changes.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Iterable, List, Optional, Sequence
 
-from ..core.futility import FutilityRanking, LRURanking
+from ..core.futility import (
+    TIMESTAMP_MOD,
+    CoarseTimestampLRURanking,
+    FutilityRanking,
+    LRURanking,
+)
 from ..core.schemes.base import PartitioningScheme
+from ..core.schemes.full_assoc import FullAssocScheme
+from ..core.schemes.futility_scaling import FeedbackFutilityScalingScheme
 from ..errors import ConfigurationError
-from .arrays import INVALID, CacheArray
+from .arrays import (INVALID, CacheArray, FullyAssociativeArray,
+                     SetAssociativeArray)
+from .events import CacheEventBus, CacheObserver
+from .hashing import XorFoldHash
 from .stats import CacheStats
 
-__all__ = ["PartitionedCache"]
+__all__ = ["PartitionedCache", "RankingObserver"]
+
+
+class RankingObserver(CacheObserver):
+    """Drives a measurement-only (reference) ranking from cache events.
+
+    The wrapped ranking sees exactly the insert/hit/evict/move stream the
+    decision ranking sees, but from the event bus — unsubscribing it turns
+    reference maintenance off without touching the access kernel.
+    """
+
+    def __init__(self, ranking: FutilityRanking) -> None:
+        self.ranking = ranking
+
+    def on_cache_hit(self, idx: int, part: int,
+                     next_use: Optional[int]) -> None:
+        self.ranking.on_hit(idx, part, next_use=next_use)
+
+    def on_cache_insert(self, idx: int, part: int, next_use: Optional[int],
+                        evicted: bool) -> None:
+        self.ranking.on_insert(idx, part, next_use=next_use)
+
+    def on_cache_evict(self, idx: int, part: int,
+                       futility: Optional[float], dirty: int) -> None:
+        self.ranking.on_evict(idx, part)
+
+    def on_cache_relocate(self, src: int, dst: int) -> None:
+        self.ranking.on_move(src, dst)
+
+    def on_cache_flush(self, idx: int, part: int, dirty: int) -> None:
+        self.ranking.on_evict(idx, part)
 
 
 class PartitionedCache:
@@ -53,6 +105,11 @@ class PartitionedCache:
         (faster); or pass a :class:`FutilityRanking` instance.
     track_eviction_futility, deviation_partitions, occupancy_sample_period:
         Statistics configuration, see :class:`~repro.cache.stats.CacheStats`.
+    collect_stats:
+        When ``False`` the :attr:`stats` object exists but is *not*
+        subscribed to the event bus — a pure-replacement run with zero
+        measurement cost.  (``cache.events.subscribe(cache.stats)`` turns
+        collection on later.)
     """
 
     def __init__(self, array: CacheArray, ranking: FutilityRanking,
@@ -61,22 +118,28 @@ class PartitionedCache:
                  reference_ranking="auto",
                  track_eviction_futility: bool = True,
                  deviation_partitions: Iterable[int] = (),
-                 occupancy_sample_period: int = 64) -> None:
+                 occupancy_sample_period: int = 64,
+                 collect_stats: bool = True) -> None:
         if num_partitions <= 0:
             raise ConfigurationError("num_partitions must be positive")
+        self._ready = False
         self.array = array
         self.ranking = ranking
         self.scheme = scheme
         self.num_partitions = int(num_partitions)
         self.num_lines = array.num_lines
-        self.owner: List[int] = [-1] * self.num_lines
+        #: Shared struct-of-arrays per-line metadata (owned by the array).
+        self.lines = array.lines
+        self.owner = self.lines.owner
+        self._dirty = self.lines.dirty
         self.actual_sizes: List[int] = [0] * self.num_partitions
         self.targets: List[int] = [0] * self.num_partitions
-        self._dirty = bytearray(self.num_lines)
         self._resident = 0
         #: True when the most recent replacement evicted a dirty line (the
         #: timing engine reads this to charge writeback bandwidth).
         self.writeback_pending = False
+        #: Typed event bus; subscription changes rebuild the access kernel.
+        self.events = CacheEventBus(on_change=self._rebuild_kernel)
 
         ranking.bind(self.num_lines, self.num_partitions)
         if ranking.exact or not track_eviction_futility:
@@ -90,6 +153,7 @@ class PartitionedCache:
                                     and self.reference is not ranking)
         if self._separate_reference:
             self.reference.bind(self.num_lines, self.num_partitions)
+            self.events.subscribe(RankingObserver(self.reference))
 
         self.stats = CacheStats(
             self.num_partitions,
@@ -97,7 +161,9 @@ class PartitionedCache:
             and self.reference is not None,
             deviation_partitions=deviation_partitions,
             occupancy_sample_period=occupancy_sample_period)
-        self._track_deviation = bool(self.stats.deviation_partitions)
+        self.stats.attach(self)
+        if collect_stats:
+            self.events.subscribe(self.stats)
 
         scheme.bind(self)
         if not scheme.uses_candidates and not hasattr(array, "free_slot"):
@@ -110,6 +176,8 @@ class PartitionedCache:
             targets = [base + (1 if p < extra else 0)
                        for p in range(self.num_partitions)]
         self.set_targets(targets)
+        self._ready = True
+        self._rebuild_kernel()
 
     # -- configuration -------------------------------------------------------
     def set_targets(self, targets: Sequence[int]) -> None:
@@ -129,6 +197,9 @@ class PartitionedCache:
         if self._separate_reference:
             self.reference.set_targets(targets)
         self.scheme.set_targets(targets)
+        # Rankings may swap internal buffers on retarget (coarse-TS rebuilds
+        # its period table); recompile so the kernel sees the new ones.
+        self._rebuild_kernel()
 
     def reset_stats(self) -> None:
         """Clear statistics (e.g. after cache warm-up)."""
@@ -149,105 +220,543 @@ class PartitionedCache:
         return self._resident == self.num_lines
 
     # -- the access path -------------------------------------------------------
-    def access(self, addr: int, part: int, next_use: Optional[int] = None,
-               *, is_write: bool = False) -> bool:
-        """Perform one access; returns ``True`` on a hit.
+    def _rebuild_kernel(self) -> None:
+        """(Re)compile the access closure; called on observer changes."""
+        if not self._ready:
+            return
+        self.access = self._build_access()
 
-        ``next_use`` carries Belady future knowledge for OPT rankings (the
-        thread-local position of the next reference to ``addr``).
-        ``is_write`` marks the line dirty; evicting a dirty line records a
-        writeback and raises :attr:`writeback_pending` for the timing
-        engine's bandwidth accounting.
+    def _build_access(self):
+        """Compile ``access(addr, part, next_use=None, *, is_write=False)``.
+
+        Returns ``True`` on a hit.  ``next_use`` carries Belady future
+        knowledge for OPT rankings (the thread-local position of the next
+        reference to ``addr``); ``is_write`` marks the line dirty, and
+        evicting a dirty line raises :attr:`writeback_pending` for the
+        timing engine's bandwidth accounting.
+
+        The kernel is *generated source*, specialized to this cache's exact
+        configuration and compiled once: the LineTable buffers, ranking
+        hooks, the scheme's victim chooser and the event-handler tuples are
+        bound as globals of the generated function, and any segment that
+        cannot apply (no reference ranking, statistics unsubscribed, no
+        deviation tracking, non-relocating array, candidate generation for
+        a set-associative geometry, ...) is simply not emitted.  The two
+        well-known observers — the cache's own
+        :class:`~repro.cache.stats.CacheStats` and the reference-ranking
+        :class:`RankingObserver` — are recognized and inlined as straight
+        counter/hook code; any other observer dispatches through the
+        per-event handler tuples as before.  The generated source is kept
+        on the kernel as ``access.__kernel_source__`` for inspection.
+
+        Event ordering contract (unchanged from the dispatching kernel):
+        ``miss`` fires before victim selection (observers see pre-eviction
+        occupancies), ``evict`` fires after the victim is removed (with the
+        reference futility computed *before* any mutation), ``insert``
+        fires last with an ``evicted`` flag.  Inlined observers fire where
+        their dispatched handlers used to, i.e. before dynamically
+        dispatched ones.
         """
-        if addr < 0:
-            raise ConfigurationError(
-                f"addresses must be non-negative, got {addr}")
-        array = self.array
-        idx = array.lookup(addr)
-        if idx is not None:
-            self.ranking.on_hit(idx, part, next_use=next_use)
-            if self._separate_reference:
-                self.reference.on_hit(idx, part, next_use=next_use)
-            if is_write:
-                self._dirty[idx] = 1
-            self.stats.record_access(part, True, self.actual_sizes)
-            return True
-
-        self.stats.record_access(part, False, self.actual_sizes)
+        array_obj = self.array
+        ranking = self.ranking
+        reference = self.reference
         scheme = self.scheme
+        stats = self.stats
+        events = self.events
+        base = PartitioningScheme
+        stype = type(scheme)
+
+        # The paper's headline configuration — feedback FS over 8-bit coarse
+        # timestamps with the default power-of-two changing ratio — gets its
+        # victim scan and Algorithm-2 interval counters inlined too: the
+        # scaled futility is a masked subtract and a left shift, so going
+        # through choose_victim/on_insert/on_evict calls per miss is pure
+        # dispatch overhead.
+        fb_inline = (stype is FeedbackFutilityScalingScheme
+                     and type(ranking) is CoarseTimestampLRURanking
+                     and TIMESTAMP_MOD == 256
+                     and getattr(scheme, "_shift_scan", False)
+                     and getattr(scheme, "_coarse_ranking", None) is ranking)
+
+        # Recognize the observers the compiler knows how to inline.
+        fast_stats = None
+        ref_obs = None
+        for obs in events.observers():
+            if obs is stats and type(obs) is CacheStats:
+                fast_stats = obs
+            elif type(obs) is RankingObserver and obs.ranking is reference:
+                ref_obs = obs
+        exclude = tuple(o for o in (fast_stats, ref_obs) if o is not None)
+        handlers = {event: events.handlers(event, exclude)
+                    for event in ("hit", "miss", "evict", "insert", "relocate")}
+
+        # Arrays that neither relocate blocks nor keep private slot state
+        # get their evict/place bodies inlined.
+        simple = (type(array_obj).evict is CacheArray.evict
+                  and type(array_obj).place is CacheArray.place)
+        # The fully-associative array's extra state is one free list; its
+        # evict/place bodies are a handful of list operations, so they
+        # inline just as well.
+        fa_inline = type(array_obj) is FullyAssociativeArray
+
+        ns = {
+            "ConfigurationError": ConfigurationError,
+            "where": self.lines.where,
+            "where_get": self.lines.where.get,
+            "tag": self.lines.tag,
+            "owner": self.owner,
+            "dirty": self._dirty,
+            "actual": self.actual_sizes,
+            "cache": self,
+            "num_partitions": self.num_partitions,
+            "r_hit": ranking.on_hit,
+            "r_ins": ranking.on_insert,
+            "r_evi": ranking.on_evict,
+            "r_move": ranking.on_move,
+            "choose": scheme.choose_victim,
+            "a_evict": array_obj.evict,
+            "a_place": array_obj.place,
+            "hit_handlers": handlers["hit"],
+            "miss_handlers": handlers["miss"],
+            "evict_handlers": handlers["evict"],
+            "insert_handlers": handlers["insert"],
+            "relocate_handlers": handlers["relocate"],
+        }
+        if fa_inline:
+            ns["a_free"] = array_obj._free
+        if stype.on_insert is not base.on_insert:
+            ns["s_ins"] = scheme.on_insert
+        if stype.on_evict is not base.on_evict:
+            ns["s_evi"] = scheme.on_evict
+        if stype.on_move is not base.on_move:
+            ns["s_move"] = scheme.on_move
+        if reference is not None:
+            ns["ref_fut"] = reference.futility
+        if ref_obs is not None:
+            ns["ref_hit"] = reference.on_hit
+            ns["ref_ins"] = reference.on_insert
+            ns["ref_evi"] = reference.on_evict
+            ns["ref_move"] = reference.on_move
+        if fast_stats is not None:
+            ns["st"] = fast_stats
+            ns["st_period"] = fast_stats.occupancy_sample_period
+
+        def indent(ind, lines):
+            return [ind + line for line in lines]
+
+        def lru_hook_lines(rk, prefix):
+            # Inline LRURanking's hook bodies (access-sequence keys are
+            # strictly increasing, so maintenance is a bisect-delete plus an
+            # append).  When ensure_index() has materialized the
+            # most_futile index (FullAssoc consumers), the inline bodies
+            # mirror the methods' index upkeep — two dict operations —
+            # instead of falling back to a bound-method call.
+            ns[prefix] = rk
+            ns[prefix + "_key"] = rk._key
+            ns[prefix + "_keys"] = rk._keys
+            ns[prefix + "_part"] = rk._part
+            ns.setdefault("bisect_left", bisect_left)
+            key, keys, part_arr = (prefix + "_key", prefix + "_keys",
+                                   prefix + "_part")
+
+            return {
+                "hit": [
+                    "_ks = %s[part]" % keys,
+                    "_old = %s[idx]" % key,
+                    "del _ks[bisect_left(_ks, _old)]",
+                    "_sq = %s._seq + 1" % prefix,
+                    "%s._seq = _sq" % prefix,
+                    "%s[idx] = _sq" % key,
+                    "_ks.append(_sq)",
+                    "_io = %s._index_of" % prefix,
+                    "if _io is not None:",
+                    "    _io = _io[part]",
+                    "    del _io[_old]",
+                    "    _io[_sq] = idx",
+                ],
+                "insert": [
+                    "_sq = %s._seq + 1" % prefix,
+                    "%s._seq = _sq" % prefix,
+                    "%s[new_idx] = _sq" % key,
+                    "%s[new_idx] = part" % part_arr,
+                    "%s[part].append(_sq)" % keys,
+                    "_io = %s._index_of" % prefix,
+                    "if _io is not None:",
+                    "    _io[part][_sq] = new_idx",
+                ],
+                "evict": [
+                    "_ks = %s[vpart]" % keys,
+                    "_old = %s[victim]" % key,
+                    "del _ks[bisect_left(_ks, _old)]",
+                    "_io = %s._index_of" % prefix,
+                    "if _io is not None:",
+                    "    del _io[vpart][_old]",
+                    "%s[victim] = None" % key,
+                    "%s[victim] = -1" % part_arr,
+                ],
+                "move": [
+                    "_k = %s[src]" % key,
+                    "_pt = %s[src]" % part_arr,
+                    "%s[dst] = _k" % key,
+                    "%s[dst] = _pt" % part_arr,
+                    "_io = %s._index_of" % prefix,
+                    "if _io is not None:",
+                    "    _io[_pt][_k] = dst",
+                    "%s[src] = None" % key,
+                    "%s[src] = -1" % part_arr,
+                ],
+            }
+
+        def coarse_hook_lines(rk, prefix):
+            # Inline CoarseTimestampLRURanking's hooks: the tick counter,
+            # the 8-bit timestamp stamp and the size accounting are all
+            # plain array writes.  (`& 255` == `% TIMESTAMP_MOD`, asserted
+            # by the TIMESTAMP_MOD == 256 gate at the call site.)
+            ns[prefix + "_ts"] = rk._ts
+            ns[prefix + "_part"] = rk._part
+            ns[prefix + "_cur"] = rk._cur_ts
+            ns[prefix + "_acc"] = rk._acc
+            ns[prefix + "_per"] = rk._period
+            ns[prefix + "_sizes"] = rk._sizes
+            tick = [
+                "_ca = %s_acc[part] + 1" % prefix,
+                "if _ca >= %s_per[part]:" % prefix,
+                "    %s_acc[part] = 0" % prefix,
+                "    %s_cur[part] = (%s_cur[part] + 1) & 255" % (prefix, prefix),
+                "else:",
+                "    %s_acc[part] = _ca" % prefix,
+            ]
+            return {
+                "hit": tick + ["%s_ts[idx] = %s_cur[part]" % (prefix, prefix)],
+                "insert": tick + [
+                    "%s_ts[new_idx] = %s_cur[part]" % (prefix, prefix),
+                    "%s_part[new_idx] = part" % prefix,
+                    "%s_sizes[part] += 1" % prefix,
+                ],
+                "evict": [
+                    "%s_sizes[vpart] -= 1" % prefix,
+                    "%s_part[victim] = -1" % prefix,
+                ],
+                "move": [
+                    "%s_ts[dst] = %s_ts[src]" % (prefix, prefix),
+                    "%s_part[dst] = %s_part[src]" % (prefix, prefix),
+                    "%s_part[src] = -1" % prefix,
+                ],
+            }
+
+        r_seg = {
+            "hit": ["r_hit(idx, part, next_use=next_use)"],
+            "insert": ["r_ins(new_idx, part, next_use=next_use)"],
+            "evict": ["r_evi(victim, vpart)"],
+            "move": ["r_move(src, dst)"],
+        }
+        if type(ranking) is LRURanking:
+            r_seg = lru_hook_lines(ranking, "rk")
+        elif (type(ranking) is CoarseTimestampLRURanking
+              and TIMESTAMP_MOD == 256):
+            r_seg = coarse_hook_lines(ranking, "ct")
+        ref_seg = {
+            "hit": ["ref_hit(idx, part, next_use=next_use)"],
+            "insert": ["ref_ins(new_idx, part, next_use=next_use)"],
+            "evict": ["ref_evi(victim, vpart)"],
+            "move": ["ref_move(src, dst)"],
+        }
+        if ref_obs is not None and type(reference) is LRURanking:
+            ref_seg = lru_hook_lines(reference, "rf")
+
+        def victim_lines(cands_expr):
+            # Victim selection over one candidate-list expression: a
+            # choose_victim call, or (feedback FS on coarse timestamps) the
+            # empty-slot probe plus the Algorithm-2 shift scan inlined.
+            # The inline scan mirrors kernels.first_invalid +
+            # FeedbackFutilityScalingScheme.choose_victim exactly.
+            if not fb_inline:
+                return ["    victim = choose(%s, part)" % cands_expr]
+            ns["num_lines"] = self.num_lines
+            ns["fb_lvl"] = scheme._levels
+            return [
+                "    _cands = %s" % cands_expr,
+                "    victim = -1",
+                "    if cache._resident != num_lines:",
+                "        for _c in _cands:",
+                "            if tag[_c] < 0:",
+                "                victim = _c",
+                "                break",
+                "    if victim < 0:",
+                "        _lv = fb_lvl",
+                "        victim = _cands[0]",
+                "        _p = owner[victim]",
+                "        _bf = ((ct_cur[_p] - ct_ts[victim]) & 255) << _lv[_p]",
+                "        for _c in _cands[1:]:",
+                "            _p = owner[_c]",
+                "            _f = ((ct_cur[_p] - ct_ts[_c]) & 255) << _lv[_p]",
+                "            if _f > _bf:",
+                "                _bf = _f",
+                "                victim = _c",
+            ]
+
+        if fb_inline:
+            ns["fb_ins"] = scheme._ins
+            ns["fb_evi"] = scheme._evi
+            ns["fb_len"] = scheme.interval_length
+            ns["fb_tick"] = scheme._interval_elapsed
+
+        # Candidate generation: set-associative geometries (including
+        # direct-mapped) have their index hash inlined into the kernel so a
+        # miss pays no candidate-generation calls at all.
         if scheme.uses_candidates:
-            candidates = array.candidates(addr)
-            victim = scheme.choose_victim(candidates, part)
+            inline_sa = (isinstance(array_obj, SetAssociativeArray)
+                         and type(array_obj).candidates
+                         is SetAssociativeArray.candidates)
+            if inline_sa:
+                ns["ways"] = array_obj.ways
+                hash_obj = array_obj._hash
+                if type(hash_obj) is XorFoldHash and hash_obj._bits > 0:
+                    ns["set_mask"] = hash_obj.buckets - 1
+                    ns["set_bits"] = hash_obj._bits
+                    cand = [
+                        "    _a = addr",
+                        "    _folded = 0",
+                        "    while _a:",
+                        "        _folded ^= _a & set_mask",
+                        "        _a >>= set_bits",
+                        "    _base = _folded * ways",
+                    ] + victim_lines("range(_base, _base + ways)")
+                else:
+                    ns["hash_fn"] = hash_obj
+                    cand = [
+                        "    _base = hash_fn(addr) * ways",
+                    ] + victim_lines("range(_base, _base + ways)")
+            else:
+                ns["get_candidates"] = array_obj.candidates
+                cand = victim_lines("get_candidates(addr)")
         else:
-            victim = array.free_slot()
-            if victim is None:
-                victim = scheme.choose_victim([], part)
+            ns["free_slot"] = array_obj.free_slot
+            if stype is FullAssocScheme and type(ranking) is LRURanking:
+                # FullAssocScheme.choose_victim inlined: the globally most
+                # futile line (LRU order head, ks[0] since access-sequence
+                # futility is descending) of the most oversized non-empty
+                # partition.  bind() has forced ensure_index(), so the
+                # key -> line map is maintained by the inline hook bodies.
+                cand = [
+                    "    victim = free_slot()",
+                    "    if victim is None:",
+                    "        _tgt = cache.targets",
+                    "        _bo = None",
+                    "        _bp = -1",
+                    "        for _p in range(num_partitions):",
+                    "            if actual[_p] == 0:",
+                    "                continue",
+                    "            _ov = actual[_p] - _tgt[_p]",
+                    "            if _bo is None or _ov > _bo:",
+                    "                _bo = _ov",
+                    "                _bp = _p",
+                    "        victim = rk._index_of[_bp][rk_keys[_bp][0]]",
+                ]
+            else:
+                cand = [
+                    "    victim = free_slot()",
+                    "    if victim is None:",
+                    "        victim = choose([], part)",
+                ]
 
-        victim_addr = array.addr_at(victim)
-        self.writeback_pending = False
-        if victim_addr != INVALID:
-            vpart = self.owner[victim]
-            futility = (self.reference.futility(victim)
-                        if self.reference is not None else None)
-            self.stats.record_eviction(vpart, futility)
-            if self._dirty[victim]:
-                self._dirty[victim] = 0
-                self.writeback_pending = True
-                self.stats.record_writeback(vpart)
-            self.ranking.on_evict(victim, vpart)
-            if self._separate_reference:
-                self.reference.on_evict(victim, vpart)
-            scheme.on_evict(victim, vpart)
-            self.owner[victim] = -1
-            self.actual_sizes[vpart] -= 1
-            self._resident -= 1
-            array.evict(victim)
+        def stats_access(ind, counter):
+            # Inlined CacheStats.record_access (counter + periodic
+            # occupancy sampling); reset() mutates attributes rather than
+            # replacing `st`, so attribute loads stay valid across resets.
+            return [
+                ind + "st.accesses += 1",
+                ind + "st." + counter + "[part] += 1",
+                ind + "_n = st._since_occupancy_sample + 1",
+                ind + "if _n >= st_period:",
+                ind + "    st._since_occupancy_sample = 0",
+                ind + "    st._occupancy_samples += 1",
+                ind + "    _acc = st._occupancy_sum",
+                ind + "    for _p in range(num_partitions):",
+                ind + "        _acc[_p] += actual[_p]",
+                ind + "else:",
+                ind + "    st._since_occupancy_sample = _n",
+            ]
 
-        moves = array.place(addr, victim)
-        for src, dst in moves:
-            self.owner[dst] = self.owner[src]
-            self.owner[src] = -1
-            self._dirty[dst] = self._dirty[src]
-            self._dirty[src] = 0
-            self.ranking.on_move(src, dst)
-            if self._separate_reference:
-                self.reference.on_move(src, dst)
-            scheme.on_move(src, dst)
-        new_idx = victim if not moves else array.lookup(addr)
+        src = ["def access(addr, part, next_use=None, *, is_write=False):"]
+        emit = src.append
+        ext = src.extend
+        emit("    idx = where_get(addr)")
+        emit("    if idx is not None:")
+        ext(indent("        ", r_seg["hit"]))
+        emit("        if is_write:")
+        emit("            dirty[idx] = 1")
+        if ref_obs is not None:
+            ext(indent("        ", ref_seg["hit"]))
+        if fast_stats is not None:
+            ext(stats_access("        ", "hits"))
+        if handlers["hit"]:
+            emit("        for _h in hit_handlers:")
+            emit("            _h(idx, part, next_use)")
+        emit("        return True")
+        emit("    if addr < 0:")
+        emit("        raise ConfigurationError(")
+        emit("            'addresses must be non-negative, got %d' % addr)")
+        if fast_stats is not None:
+            ext(stats_access("    ", "misses"))
+        if handlers["miss"]:
+            emit("    for _h in miss_handlers:")
+            emit("        _h(addr, part)")
+        ext(cand)
+        emit("    victim_addr = tag[victim]")
+        emit("    cache.writeback_pending = False")
+        emit("    evicted = victim_addr != -1")
+        emit("    if evicted:")
+        emit("        vpart = owner[victim]")
+        # Exact-LRU reference futility is one bisect and one division;
+        # inline it against whichever key arrays hold the reference order
+        # (the decision ranking itself when it is exact, the shadow
+        # RankingObserver otherwise).
+        lru_ref = None
+        if reference is not None and type(reference) is LRURanking:
+            if reference is ranking:
+                lru_ref = "rk"
+            elif ref_obs is not None:
+                lru_ref = "rf"
+        if lru_ref is not None:
+            emit("        _ks = %s_keys[vpart]" % lru_ref)
+            emit("        _sz = len(_ks)")
+            emit("        fut = (_sz - bisect_left(_ks, %s_key[victim]))"
+                 " / _sz" % lru_ref)
+        elif reference is not None:
+            emit("        fut = ref_fut(victim)")
+        emit("        was_dirty = dirty[victim]")
+        emit("        if was_dirty:")
+        emit("            dirty[victim] = 0")
+        emit("            cache.writeback_pending = True")
+        ext(indent("        ", r_seg["evict"]))
+        if fb_inline:
+            emit("        # Before the size decrement: the interval check")
+            emit("        # reads the pre-eviction actual_sizes (Algorithm 2).")
+            emit("        _cnt = fb_evi[vpart] + 1")
+            emit("        fb_evi[vpart] = _cnt")
+            emit("        if _cnt >= fb_len:")
+            emit("            fb_tick(vpart)")
+        elif "s_evi" in ns:
+            emit("        # Before the size decrement: feedback schemes read")
+            emit("        # the pre-eviction actual_sizes (Algorithm 2).")
+            emit("        s_evi(victim, vpart)")
+        emit("        owner[victim] = -1")
+        emit("        actual[vpart] -= 1")
+        emit("        cache._resident -= 1")
+        if simple:
+            emit("        del where[victim_addr]")
+            emit("        tag[victim] = -1")
+        elif fa_inline:
+            emit("        del where[victim_addr]")
+            emit("        tag[victim] = -1")
+            emit("        a_free.append(victim)")
+        else:
+            emit("        a_evict(victim)")
+        if ref_obs is not None:
+            ext(indent("        ", ref_seg["evict"]))
+        if fast_stats is not None:
+            emit("        st.evictions[vpart] += 1")
+            if fast_stats.track_eviction_futility and reference is not None:
+                emit("        st.eviction_futilities[vpart].append(fut)")
+            emit("        if was_dirty:")
+            emit("            st.writebacks[vpart] += 1")
+        if handlers["evict"]:
+            fut_expr = "fut" if reference is not None else "None"
+            emit("        for _h in evict_handlers:")
+            emit("            _h(victim, vpart, %s, was_dirty)" % fut_expr)
+        if simple:
+            emit("    tag[victim] = addr")
+            emit("    where[addr] = victim")
+            emit("    new_idx = victim")
+        elif fa_inline:
+            emit("    tag[victim] = addr")
+            emit("    where[addr] = victim")
+            emit("    if a_free and a_free[-1] == victim:")
+            emit("        a_free.pop()")
+            emit("    elif victim in a_free:")
+            emit("        a_free.remove(victim)")
+            emit("    new_idx = victim")
+        else:
+            emit("    moves = a_place(addr, victim)")
+            emit("    if moves:")
+            emit("        for src, dst in moves:")
+            emit("            owner[dst] = owner[src]")
+            emit("            owner[src] = -1")
+            emit("            dirty[dst] = dirty[src]")
+            emit("            dirty[src] = 0")
+            ext(indent("            ", r_seg["move"]))
+            if "s_move" in ns:
+                emit("            s_move(src, dst)")
+            if ref_obs is not None:
+                ext(indent("            ", ref_seg["move"]))
+            if handlers["relocate"]:
+                emit("            for _h in relocate_handlers:")
+                emit("                _h(src, dst)")
+            emit("        new_idx = where_get(addr)")
+            emit("    else:")
+            emit("        new_idx = victim")
+        emit("    owner[new_idx] = part")
+        emit("    actual[part] += 1")
+        emit("    cache._resident += 1")
+        emit("    dirty[new_idx] = 1 if is_write else 0")
+        ext(indent("    ", r_seg["insert"]))
+        if fb_inline:
+            emit("    _cnt = fb_ins[part] + 1")
+            emit("    fb_ins[part] = _cnt")
+            emit("    if _cnt >= fb_len:")
+            emit("        fb_tick(part)")
+        elif "s_ins" in ns:
+            emit("    s_ins(new_idx, part)")
+        if ref_obs is not None:
+            ext(indent("    ", ref_seg["insert"]))
+        if fast_stats is not None:
+            emit("    st.insertions[part] += 1")
+            if fast_stats.deviation_partitions:
+                emit("    if evicted:")
+                emit("        _tgt = cache.targets")
+                emit("        for _p, _buf in st.size_deviations.items():")
+                emit("            _buf.append(actual[_p] - _tgt[_p])")
+        if handlers["insert"]:
+            emit("    for _h in insert_handlers:")
+            emit("        _h(new_idx, part, next_use, evicted)")
+        emit("    return False")
 
-        self.owner[new_idx] = part
-        self.actual_sizes[part] += 1
-        self._resident += 1
-        self._dirty[new_idx] = 1 if is_write else 0
-        self.ranking.on_insert(new_idx, part, next_use=next_use)
-        if self._separate_reference:
-            self.reference.on_insert(new_idx, part, next_use=next_use)
-        self.stats.record_insertion(part)
-        scheme.on_insert(new_idx, part)
-        if self._track_deviation and victim_addr != INVALID:
-            self.stats.record_deviations(self.actual_sizes, self.targets)
-        return False
+        code = "\n".join(src)
+        exec(compile(code, "<access-kernel>", "exec"), ns)
+        kernel = ns["access"]
+        kernel.__kernel_source__ = code
+        return kernel
 
     def invalidate_index(self, idx: int) -> None:
         """Forcibly invalidate the line at ``idx`` (placement-scheme flush).
 
-        Counted as a flush, not an eviction, so it does not pollute the
-        associativity statistics.
+        Published as a ``flush`` event, not an eviction, so it does not
+        pollute the associativity statistics.
         """
-        if self.array.addr_at(idx) == INVALID:
+        if self.lines.tag[idx] == INVALID:
             return
         part = self.owner[idx]
-        if self._dirty[idx]:
+        was_dirty = self._dirty[idx]
+        if was_dirty:
             self._dirty[idx] = 0
-            self.stats.record_writeback(part)
         self.ranking.on_evict(idx, part)
-        if self._separate_reference:
-            self.reference.on_evict(idx, part)
         self.owner[idx] = -1
         self.actual_sizes[part] -= 1
         self._resident -= 1
         self.array.evict(idx)
-        self.stats.record_flush()
+        for h in self.events.flush:
+            h(idx, part, was_dirty)
+
+    # -- pickling (the compiled kernel is rebuilt, not serialized) -------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("access", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._rebuild_kernel()
 
     # -- invariant checking (used heavily by the test suite) -------------------
     def check_invariants(self) -> None:

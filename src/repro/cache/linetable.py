@@ -1,0 +1,64 @@
+"""Struct-of-arrays per-line metadata (the ``LineTable``).
+
+Historically every per-line attribute lived in its own Python container
+scattered across layers: the array kept ``_slots`` (a list of resident
+addresses) and ``_where`` (the reverse map), while the cache kept parallel
+``owner`` and ``_dirty`` sequences.  The :class:`LineTable` gathers them
+into one struct-of-arrays record shared by :class:`~repro.cache.arrays
+.CacheArray` and :class:`~repro.cache.cache.PartitionedCache`:
+
+* ``tag`` — ``array('q')``, resident address per line index (``INVALID``
+  when empty).  Addresses are line numbers, well inside int64.
+* ``owner`` — ``array('i')``, owning partition id (``-1`` when empty).
+* ``dirty`` — ``bytearray``, one dirty bit per line.
+* ``where`` — dict mapping resident address -> line index (the associative
+  lookup; a hash map stands in for the tag comparators of real hardware).
+
+Flat typed arrays keep the per-line state in three contiguous buffers
+instead of ~``num_lines`` boxed ints per attribute, which both shrinks the
+footprint and keeps the access kernel's inner loops on C-backed
+``__getitem__``/``__setitem__`` paths.  The table is deliberately dumb —
+no methods beyond construction and ``clear`` — so every layer indexes it
+directly without dispatch overhead.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict
+
+from ..errors import ConfigurationError
+
+__all__ = ["INVALID", "LineTable"]
+
+#: Sentinel for "no resident address" in ``tag`` (and "no owner" in
+#: ``owner``).  Kept identical to the historical arrays-module constant.
+INVALID = -1
+
+
+class LineTable:
+    """Struct-of-arrays metadata for ``num_lines`` cache lines."""
+
+    __slots__ = ("num_lines", "tag", "owner", "dirty", "where")
+
+    def __init__(self, num_lines: int) -> None:
+        if num_lines <= 0:
+            raise ConfigurationError(
+                f"num_lines must be positive, got {num_lines}")
+        self.num_lines = int(num_lines)
+        self.tag = array("q", [INVALID]) * self.num_lines
+        self.owner = array("i", [INVALID]) * self.num_lines
+        self.dirty = bytearray(self.num_lines)
+        self.where: Dict[int, int] = {}
+
+    def resident_count(self) -> int:
+        """Number of valid (occupied) lines."""
+        return len(self.where)
+
+    def clear(self) -> None:
+        """Empty every line (all metadata reset in place, aliases stay valid)."""
+        for i in range(self.num_lines):
+            self.tag[i] = INVALID
+            self.owner[i] = INVALID
+        self.dirty[:] = bytes(self.num_lines)
+        self.where.clear()

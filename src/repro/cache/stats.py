@@ -12,6 +12,13 @@ Collects exactly the measurements the paper's evaluation reports:
 Futility samples are stored in compact ``array('f')`` buffers; deviation
 tracking is opt-in per partition because Fig. 5-style sampling at every
 eviction is expensive at 32 partitions.
+
+:class:`CacheStats` is a :class:`~repro.cache.events.CacheObserver`: the
+cache no longer calls ``record_*`` from its access kernel but publishes
+typed events that the stats object subscribes to (after :meth:`attach`
+binds it to the cache whose occupancies it samples).  The ``record_*``
+methods remain the public recording API — the observer handlers are thin
+adapters over them — so standalone use in tests keeps working.
 """
 
 from __future__ import annotations
@@ -20,11 +27,12 @@ from array import array
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..errors import ConfigurationError
+from .events import CacheObserver
 
 __all__ = ["CacheStats"]
 
 
-class CacheStats:
+class CacheStats(CacheObserver):
     """Counters and sample buffers for a partitioned cache."""
 
     def __init__(self, num_partitions: int, *,
@@ -42,7 +50,43 @@ class CacheStats:
             if not 0 <= p < num_partitions:
                 raise ConfigurationError(f"deviation partition {p} out of range")
         self.occupancy_sample_period = int(occupancy_sample_period)
+        self._cache = None
         self.reset()
+
+    # -- observer wiring -----------------------------------------------------
+    def attach(self, cache) -> "CacheStats":
+        """Bind to the cache whose occupancy/targets the samples read.
+
+        Must be called before subscribing to the cache's event bus; returns
+        ``self`` for chaining.
+        """
+        self._cache = cache
+        return self
+
+    def on_cache_hit(self, idx: int, part: int,
+                     next_use: Optional[int]) -> None:
+        self.record_access(part, True, self._cache.actual_sizes)
+
+    def on_cache_miss(self, addr: int, part: int) -> None:
+        self.record_access(part, False, self._cache.actual_sizes)
+
+    def on_cache_evict(self, idx: int, part: int,
+                       futility: Optional[float], dirty: int) -> None:
+        self.record_eviction(part, futility)
+        if dirty:
+            self.record_writeback(part)
+
+    def on_cache_insert(self, idx: int, part: int, next_use: Optional[int],
+                        evicted: bool) -> None:
+        self.record_insertion(part)
+        if evicted and self.size_deviations:
+            cache = self._cache
+            self.record_deviations(cache.actual_sizes, cache.targets)
+
+    def on_cache_flush(self, idx: int, part: int, dirty: int) -> None:
+        if dirty:
+            self.record_writeback(part)
+        self.record_flush()
 
     def reset(self) -> None:
         """Zero all counters and clear all sample buffers."""

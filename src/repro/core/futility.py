@@ -27,14 +27,28 @@ Every ranking exposes two views:
 * ``raw_futility(idx)`` — the scheme-facing magnitude the replacement
   hardware would compare (the 8-bit distance for coarse timestamps; equal to
   ``futility`` for the exact rankings).
+
+Layout note (the access-kernel contract): the keyed exact rankings are
+struct-of-arrays — a flat per-line key array plus one plain sorted key list
+per partition — and advertise ``key_ordered = True``.  Within a partition,
+normalized futility is strictly monotone in the key (direction given by
+``_ascending_futility``), so the victim-selection kernels in
+:mod:`repro.core.schemes.kernels` compare raw keys instead of issuing a
+rank query (a bisect) per candidate, and batch the few rank queries that
+remain via :meth:`FutilityRanking.futilities`.  The per-partition
+``most_futile`` index (a key -> line dict) is maintained only once
+:meth:`_KeyedRanking.ensure_index` has been called — the FullAssoc scheme
+is its lone hot-path consumer, so everyone else skips two dict writes per
+event.
 """
 
 from __future__ import annotations
 
 import random
+from array import array
+from bisect import bisect_left, insort
 from typing import List, Optional, Sequence
 
-from .._util import SortedKeyList
 from ..errors import ConfigurationError
 
 __all__ = [
@@ -67,6 +81,10 @@ class FutilityRanking:
     exact = False
     #: Whether accesses must carry Belady next-use information.
     needs_future = False
+    #: Whether resident lines of one partition may be *compared* by their
+    #: raw keys (``_key``/``_keys``/``_ascending_futility``), letting victim
+    #: kernels avoid per-candidate rank queries.
+    key_ordered = False
 
     def __init__(self) -> None:
         self._num_lines = 0
@@ -110,29 +128,57 @@ class FutilityRanking:
         """Scheme-facing futility magnitude (larger = more useless)."""
         return self.futility(idx)
 
+    # -- batch queries (the victim kernels' entry points) ------------------
+    def futilities(self, indices: Sequence[int]) -> List[float]:
+        """``futility`` over many lines in one call (subclasses inline)."""
+        futility = self.futility
+        return [futility(i) for i in indices]
+
+    def raw_futilities(self, indices: Sequence[int]) -> List[float]:
+        """``raw_futility`` over many lines in one call."""
+        raw = self.raw_futility
+        return [raw(i) for i in indices]
+
 
 class _KeyedRanking(FutilityRanking):
     """Shared machinery for rankings backed by per-partition sorted keys.
 
-    Subclasses define how keys are produced; this class maintains the
-    per-line key/partition arrays and the per-partition order statistics.
-    ``_ascending_futility`` selects the rank direction: ``True`` means larger
-    keys are more futile (OPT next-use times), ``False`` means smaller keys
-    are more futile (LRU last-access times, LFU counts).
+    Subclasses define how keys are produced; this class maintains the flat
+    per-line key/partition arrays and one plain sorted list of keys per
+    partition (``_keys[part]``).  ``_ascending_futility`` selects the rank
+    direction: ``True`` means larger keys are more futile (OPT next-use
+    times), ``False`` means smaller keys are more futile (LRU last-access
+    times, LFU counts).
     """
 
     _ascending_futility = True
+    key_ordered = True
 
     def bind(self, num_lines: int, num_partitions: int) -> None:
         super().bind(num_lines, num_partitions)
         self._key: List = [None] * num_lines
-        self._part: List[int] = [-1] * num_lines
-        self._ranks: List[SortedKeyList] = [SortedKeyList()
-                                            for _ in range(num_partitions)]
-        self._index_of: List[dict] = [dict() for _ in range(num_partitions)]
+        self._part = array("i", [-1]) * num_lines
+        self._keys: List[List] = [[] for _ in range(num_partitions)]
+        # key -> line index per partition; built lazily by ensure_index()
+        # because only most_futile() consumers (FullAssoc) need it.
+        self._index_of: Optional[List[dict]] = None
 
     def partition_size(self, part: int) -> int:
-        return len(self._ranks[part])
+        return len(self._keys[part])
+
+    def ensure_index(self) -> None:
+        """Build (and from then on maintain) the key -> line index used by
+        :meth:`most_futile`.  Idempotent; callable at any point."""
+        if self._index_of is not None:
+            return
+        index_of: List[dict] = [dict() for _ in range(self._num_partitions)]
+        key = self._key
+        part = self._part
+        for idx in range(self._num_lines):
+            p = part[idx]
+            if p >= 0:
+                index_of[p][key[idx]] = idx
+        self._index_of = index_of
 
     def most_futile(self, part: int) -> int:
         """Line index of the most futile resident line in ``part``.
@@ -140,8 +186,10 @@ class _KeyedRanking(FutilityRanking):
         Used by the FullAssoc ideal scheme; raises ``IndexError`` when the
         partition is empty.
         """
-        ranks = self._ranks[part]
-        key = ranks.min() if not self._ascending_futility else ranks.max()
+        if self._index_of is None:
+            self.ensure_index()
+        ks = self._keys[part]
+        key = ks[-1] if self._ascending_futility else ks[0]
         return self._index_of[part][key]
 
     def _make_key(self, idx: int, part: int, next_use: Optional[int],
@@ -152,24 +200,35 @@ class _KeyedRanking(FutilityRanking):
         key = self._make_key(idx, part, next_use, is_hit=False)
         self._key[idx] = key
         self._part[idx] = part
-        self._ranks[part].add(key)
-        self._index_of[part][key] = idx
+        ks = self._keys[part]
+        if ks and key < ks[-1]:
+            insort(ks, key)
+        else:
+            ks.append(key)
+        if self._index_of is not None:
+            self._index_of[part][key] = idx
 
     def on_hit(self, idx: int, part: int, *, next_use: Optional[int] = None) -> None:
-        ranks = self._ranks[part]
-        index_of = self._index_of[part]
+        ks = self._keys[part]
         old = self._key[idx]
-        ranks.remove(old)
-        del index_of[old]
+        del ks[bisect_left(ks, old)]
         key = self._make_key(idx, part, next_use, is_hit=True)
         self._key[idx] = key
-        ranks.add(key)
-        index_of[key] = idx
+        if ks and key < ks[-1]:
+            insort(ks, key)
+        else:
+            ks.append(key)
+        if self._index_of is not None:
+            index_of = self._index_of[part]
+            del index_of[old]
+            index_of[key] = idx
 
     def on_evict(self, idx: int, part: int) -> None:
         key = self._key[idx]
-        self._ranks[part].remove(key)
-        del self._index_of[part][key]
+        ks = self._keys[part]
+        del ks[bisect_left(ks, key)]
+        if self._index_of is not None:
+            del self._index_of[part][key]
         self._key[idx] = None
         self._part[idx] = -1
 
@@ -178,18 +237,36 @@ class _KeyedRanking(FutilityRanking):
         part = self._part[src]
         self._key[dst] = key
         self._part[dst] = part
-        self._index_of[part][key] = dst
+        if self._index_of is not None:
+            self._index_of[part][key] = dst
         self._key[src] = None
         self._part[src] = -1
 
     def futility(self, idx: int) -> float:
-        part = self._part[idx]
-        ranks = self._ranks[part]
-        size = len(ranks)
-        rank = ranks.rank(self._key[idx])  # keys strictly smaller
+        ks = self._keys[self._part[idx]]
+        size = len(ks)
+        rank = bisect_left(ks, self._key[idx])  # keys strictly smaller
         if self._ascending_futility:
             return (rank + 1) / size
         return (size - rank) / size
+
+    def futilities(self, indices: Sequence[int]) -> List[float]:
+        key = self._key
+        part = self._part
+        keys = self._keys
+        asc = self._ascending_futility
+        out: List[float] = []
+        append = out.append
+        for i in indices:
+            ks = keys[part[i]]
+            size = len(ks)
+            rank = bisect_left(ks, key[i])
+            append((rank + 1) / size if asc else (size - rank) / size)
+        return out
+
+    # Exact rankings: the raw magnitude *is* the normalized rank.
+    def raw_futilities(self, indices: Sequence[int]) -> List[float]:
+        return self.futilities(indices)
 
 
 class LRURanking(_KeyedRanking):
@@ -206,6 +283,31 @@ class LRURanking(_KeyedRanking):
     def _make_key(self, idx, part, next_use, *, is_hit):
         self._seq += 1
         return self._seq
+
+    # Access-sequence keys are strictly increasing, so the sorted-position
+    # search of the generic paths degenerates to an append; these overrides
+    # keep the hottest ranking events free of _make_key dispatch too.
+    def on_insert(self, idx: int, part: int, *, next_use: Optional[int] = None) -> None:
+        key = self._seq + 1
+        self._seq = key
+        self._key[idx] = key
+        self._part[idx] = part
+        self._keys[part].append(key)
+        if self._index_of is not None:
+            self._index_of[part][key] = idx
+
+    def on_hit(self, idx: int, part: int, *, next_use: Optional[int] = None) -> None:
+        ks = self._keys[part]
+        old = self._key[idx]
+        del ks[bisect_left(ks, old)]
+        key = self._seq + 1
+        self._seq = key
+        self._key[idx] = key
+        ks.append(key)
+        if self._index_of is not None:
+            index_of = self._index_of[part]
+            del index_of[old]
+            index_of[key] = idx
 
 
 class LFURanking(_KeyedRanking):
@@ -292,6 +394,9 @@ class CoarseTimestampLRURanking(FutilityRanking):
 
     ``futility`` (used only for *measurement*, never for the hardware
     decision path) returns the distance normalized by 255.
+
+    Per-line state is a ``bytearray`` of timestamps plus a flat partition
+    array — the modeled hardware's 8-bit tag store, laid out as such.
     """
 
     name = "coarse-ts-lru"
@@ -305,8 +410,8 @@ class CoarseTimestampLRURanking(FutilityRanking):
 
     def bind(self, num_lines: int, num_partitions: int) -> None:
         super().bind(num_lines, num_partitions)
-        self._ts: List[int] = [0] * num_lines
-        self._part: List[int] = [-1] * num_lines
+        self._ts = bytearray(num_lines)
+        self._part = array("i", [-1]) * num_lines
         self._cur_ts: List[int] = [0] * num_partitions
         self._acc: List[int] = [0] * num_partitions
         self._period: List[int] = [1] * num_partitions
@@ -325,10 +430,12 @@ class CoarseTimestampLRURanking(FutilityRanking):
         return self._cur_ts[part]
 
     def _tick(self, part: int) -> None:
-        self._acc[part] += 1
-        if self._acc[part] >= self._period[part]:
+        acc = self._acc[part] + 1
+        if acc >= self._period[part]:
             self._acc[part] = 0
             self._cur_ts[part] = (self._cur_ts[part] + 1) % TIMESTAMP_MOD
+        else:
+            self._acc[part] = acc
 
     def on_insert(self, idx: int, part: int, *, next_use: Optional[int] = None) -> None:
         self._tick(part)
@@ -355,6 +462,16 @@ class CoarseTimestampLRURanking(FutilityRanking):
 
     def futility(self, idx: int) -> float:
         return self.raw_futility(idx) / (TIMESTAMP_MOD - 1)
+
+    def raw_futilities(self, indices: Sequence[int]) -> List[int]:
+        ts = self._ts
+        part = self._part
+        cur = self._cur_ts
+        return [(cur[part[i]] - ts[i]) % TIMESTAMP_MOD for i in indices]
+
+    def futilities(self, indices: Sequence[int]) -> List[float]:
+        scale = TIMESTAMP_MOD - 1
+        return [raw / scale for raw in self.raw_futilities(indices)]
 
 
 _RANKING_KINDS = {

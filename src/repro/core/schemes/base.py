@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Type
 
 from ...errors import ConfigurationError
+from . import kernels
 
 __all__ = ["PartitioningScheme", "register_scheme", "make_scheme",
            "available_schemes"]
@@ -68,17 +69,10 @@ class PartitioningScheme:
     def _first_invalid(self, candidates: List[int]) -> Optional[int]:
         """First empty slot among candidates, or ``None``.
 
-        Skips the scan entirely once the cache is full — the common case
-        in steady state — so the hot path pays for it only during warm-up.
+        Delegates to :func:`repro.core.schemes.kernels.first_invalid`, which
+        skips the scan entirely once the cache is full.
         """
-        cache = self.cache
-        if cache._resident == cache.num_lines:
-            return None
-        addr_at = cache.array.addr_at
-        for c in candidates:
-            if addr_at(c) < 0:
-                return c
-        return None
+        return kernels.first_invalid(self.cache, candidates)
 
     def _most_oversized_partition(self, candidates: List[int]) -> int:
         """The Partition-Selection step shared by PF-family schemes: the

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from . import kernels
 from .base import PartitioningScheme, register_scheme
 
 __all__ = ["CQVPScheme"]
@@ -35,25 +36,95 @@ class CQVPScheme(PartitioningScheme):
     name = "cqvp"
 
     def choose_victim(self, candidates: List[int], incoming_part: int) -> int:
-        invalid = self._first_invalid(candidates)
-        if invalid is not None:
-            return invalid
         cache = self.cache
+        if cache._resident != cache.num_lines:
+            invalid = kernels.first_invalid(cache, candidates)
+            if invalid is not None:
+                return invalid
         owner = cache.owner
         actual = cache.actual_sizes
         targets = cache.targets
-        raw = cache.ranking.raw_futility
+        ranking = cache.ranking
         incoming_over = actual[incoming_part] >= targets[incoming_part]
 
         best_violator: Optional[int] = None
-        best_violator_f = None
         best_own: Optional[int] = None
+        if ranking.key_ordered:
+            # Group candidates by partition on raw keys (futility is
+            # strictly monotone in the key within one partition), then rank
+            # only the per-partition winners — one bisect per distinct
+            # candidate partition instead of one per candidate.  Positional
+            # tie-breaks reproduce the flat first-strict-max loops exactly
+            # (see kernels.choose_scaled for the full argument).
+            key = ranking._key
+            asc = ranking._ascending_futility
+            parts: List[int] = []
+            best_c: List[int] = []
+            best_k: List = []
+            best_pos: List[int] = []
+            slot_of = {}
+            pos = 0
+            for c in candidates:
+                p = owner[c]
+                k = key[c]
+                s = slot_of.get(p)
+                if s is None:
+                    slot_of[p] = len(parts)
+                    parts.append(p)
+                    best_c.append(c)
+                    best_k.append(k)
+                    best_pos.append(pos)
+                elif (k > best_k[s]) if asc else (k < best_k[s]):
+                    best_k[s] = k
+                    best_c[s] = c
+                    best_pos[s] = pos
+                pos += 1
+            s_own = slot_of.get(incoming_part)
+            if s_own is not None:
+                best_own = best_c[s_own]
+            fut = ranking.futility  # == raw_futility for key-ordered
+            best_any = best_c[0]
+            ba_f = fut(best_any)
+            ba_pos = best_pos[0]
+            bv_f = None
+            bv_pos = -1
+            if actual[parts[0]] > targets[parts[0]]:
+                best_violator = best_any
+                bv_f = ba_f
+                bv_pos = ba_pos
+            for s in range(1, len(parts)):
+                c = best_c[s]
+                f = fut(c)
+                pos = best_pos[s]
+                if f > ba_f or (f == ba_f and pos < ba_pos):
+                    ba_f = f
+                    best_any = c
+                    ba_pos = pos
+                p = parts[s]
+                if actual[p] > targets[p] and (
+                        bv_f is None or f > bv_f
+                        or (f == bv_f and pos < bv_pos)):
+                    bv_f = f
+                    best_violator = c
+                    bv_pos = pos
+            if incoming_over and best_own is not None:
+                return best_own
+            if best_violator is not None:
+                return best_violator
+            if best_own is not None:
+                return best_own
+            return best_any
+
+        raws = ranking.raw_futilities(candidates)
+        best_violator_f = None
         best_own_f = None
         best_any = candidates[0]
-        best_any_f = raw(best_any)
+        best_any_f = raws[0]
+        i = 0
         for c in candidates:
             p = owner[c]
-            f = raw(c)
+            f = raws[i]
+            i += 1
             if f > best_any_f:
                 best_any_f = f
                 best_any = c

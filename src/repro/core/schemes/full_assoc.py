@@ -41,6 +41,11 @@ class FullAssocScheme(PartitioningScheme):
             raise ConfigurationError(
                 f"ranking {cache.ranking.name!r} does not support "
                 "most-futile queries")
+        # Ask the ranking to maintain its most-futile index eagerly from
+        # here on; rankings without a FullAssoc consumer skip that work.
+        ensure = getattr(cache.ranking, "ensure_index", None)
+        if ensure is not None:
+            ensure()
 
     def choose_victim(self, candidates: List[int], incoming_part: int) -> int:
         cache = self.cache

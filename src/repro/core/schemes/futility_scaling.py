@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence
 from ...errors import ConfigurationError
 from ..futility import CoarseTimestampLRURanking
 from ..scaling import solve_scaling_factors
+from . import kernels
 from .base import PartitioningScheme, register_scheme
 
 __all__ = ["FutilityScalingScheme", "FeedbackFutilityScalingScheme"]
@@ -100,21 +101,15 @@ class FutilityScalingScheme(PartitioningScheme):
                 f"{len(targets)} partitions")
 
     def choose_victim(self, candidates: List[int], incoming_part: int) -> int:
-        invalid = self._first_invalid(candidates)
-        if invalid is not None:
-            return invalid
         cache = self.cache
-        owner = cache.owner
-        futility = cache.ranking.futility
-        alphas = self._alphas
-        best = candidates[0]
-        best_f = alphas[owner[best]] * futility(best)
-        for c in candidates[1:]:
-            f = alphas[owner[c]] * futility(c)
-            if f > best_f:
-                best_f = f
-                best = c
-        return best
+        if cache._resident != cache.num_lines:
+            invalid = kernels.first_invalid(cache, candidates)
+            if invalid is not None:
+                return invalid
+        # argmax of alpha_i * futility over the full candidate list — the
+        # scaled-futility kernel groups by partition so exact rankings pay
+        # one rank query per distinct candidate partition.
+        return kernels.choose_scaled(cache, candidates, self._alphas)
 
 
 @register_scheme
@@ -154,6 +149,9 @@ class FeedbackFutilityScalingScheme(PartitioningScheme):
         self._evi: List[int] = []
         self._multipliers: List[float] = [
             self.changing_ratio ** k for k in range(self.max_level + 1)]
+        # Per-partition effective alpha (multipliers[level]), kept in step
+        # with _levels so the victim kernel can index it directly.
+        self._weights: List[float] = []
         #: History of (partition, new_level) adjustments, for analysis.
         self.adjustments: List = []
         self.record_adjustments = False
@@ -164,6 +162,7 @@ class FeedbackFutilityScalingScheme(PartitioningScheme):
         self._levels = [0] * n
         self._ins = [0] * n
         self._evi = [0] * n
+        self._weights = [self._multipliers[0]] * n
         # The hardware pairing (coarse 8-bit timestamps) gets an inlined
         # victim scan — the raw futility is a masked subtract, and going
         # through the method call per candidate dominates the hot path.
@@ -171,6 +170,10 @@ class FeedbackFutilityScalingScheme(PartitioningScheme):
                                 if isinstance(cache.ranking,
                                               CoarseTimestampLRURanking)
                                 else None)
+        # Exact comparison on purpose: the shift fast path is only valid
+        # when the ratio is *exactly* two (scaling degenerates to `<< level`).
+        self._shift_scan = (
+            self.changing_ratio == 2.0)  # reprolint: disable=COR001
 
     def scaling_levels(self) -> List[int]:
         """Current ScalingShiftWidth (exponent) per partition."""
@@ -181,36 +184,45 @@ class FeedbackFutilityScalingScheme(PartitioningScheme):
         return [self._multipliers[k] for k in self._levels]
 
     def choose_victim(self, candidates: List[int], incoming_part: int) -> int:
-        invalid = self._first_invalid(candidates)
-        if invalid is not None:
-            return invalid
         cache = self.cache
+        if cache._resident != cache.num_lines:
+            invalid = kernels.first_invalid(cache, candidates)
+            if invalid is not None:
+                return invalid
         owner = cache.owner
-        levels = self._levels
-        mult = self._multipliers
         coarse = self._coarse_ranking
         if coarse is not None:
             line_ts = coarse._ts
             cur_ts = coarse._cur_ts
+            if self._shift_scan:
+                # changing_ratio == 2: scaling is a left shift of the 8-bit
+                # distance (exactly the hardware's barrel shifter), and both
+                # operands are exact small integers, so the argmax matches
+                # the float-weighted scan bit for bit.
+                levels = self._levels
+                best = candidates[0]
+                p = owner[best]
+                best_f = ((cur_ts[p] - line_ts[best]) & 0xFF) << levels[p]
+                for c in candidates[1:]:
+                    p = owner[c]
+                    f = ((cur_ts[p] - line_ts[c]) & 0xFF) << levels[p]
+                    if f > best_f:
+                        best_f = f
+                        best = c
+                return best
+            weights = self._weights
             best = candidates[0]
             p = owner[best]
-            best_f = ((cur_ts[p] - line_ts[best]) & 0xFF) * mult[levels[p]]
+            best_f = ((cur_ts[p] - line_ts[best]) & 0xFF) * weights[p]
             for c in candidates[1:]:
                 p = owner[c]
-                f = ((cur_ts[p] - line_ts[c]) & 0xFF) * mult[levels[p]]
+                f = ((cur_ts[p] - line_ts[c]) & 0xFF) * weights[p]
                 if f > best_f:
                     best_f = f
                     best = c
             return best
-        raw = cache.ranking.raw_futility
-        best = candidates[0]
-        best_f = raw(best) * mult[levels[owner[best]]]
-        for c in candidates[1:]:
-            f = raw(c) * mult[levels[owner[c]]]
-            if f > best_f:
-                best_f = f
-                best = c
-        return best
+        return kernels.choose_scaled(cache, candidates, self._weights,
+                                     raw=True)
 
     def _interval_elapsed(self, part: int) -> None:
         """Algorithm 2 body: nudge the scaling factor and reset counters."""
@@ -222,11 +234,13 @@ class FeedbackFutilityScalingScheme(PartitioningScheme):
         if actual > target and ins >= evi:
             if self._levels[part] < self.max_level:
                 self._levels[part] += 1
+                self._weights[part] = self._multipliers[self._levels[part]]
                 if self.record_adjustments:
                     self.adjustments.append((part, self._levels[part]))
         elif actual < target and ins <= evi:
             if self._levels[part] > 0:
                 self._levels[part] -= 1
+                self._weights[part] = self._multipliers[self._levels[part]]
                 if self.record_adjustments:
                     self.adjustments.append((part, self._levels[part]))
         self._ins[part] = 0

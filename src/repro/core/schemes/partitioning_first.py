@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import List
 
+from . import kernels
 from .base import PartitioningScheme, register_scheme
 
 __all__ = ["PartitioningFirstScheme"]
@@ -33,8 +34,10 @@ class PartitioningFirstScheme(PartitioningScheme):
     name = "pf"
 
     def choose_victim(self, candidates: List[int], incoming_part: int) -> int:
-        invalid = self._first_invalid(candidates)
-        if invalid is not None:
-            return invalid
-        chosen = self._most_oversized_partition(candidates)
-        return self._max_futility_in_partition(candidates, chosen)
+        cache = self.cache
+        if cache._resident != cache.num_lines:
+            invalid = kernels.first_invalid(cache, candidates)
+            if invalid is not None:
+                return invalid
+        # PS + VI fused into one pass over the candidate indices.
+        return kernels.choose_pf(cache, candidates)

@@ -26,6 +26,7 @@ import random
 from typing import List
 
 from ...errors import ConfigurationError
+from . import kernels
 from .base import PartitioningScheme, register_scheme
 
 __all__ = ["PriSMScheme"]
@@ -115,37 +116,22 @@ class PriSMScheme(PartitioningScheme):
         return lo
 
     def choose_victim(self, candidates: List[int], incoming_part: int) -> int:
-        invalid = self._first_invalid(candidates)
-        if invalid is not None:
-            return invalid
+        # NB: the empty-slot probe must run *before* sampling so that
+        # warm-up fills consume no RNG draws (replay determinism).
         cache = self.cache
-        owner = cache.owner
-        raw = cache.ranking.raw_futility
+        if cache._resident != cache.num_lines:
+            invalid = kernels.first_invalid(cache, candidates)
+            if invalid is not None:
+                return invalid
         self.selections += 1
         wanted = self._sample_partition()
-        best = -1
-        best_f = None
-        for c in candidates:
-            if owner[c] != wanted:
-                continue
-            f = raw(c)
-            if best_f is None or f > best_f:
-                best_f = f
-                best = c
+        best = kernels.max_raw_in(self.cache, candidates, wanted)
         if best >= 0:
             return best
         # Abnormality: the sampled partition is absent from the candidate
         # list; evict the least useful candidate regardless of partition.
         self.abnormalities += 1
-        futility = cache.ranking.futility
-        best = candidates[0]
-        best_f = futility(best)
-        for c in candidates[1:]:
-            f = futility(c)
-            if f > best_f:
-                best_f = f
-                best = c
-        return best
+        return kernels.choose_scaled(self.cache, candidates)
 
     def on_insert(self, idx: int, part: int) -> None:
         self._window_insertions[part] += 1

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List
 
+from . import kernels
 from .base import PartitioningScheme, register_scheme
 
 __all__ = ["UnpartitionedScheme"]
@@ -24,15 +25,9 @@ class UnpartitionedScheme(PartitioningScheme):
     name = "unpartitioned"
 
     def choose_victim(self, candidates: List[int], incoming_part: int) -> int:
-        invalid = self._first_invalid(candidates)
-        if invalid is not None:
-            return invalid
-        futility = self.cache.ranking.futility
-        best = candidates[0]
-        best_f = futility(best)
-        for c in candidates[1:]:
-            f = futility(c)
-            if f > best_f:
-                best_f = f
-                best = c
-        return best
+        cache = self.cache
+        if cache._resident != cache.num_lines:
+            invalid = kernels.first_invalid(cache, candidates)
+            if invalid is not None:
+                return invalid
+        return kernels.choose_scaled(cache, candidates)

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from ...errors import ConfigurationError
+from . import kernels
 from .base import PartitioningScheme, register_scheme
 
 __all__ = ["VantageScheme"]
@@ -92,35 +93,176 @@ class VantageScheme(PartitioningScheme):
             return self.max_aperture
         return over * self.max_aperture
 
-    def choose_victim(self, candidates: List[int], incoming_part: int) -> int:
-        invalid = self._first_invalid(candidates)
-        if invalid is not None:
-            return invalid
+    def _demotion_threshold_key(self, part: int, ks, asc: bool):
+        """Ranking key bounding the demotion region of ``part``, or ``None``.
+
+        Reproduces the per-candidate aperture test bit for bit: futility is
+        monotone in rank, so the boundary rank is binary-searched with the
+        *exact* float expressions of the per-candidate comparison
+        (``futility(c) >= 1.0 - aperture``), and a candidate is demoted iff
+        its key is on the futile side of the returned key (inclusive).
+        """
+        a = self.aperture(part)
+        if a <= 0.0:
+            return None
+        size = len(ks)
+        thr = 1.0 - a
+        if asc:
+            # futility = (rank + 1) / size, increasing: find the smallest
+            # rank inside the aperture.
+            lo, hi = 0, size
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if (mid + 1) / size >= thr:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            return ks[lo] if lo < size else None
+        # futility = (size - rank) / size, decreasing: find the largest
+        # rank inside the aperture (-1 when even rank 0 falls short).
+        lo, hi = -1, size - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if (size - mid) / size >= thr:
+                lo = mid
+            else:
+                hi = mid - 1
+        return ks[lo] if lo >= 0 else None
+
+    def _choose_victim_keyed(self, candidates: List[int],
+                             ranking) -> int:
+        """Key-ordered fast path: no per-candidate rank queries.
+
+        Demotion membership becomes a key comparison against a
+        per-partition threshold; the eviction argmax groups candidates by
+        partition on raw keys and ranks only per-partition winners, with
+        positional tie-breaks reproducing the flat first-strict-max loops
+        (see kernels.choose_scaled for the soundness argument).
+        """
         cache = self.cache
         owner = cache.owner
-        futility = cache.ranking.futility
         managed = self._managed
+        key = ranking._key
+        all_keys = ranking._keys
+        asc = ranking._ascending_futility
+        msizes = self._managed_sizes
+        thr_key = self._demotion_threshold_key
+        num_partitions = cache.num_partitions
+        missing = object()
+        # Partition-indexed scratch lists instead of dicts: candidate lists
+        # are hot (one pass per miss) and partition counts are small.
+        thresholds: List = [missing] * num_partitions
+        slot_of = [-1] * num_partitions
+        # Demotion and unmanaged-winner grouping fused into one pass: a
+        # candidate's demotion depends only on its own key and its
+        # partition's threshold (snapshotted on first managed encounter,
+        # exactly like the two-pass form), so processing candidates
+        # sequentially is equivalent to demote-all-then-group.
+        parts: List[int] = []
+        best_c: List[int] = []
+        best_k: List = []
+        best_pos: List[int] = []
+        pos = 0
+        for c in candidates:
+            p = owner[c]
+            k = key[c]
+            if managed[c]:
+                kt = thresholds[p]
+                if kt is missing:
+                    kt = thresholds[p] = thr_key(p, all_keys[p], asc)
+                if kt is None or ((k < kt) if asc else (k > kt)):
+                    pos += 1
+                    continue
+                managed[c] = False
+                msizes[p] -= 1
+                self.demotions += 1
+            s = slot_of[p]
+            if s < 0:
+                slot_of[p] = len(parts)
+                parts.append(p)
+                best_c.append(c)
+                best_k.append(k)
+                best_pos.append(pos)
+            elif (k > best_k[s]) if asc else (k < best_k[s]):
+                best_k[s] = k
+                best_c[s] = c
+                best_pos[s] = pos
+            pos += 1
+        if not parts:
+            # Forced eviction: every candidate is managed.
+            self.forced_evictions += 1
+            pos = 0
+            for c in candidates:
+                p = owner[c]
+                k = key[c]
+                s = slot_of[p]
+                if s < 0:
+                    slot_of[p] = len(parts)
+                    parts.append(p)
+                    best_c.append(c)
+                    best_k.append(k)
+                    best_pos.append(pos)
+                elif (k > best_k[s]) if asc else (k < best_k[s]):
+                    best_k[s] = k
+                    best_c[s] = c
+                    best_pos[s] = pos
+                pos += 1
+        best = best_c[0]
+        if len(parts) > 1:
+            fut = ranking.futility
+            bf = fut(best)
+            bp = best_pos[0]
+            for s in range(1, len(parts)):
+                f = fut(best_c[s])
+                if f > bf or (f == bf and best_pos[s] < bp):
+                    bf = f
+                    best = best_c[s]
+                    bp = best_pos[s]
+        return best
+
+    def choose_victim(self, candidates: List[int], incoming_part: int) -> int:
+        cache = self.cache
+        if cache._resident != cache.num_lines:
+            invalid = kernels.first_invalid(cache, candidates)
+            if invalid is not None:
+                return invalid
+        ranking = cache.ranking
+        if ranking.key_ordered:
+            return self._choose_victim_keyed(candidates, ranking)
+        owner = cache.owner
+        managed = self._managed
+        # One batched rank query serves all three passes below: demotion
+        # only toggles managed bits, never the ranking, so the futilities
+        # cannot change while a candidate list is processed.
+        futs = ranking.futilities(candidates)
         # Demotion pass: push over-aperture managed candidates to the
         # unmanaged region (this is how partitions shrink smoothly).
+        # Apertures are snapshotted per partition on first encounter, so a
+        # demotion does not re-open the aperture question mid-list.
         apertures = {}
+        i = 0
         for c in candidates:
+            f = futs[i]
+            i += 1
             if not managed[c]:
                 continue
             p = owner[c]
             a = apertures.get(p)
             if a is None:
                 a = apertures[p] = self.aperture(p)
-            if a > 0.0 and futility(c) >= 1.0 - a:
+            if a > 0.0 and f >= 1.0 - a:
                 managed[c] = False
                 self._managed_sizes[p] -= 1
                 self.demotions += 1
         # Eviction pass: least useful unmanaged candidate.
         best = -1
         best_f = None
+        i = 0
         for c in candidates:
+            f = futs[i]
+            i += 1
             if managed[c]:
                 continue
-            f = futility(c)
             if best_f is None or f > best_f:
                 best_f = f
                 best = c
@@ -129,9 +271,11 @@ class VantageScheme(PartitioningScheme):
         # Forced eviction: every candidate is managed.
         self.forced_evictions += 1
         best = candidates[0]
-        best_f = futility(best)
+        best_f = futs[0]
+        i = 1
         for c in candidates[1:]:
-            f = futility(c)
+            f = futs[i]
+            i += 1
             if f > best_f:
                 best_f = f
                 best = c

@@ -107,19 +107,75 @@ class WayPartitionScheme(PartitioningScheme):
     def choose_victim(self, candidates: List[int], incoming_part: int) -> int:
         cache = self.cache
         owner = cache.owner
-        addr_at = cache.array.addr_at
-        raw = cache.ranking.raw_futility
+        tag = cache.lines.tag
+        ways = cache.array.ways
         way_owner = self._way_owner
+        # Filter down to the inserting partition's own ways, taking the
+        # first empty own-way slot outright.
+        own_ways: List[int] = []
+        for c in candidates:
+            if way_owner[c % ways] != incoming_part:
+                continue
+            if tag[c] < 0:
+                return c
+            own_ways.append(c)
+        if not own_ways:
+            raise ConfigurationError(  # pragma: no cover - 1-way floor
+                f"partition {incoming_part} owns no way in the candidate set")
+        # Foreign lines parked in our ways by a resize outrank our own
+        # lines; futility breaks ties within each class.
+        ranking = cache.ranking
+        if ranking.key_ordered:
+            # Group by partition on raw keys and rank only per-partition
+            # winners (positional tie-breaks reproduce the flat
+            # first-strict-max loop; see kernels.choose_scaled).
+            key = ranking._key
+            asc = ranking._ascending_futility
+            parts: List[int] = []
+            best_c: List[int] = []
+            best_k: List = []
+            best_pos: List[int] = []
+            slot_of = {}
+            pos = 0
+            for c in own_ways:
+                p = owner[c]
+                k = key[c]
+                s = slot_of.get(p)
+                if s is None:
+                    slot_of[p] = len(parts)
+                    parts.append(p)
+                    best_c.append(c)
+                    best_k.append(k)
+                    best_pos.append(pos)
+                elif (k > best_k[s]) if asc else (k < best_k[s]):
+                    best_k[s] = k
+                    best_c[s] = c
+                    best_pos[s] = pos
+                pos += 1
+            s_own = slot_of.get(incoming_part)
+            foreign = [s for s in range(len(parts))
+                       if parts[s] != incoming_part]
+            if not foreign:
+                return best_c[s_own]
+            if len(foreign) == 1:
+                return best_c[foreign[0]]
+            fut = ranking.futility  # == raw_futility for key-ordered
+            best = best_c[foreign[0]]
+            bf = fut(best)
+            bp = best_pos[foreign[0]]
+            for s in foreign[1:]:
+                f = fut(best_c[s])
+                if f > bf or (f == bf and best_pos[s] < bp):
+                    bf = f
+                    best = best_c[s]
+                    bp = best_pos[s]
+            return best
+        raws = ranking.raw_futilities(own_ways)
         best_own: Optional[int] = None
         best_own_f = None
         best_foreign: Optional[int] = None
         best_foreign_f = None
-        for c in candidates:
-            if way_owner[self._way_of_index(c)] != incoming_part:
-                continue
-            if addr_at(c) < 0:
-                return c
-            f = raw(c)
+        for c, f in zip(own_ways, raws):
             if owner[c] != incoming_part:
                 if best_foreign_f is None or f > best_foreign_f:
                     best_foreign_f = f
@@ -129,7 +185,4 @@ class WayPartitionScheme(PartitioningScheme):
                 best_own = c
         if best_foreign is not None:
             return best_foreign
-        if best_own is not None:
-            return best_own
-        raise ConfigurationError(  # pragma: no cover - floor of 1 way/partition
-            f"partition {incoming_part} owns no way in the candidate set")
+        return best_own

@@ -40,6 +40,11 @@ class SystemConfig:
     l2_banks: int = 4
     memory_latency: int = 200             # zero-load cycles
     memory_bandwidth_gbps: float = 32.0   # peak
+    #: Seed for every stochastic knob of a simulation built from this
+    #: config (write marking, ...); simulators derive a private
+    #: ``random.Random`` from it so replays are reproducible and two
+    #: concurrent simulations never share generator state.
+    rng_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.cores <= 0:

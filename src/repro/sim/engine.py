@@ -102,7 +102,7 @@ class MultiprogramSimulator:
                  instruction_limit: int = 1_000_000,
                  write_fractions: Optional[Sequence[float]] = None,
                  model_l1: bool = False,
-                 seed: int = 0) -> None:
+                 seed: Optional[int] = None) -> None:
         if len(traces) != cache.num_partitions:
             raise ConfigurationError(
                 f"{len(traces)} traces for {cache.num_partitions} partitions; "
@@ -121,7 +121,10 @@ class MultiprogramSimulator:
                         f"write_fractions[{i}] must be in [0, 1], got {w}")
         self.write_fractions = (list(write_fractions)
                                 if write_fractions is not None else None)
-        self._rng = random.Random(seed)
+        # Private, config-seeded generator: never the module-level RNG,
+        # whose global state would couple unrelated simulations and break
+        # replay determinism (reprolint DET001 polices this repo-wide).
+        self._rng = random.Random(config.rng_seed if seed is None else seed)
         # With model_l1, traces are *raw* per-core address streams: each
         # thread gets a private Table II L1 (unified here for simplicity)
         # and only L1 misses reach the shared L2 — the collection pipeline

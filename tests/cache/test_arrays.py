@@ -62,7 +62,8 @@ class TestSetAssociativeArray:
         cands = a.candidates(1234)
         assert len(cands) == 4
         base = min(cands)
-        assert cands == list(range(base, base + 4))
+        # candidates() returns an index Sequence (a range here), not a list.
+        assert list(cands) == list(range(base, base + 4))
         assert base % 4 == 0
 
     def test_candidate_count_equals_ways(self):

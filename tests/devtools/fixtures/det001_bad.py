@@ -13,3 +13,13 @@ value = random.randint(0, 10)
 weights = np.random.rand(4)
 random.seed(1234)
 np.random.seed(1234)
+
+
+def replay(trace):
+    """Module-level RNG inside a replay loop: the write-marking draws
+    depend on whatever touched the global generator before this call."""
+    writes = 0
+    for _addr in trace:
+        if random.random() < 0.3:
+            writes += 1
+    return writes

@@ -28,3 +28,20 @@ class Sampler:
 # A local variable shadowing the module name is not module-global use.
 def shadowed(random: "Sampler") -> float:
     return random.draw()
+
+
+class Simulator:
+    """The sim.engine pattern: a per-simulation generator seeded from the
+    system config, so replays are reproducible and concurrent simulations
+    never share generator state."""
+
+    def __init__(self, config_seed: int) -> None:
+        self._rng = random.Random(config_seed)
+
+    def replay(self, trace) -> int:
+        writes = 0
+        rand = self._rng.random
+        for _addr in trace:
+            if rand() < 0.3:
+                writes += 1
+        return writes

@@ -1,0 +1,48 @@
+"""Golden-output regression: formatted experiment output is frozen.
+
+``golden/smoke_output_sha256.json`` pins the sha256 of every experiment's
+formatted smoke-scale output, captured on the pre-LineTable per-line-object
+implementation.  Matching these hashes proves the array-backed access
+kernel (LineTable + event bus + victim kernels) reproduces the historical
+pipeline *byte for byte* — same victims, same RNG draw sequences, same
+float arithmetic — not merely statistically similar results.
+
+If a deliberate behaviour change ever invalidates a hash, regenerate with::
+
+    PYTHONPATH=src python -c "
+    import hashlib, json
+    from repro.experiments import experiment_names, get_experiment
+    print(json.dumps({n: hashlib.sha256(
+        (lambda s: s.format(s.run(s.config('smoke'))))(get_experiment(n))
+        .encode('utf-8')).hexdigest() for n in experiment_names()}, indent=2))"
+
+and justify the change in the commit message.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import experiment_names, get_experiment
+
+GOLDEN = Path(__file__).parent / "golden" / "smoke_output_sha256.json"
+
+
+def _golden_hashes():
+    return json.loads(GOLDEN.read_text())
+
+
+def test_golden_file_covers_every_registered_experiment():
+    assert sorted(_golden_hashes()) == sorted(experiment_names())
+
+
+@pytest.mark.parametrize("name", sorted(json.loads(GOLDEN.read_text())))
+def test_smoke_output_matches_golden_hash(name):
+    spec = get_experiment(name)
+    output = spec.format(spec.run(spec.config("smoke")))
+    digest = hashlib.sha256(output.encode("utf-8")).hexdigest()
+    assert digest == _golden_hashes()[name], (
+        f"{name} smoke output drifted from the pre-refactor golden hash; "
+        f"victim selection, RNG consumption or float arithmetic changed")
