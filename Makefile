@@ -2,7 +2,7 @@
 
 .PHONY: install test bench bench-smoke bench-paper bench-throughput \
 	bench-regression figures figures-parallel report examples lint \
-	typecheck check clean clean-cache
+	typecheck check clean clean-cache telemetry-smoke
 
 # PYTHONPATH=src keeps every target usable from a bare checkout
 # (no editable install required), matching the tier-1 test invocation.
@@ -38,6 +38,18 @@ bench-smoke:
 
 bench-paper:
 	REPRO_BENCH_SCALE=paper pytest benchmarks/ --benchmark-only
+
+# Local mirror of the CI telemetry job: record a smoke run, validate
+# every JSONL artifact against repro.obs.schema, render the dashboard.
+telemetry-smoke:
+	rm -rf telemetry-run
+	$(PY) -m repro.experiments fig3 --scale smoke --jobs 2 \
+		--cache-dir telemetry-run/cache --telemetry=telemetry-run/obs
+	$(PY) -m repro.experiments fig6 --scale smoke --jobs 2 \
+		--cache-dir telemetry-run/cache --telemetry=telemetry-run/obs
+	$(PY) -m repro.obs validate telemetry-run/obs/fig3
+	$(PY) -m repro.obs validate telemetry-run/obs/fig6
+	$(PY) -m repro.obs report telemetry-run/obs/fig6
 
 figures:
 	python -m repro.experiments all

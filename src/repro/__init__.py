@@ -26,7 +26,18 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure.
 """
 
-from . import alloc, analysis, cache, core, runner, sim, trace
+from importlib.metadata import PackageNotFoundError
+from importlib.metadata import version as _dist_version
+
+try:
+    #: Resolved from the installed distribution metadata so a pip/editable
+    #: install reports its true version; the fallback covers running
+    #: straight from a source checkout via PYTHONPATH=src.
+    __version__ = _dist_version("repro")
+except PackageNotFoundError:  # uninstalled source tree
+    __version__ = "1.0.0"
+
+from . import alloc, analysis, cache, core, obs, runner, sim, trace
 from .alloc import (
     EqualSharePolicy,
     QoSPolicy,
@@ -72,6 +83,7 @@ from .core import (
     scaling,
 )
 from .api import build_array, build_cache, run_experiment
+from .obs import MetricsRegistry, TelemetrySession, TimeSeriesRecorder
 from .errors import (
     CellTimeoutError,
     ConfigurationError,
@@ -98,12 +110,12 @@ from .trace import (
     run_round_robin,
 )
 
-__version__ = "1.0.0"
-
 __all__ = [
     "__version__",
     # subpackages
-    "alloc", "analysis", "cache", "core", "runner", "sim", "trace",
+    "alloc", "analysis", "cache", "core", "obs", "runner", "sim", "trace",
+    # observability
+    "MetricsRegistry", "TelemetrySession", "TimeSeriesRecorder",
     # stable facade
     "build_array", "build_cache", "run_experiment",
     # experiment runner

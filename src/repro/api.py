@@ -166,7 +166,10 @@ def run_experiment(name: str, *, scale: str = "scaled",
                    force: bool = False, retries: int = 0,
                    cell_timeout: Optional[float] = None,
                    keep_going: bool = False,
-                   progress: Optional[Any] = None) -> Any:
+                   progress: Optional[Any] = None,
+                   telemetry: Union[str, "os.PathLike[str]", None] = None,
+                   telemetry_interval: int = 1024,
+                   telemetry_profile: bool = False) -> Any:
     """Run a registered experiment end to end and return its result.
 
     One-call front door to the experiment registry and the
@@ -185,6 +188,13 @@ def run_experiment(name: str, *, scale: str = "scaled",
       ``keep_going`` a sweep with permanently failed cells raises
       :class:`~repro.errors.SweepError` carrying the
       :class:`~repro.runner.FailedCell` sentinels and partial results.
+    - ``telemetry`` names a directory: the run records metrics, per-cell
+      spans, per-partition time series (one sample every
+      ``telemetry_interval`` accesses) and, with
+      ``telemetry_profile=True``, per-cell cProfile captures there, plus
+      a ``manifest.json`` tying them together.  Recording never changes
+      results, figure bytes, or cache keys.  Inspect with
+      ``python -m repro.obs report DIR``.
     """
     # Lazy: `repro` imports this module at package-import time, and the
     # experiment modules register themselves on first import — pulling
@@ -204,6 +214,18 @@ def run_experiment(name: str, *, scale: str = "scaled",
         config = spec.config(scale)
     if progress is None:
         progress = Progress(enabled=False)
-    return spec.run(config, jobs=jobs, cache=cache, force=force,
-                    progress=progress, retries=retries,
-                    cell_timeout=cell_timeout, keep_going=keep_going)
+    if telemetry is None:
+        return spec.run(config, jobs=jobs, cache=cache, force=force,
+                        progress=progress, retries=retries,
+                        cell_timeout=cell_timeout, keep_going=keep_going)
+    from .obs import TelemetrySession
+
+    session = TelemetrySession(os.fspath(telemetry), experiment=name,
+                               interval=telemetry_interval,
+                               profile=telemetry_profile)
+    with session:
+        with session.phase("sweep"):
+            return spec.run(config, jobs=jobs, cache=cache, force=force,
+                            progress=progress, retries=retries,
+                            cell_timeout=cell_timeout, keep_going=keep_going,
+                            telemetry=session.telemetry)

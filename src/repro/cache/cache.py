@@ -278,15 +278,27 @@ class PartitionedCache:
                      and getattr(scheme, "_shift_scan", False)
                      and getattr(scheme, "_coarse_ranking", None) is ranking)
 
-        # Recognize the observers the compiler knows how to inline.
+        # Recognize the observers the compiler knows how to inline.  The
+        # telemetry recorder is imported lazily: repro.obs is never pulled
+        # in unless a recorder is actually subscribed somewhere.
+        import sys
+        ts_cls = None
+        obs_mod = sys.modules.get("repro.obs.timeseries")
+        if obs_mod is not None:
+            ts_cls = obs_mod.TimeSeriesRecorder
         fast_stats = None
         ref_obs = None
+        ts_obs = None
         for obs in events.observers():
             if obs is stats and type(obs) is CacheStats:
                 fast_stats = obs
             elif type(obs) is RankingObserver and obs.ranking is reference:
                 ref_obs = obs
-        exclude = tuple(o for o in (fast_stats, ref_obs) if o is not None)
+            elif (ts_cls is not None and type(obs) is ts_cls
+                  and obs._cache is self):
+                ts_obs = obs
+        exclude = tuple(o for o in (fast_stats, ref_obs, ts_obs)
+                        if o is not None)
         handlers = {event: events.handlers(event, exclude)
                     for event in ("hit", "miss", "evict", "insert", "relocate")}
 
@@ -340,6 +352,14 @@ class PartitionedCache:
         if fast_stats is not None:
             ns["st"] = fast_stats
             ns["st_period"] = fast_stats.occupancy_sample_period
+        if ts_obs is not None:
+            ns["ts"] = ts_obs
+            ns["ts_interval"] = ts_obs.interval
+            ns["ts_acc"] = ts_obs._win_acc
+            ns["ts_miss"] = ts_obs._win_miss
+            ns["ts_ins"] = ts_obs._win_ins
+            ns["ts_evi"] = ts_obs._win_evi
+            ns["ts_sample"] = ts_obs._sample
 
         def indent(ind, lines):
             return [ind + line for line in lines]
@@ -578,6 +598,23 @@ class PartitionedCache:
                 ind + "    st._since_occupancy_sample = _n",
             ]
 
+        def ts_tick(ind, counter):
+            # Inlined TimeSeriesRecorder window accounting: bump the
+            # access (and miss) window counters, then sample when the
+            # recorder's interval elapses.  reset() zeroes the window
+            # lists in place, so the bound lists stay valid.
+            head = [ind + "ts_acc[part] += 1"]
+            if counter == "miss":
+                head.append(ind + "ts_miss[part] += 1")
+            return head + [
+                ind + "_tn = ts._since + 1",
+                ind + "if _tn >= ts_interval:",
+                ind + "    ts._since = 0",
+                ind + "    ts_sample()",
+                ind + "else:",
+                ind + "    ts._since = _tn",
+            ]
+
         src = ["def access(addr, part, next_use=None, *, is_write=False):"]
         emit = src.append
         ext = src.extend
@@ -590,6 +627,8 @@ class PartitionedCache:
             ext(indent("        ", ref_seg["hit"]))
         if fast_stats is not None:
             ext(stats_access("        ", "hits"))
+        if ts_obs is not None:
+            ext(ts_tick("        ", "hit"))
         if handlers["hit"]:
             emit("        for _h in hit_handlers:")
             emit("            _h(idx, part, next_use)")
@@ -599,6 +638,8 @@ class PartitionedCache:
         emit("            'addresses must be non-negative, got %d' % addr)")
         if fast_stats is not None:
             ext(stats_access("    ", "misses"))
+        if ts_obs is not None:
+            ext(ts_tick("    ", "miss"))
         if handlers["miss"]:
             emit("    for _h in miss_handlers:")
             emit("        _h(addr, part)")
@@ -661,6 +702,8 @@ class PartitionedCache:
                 emit("        st.eviction_futilities[vpart].append(fut)")
             emit("        if was_dirty:")
             emit("            st.writebacks[vpart] += 1")
+        if ts_obs is not None:
+            emit("        ts_evi[vpart] += 1")
         if handlers["evict"]:
             fut_expr = "fut" if reference is not None else "None"
             emit("        for _h in evict_handlers:")
@@ -717,6 +760,8 @@ class PartitionedCache:
                 emit("        _tgt = cache.targets")
                 emit("        for _p, _buf in st.size_deviations.items():")
                 emit("            _buf.append(actual[_p] - _tgt[_p])")
+        if ts_obs is not None:
+            emit("    ts_ins[part] += 1")
         if handlers["insert"]:
             emit("    for _h in insert_handlers:")
             emit("        _h(new_idx, part, next_use, evicted)")

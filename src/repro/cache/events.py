@@ -41,7 +41,8 @@ rebuild its compiled access kernel with the new handler tuples.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 
@@ -130,6 +131,24 @@ class CacheEventBus:
         self._rebuild()
         if self._on_change is not None:
             self._on_change()
+
+    @contextmanager
+    def subscribed(self, *observers: CacheObserver) -> Iterator["CacheEventBus"]:
+        """Subscribe ``observers`` for the duration of a ``with`` block.
+
+        Subscription and the matching unsubscription each rebuild the
+        owning cache's compiled kernel, so the block runs with the
+        observers live and the kernel reverts to its previous form on
+        exit — the idiom for scoped measurement (telemetry recording,
+        test probes) that must leave no trace afterwards.
+        """
+        for obs in observers:
+            self.subscribe(obs)
+        try:
+            yield self
+        finally:
+            for obs in reversed(observers):
+                self.unsubscribe(obs)
 
     def handlers(self, event: str, exclude: Tuple[CacheObserver, ...] = ()):
         """Dispatch tuple for ``event`` excluding specific observers.

@@ -22,6 +22,7 @@ __all__ = [
     "BareExceptRule",
     "FloatEqualityRule",
     "MutableDefaultRule",
+    "SimulationTimingRule",
     "UnorderedIterationRule",
     "UnseededRandomRule",
     "WallClockRule",
@@ -143,6 +144,48 @@ class WallClockRule(Rule):
                     f"{qual}() reads the wall clock; results and cache "
                     f"keys must be pure functions of config + seed "
                     f"(use time.perf_counter for stderr-only timings)")
+
+
+@register_rule
+class SimulationTimingRule(Rule):
+    """DET004: no host timing at all inside the simulation substrate.
+
+    DET002 tolerates monotonic interval timing (``time.perf_counter``,
+    ``time.monotonic``) because the runner streams it to stderr only.
+    Inside ``repro/cache/``, ``repro/core/`` and ``repro/sim/`` the bar
+    is stricter: *any* host-clock read — wall or monotonic — is a bug,
+    because everything observable there (sampling windows, coarse
+    timestamps, feedback epochs, telemetry series) must be driven off
+    the deterministic access counter, or byte-reproducibility across
+    machines and ``--jobs N`` is lost.  Timing the simulation from the
+    outside belongs in ``repro/runner/`` or ``repro/obs/``.
+    """
+
+    rule_id = "DET004"
+    summary = ("host clock read (time.time / perf_counter / monotonic) in "
+               "simulation code; drive timing off the access counter")
+    include = ("repro/cache/", "repro/core/", "repro/sim/")
+
+    TIMING_CALLS: FrozenSet[str] = frozenset({
+        "time.time", "time.time_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns",
+        "time.thread_time", "time.thread_time_ns",
+        "time.clock_gettime", "time.clock_gettime_ns",
+    })
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = dotted_name(node.func, ctx.aliases)
+            if qual in self.TIMING_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"{qual}() reads a host clock inside the simulation "
+                    f"substrate; simulated time is the access counter — "
+                    f"measure wall time from repro/runner or repro/obs")
 
 
 #: Builtins whose single-argument call we look through when judging an

@@ -28,6 +28,14 @@ recording them in a JSON failure manifest at
 ``<cache-dir>/failures/<experiment>.json`` and exiting 1.  Rerunning
 the same command re-executes only the failed cells — everything else
 is served from the cache.
+
+Telemetry: ``--telemetry[=PATH]`` records a full observability trace of
+each run — metrics, per-cell spans, per-partition time series sampled
+every ``--telemetry-interval`` accesses, and (with
+``--telemetry-profile``) per-cell cProfile captures — into
+``PATH/<experiment>/`` (default ``<cache-dir>/telemetry/<experiment>``).
+Inspect with ``python -m repro.obs report DIR``.  Telemetry never
+touches stdout, figure outputs, or cache keys.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ import sys
 import time
 import warnings
 from collections.abc import Mapping
+from contextlib import nullcontext
 from pathlib import Path
 
 from ..errors import ConfigurationError, SweepError
@@ -125,6 +134,19 @@ def main(argv=None) -> int:
                         help="complete the sweep despite failing cells, "
                              "write a JSON failure manifest under the "
                              "cache dir, and exit 1")
+    parser.add_argument("--telemetry", nargs="?", const=True, default=None,
+                        metavar="PATH",
+                        help="record metrics, per-cell spans and "
+                             "per-partition time series under "
+                             "PATH/<experiment> (default: "
+                             "<cache-dir>/telemetry/<experiment>)")
+    parser.add_argument("--telemetry-interval", type=int, default=1024,
+                        metavar="N",
+                        help="time-series sampling window in cache "
+                             "accesses (default: 1024)")
+    parser.add_argument("--telemetry-profile", action="store_true",
+                        help="additionally capture a cProfile of every "
+                             "executed cell under <telemetry>/profile/")
     args = parser.parse_args(argv)
 
     if args.figure == "all":
@@ -143,47 +165,85 @@ def main(argv=None) -> int:
     exit_code = 0
     for name in selected:
         spec = get_experiment(name)
+        session = _make_session(args, cache, name)
+        telemetry = None
+        if session is not None:
+            session.activate()
+            telemetry = session.telemetry
         start = time.time()
         try:
-            result = spec.run(spec.config(args.scale), jobs=jobs,
-                              cache=cache, force=args.force,
-                              progress=progress, retries=args.retries,
-                              cell_timeout=args.cell_timeout,
-                              keep_going=args.keep_going)
+            try:
+                with session.phase("sweep") if session else nullcontext():
+                    result = spec.run(spec.config(args.scale), jobs=jobs,
+                                      cache=cache, force=args.force,
+                                      progress=progress,
+                                      retries=args.retries,
+                                      cell_timeout=args.cell_timeout,
+                                      keep_going=args.keep_going,
+                                      telemetry=telemetry)
+                with session.phase("render") if session else nullcontext():
+                    rendered = spec.format(result)
+            finally:
+                # Even a failed sweep leaves its spans and series behind
+                # — that record is most valuable exactly then.
+                if session is not None:
+                    session.finish()
+                    progress.note(f"[{name}: telemetry in {session.dir}]")
         except ConfigurationError as exc:
-            print(f"error: {name}: {exc}", file=sys.stderr)
+            # Routed through Progress: error lines share the flushed
+            # stream with cell/retry lines, so they cannot interleave.
+            progress.note(f"error: {name}: {exc}")
             return 2
         except SweepError as exc:
             # The sweep *completed*: every non-failing cell is in the
             # cache.  Record the failures and move on to the next
             # experiment; stdout stays untouched (no partial tables).
             for failure in exc.failures:
-                print(f"error: {name}: {failure.label} failed after "
-                      f"{failure.attempts} attempt(s): "
-                      f"{failure.error_type}: {failure.message}",
-                      file=sys.stderr)
-            manifest = _write_failure_manifest(cache, name, exc.failures)
+                progress.note(f"error: {name}: {failure.label} failed "
+                              f"after {failure.attempts} attempt(s): "
+                              f"{failure.error_type}: {failure.message}")
+            manifest = _write_failure_manifest(cache, name, exc.failures,
+                                               progress)
             where = f"; manifest: {manifest}" if manifest else ""
-            print(f"[{name} @ {args.scale}: {len(exc.failures)} failed "
-                  f"cell(s){where}; rerun the same command to retry only "
-                  f"the failed cells]", file=sys.stderr)
+            progress.note(
+                f"[{name} @ {args.scale}: {len(exc.failures)} failed "
+                f"cell(s){where}; rerun the same command to retry only "
+                f"the failed cells]")
             exit_code = 1
             continue
         elapsed = time.time() - start
         if args.keep_going and cache is not None:
             # An empty manifest records that the sweep fully recovered.
-            _write_failure_manifest(cache, name, [])
-        print(spec.format(result))
+            _write_failure_manifest(cache, name, [], progress)
+        print(rendered)
         print()
-        print(f"[{name} @ {args.scale}: {elapsed:.1f}s]", file=sys.stderr)
+        progress.note(f"[{name} @ {args.scale}: {elapsed:.1f}s]")
     return exit_code
 
 
-def _write_failure_manifest(cache, name, failures):
+def _make_session(args, cache, name):
+    """Build the experiment's TelemetrySession (None when --telemetry
+    is absent).  ``--telemetry`` alone defaults to
+    ``<cache-dir>/telemetry``; each experiment gets its own subdir."""
+    if not args.telemetry:
+        return None
+    from ..obs import TelemetrySession
+
+    if isinstance(args.telemetry, str):
+        root = Path(args.telemetry)
+    elif cache is not None:
+        root = Path(cache.root) / "telemetry"
+    else:
+        root = Path("telemetry")
+    return TelemetrySession(root / name, experiment=name,
+                            interval=args.telemetry_interval,
+                            profile=args.telemetry_profile)
+
+
+def _write_failure_manifest(cache, name, failures, progress):
     """Write ``<cache-dir>/failures/<name>.json``; None without a cache."""
     if cache is None:
-        print(f"[{name}: no cache dir; failure manifest not written]",
-              file=sys.stderr)
+        progress.note(f"[{name}: no cache dir; failure manifest not written]")
         return None
     return write_manifest(Path(cache.root) / "failures" / f"{name}.json",
                           name, failures)

@@ -24,10 +24,22 @@ sweep through :func:`repro.runner.run_cells`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Type
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Type,
+)
 
 from ..errors import ConfigurationError, SweepError
 from ..runner import Cell, FailedCell, Progress, ResultCache, run_cells
+
+if TYPE_CHECKING:
+    from ..obs.spans import RunTelemetry
 
 __all__ = [
     "ExperimentSpec",
@@ -87,13 +99,15 @@ class ExperimentSpec:
             cache: Optional[ResultCache] = None, force: bool = False,
             progress: Optional[Progress] = None, retries: int = 0,
             cell_timeout: Optional[float] = None,
-            keep_going: bool = False) -> Any:
+            keep_going: bool = False,
+            telemetry: Optional["RunTelemetry"] = None) -> Any:
         """Run the full sweep and reduce it to the result object.
 
         With the defaults (``jobs=1``, no cache, no retries) this is
         exactly the legacy sequential ``run_figN(config)`` behavior.
-        ``retries`` / ``cell_timeout`` / ``keep_going`` thread through
-        to :func:`repro.runner.run_cells`.  Under ``keep_going`` a
+        ``retries`` / ``cell_timeout`` / ``keep_going`` /
+        ``telemetry`` thread through to
+        :func:`repro.runner.run_cells`.  Under ``keep_going`` a
         sweep that finishes with permanently failed cells raises
         :class:`~repro.errors.SweepError` instead of reducing — the
         error carries the :class:`~repro.runner.FailedCell` sentinels
@@ -104,7 +118,8 @@ class ExperimentSpec:
             config = self.config("scaled")
         results = run_cells(self.cells(config), jobs=jobs, cache=cache,
                             force=force, progress=progress, retries=retries,
-                            cell_timeout=cell_timeout, keep_going=keep_going)
+                            cell_timeout=cell_timeout, keep_going=keep_going,
+                            telemetry=telemetry)
         if keep_going:
             failures = [r for r in results if isinstance(r, FailedCell)]
             if failures:

@@ -1,0 +1,80 @@
+"""``repro.obs`` — zero-cost-when-off telemetry for the reproduction.
+
+The paper's core claims are *dynamic*: feedback FS holds per-partition
+occupancy near target while the scaling factors alpha_i converge
+(Figs. 3/5), and associativity stays high as partition counts grow.
+End-of-run aggregates cannot show any of that, so this package records
+what happened *during* a run, at three layers:
+
+``metrics``
+    :class:`MetricsRegistry` — labeled counters, gauges and histograms
+    with deterministic JSONL export.
+``timeseries``
+    :class:`TimeSeriesRecorder` — a
+    :class:`~repro.cache.events.CacheObserver` sampling per-partition
+    occupancy, target, scaling factor alpha_i, windowed miss rate and
+    eviction demand every ``interval`` accesses.  The window is driven
+    off the deterministic access counter — never wall-clock — so two
+    identical runs produce byte-identical series.  The cache's compiled
+    access kernel inlines the recorder when subscribed and emits *no*
+    observability code when it is not.
+``spans``
+    :class:`RunTelemetry` — one structured span per executed
+    :class:`~repro.runner.Cell` (queued / started / retries / faults /
+    cache-hit / duration), with every wall-clock field segregated under
+    a ``"wall"`` sub-object so the deterministic part of a span stream
+    is byte-comparable across runs.
+``session``
+    :class:`TelemetrySession` — owns the on-disk telemetry directory
+    (``metrics.jsonl``, ``spans.jsonl``, ``series/*.jsonl``,
+    ``manifest.json``), activates series recording for worker
+    processes, and stamps ``repro.__version__`` into the run manifest.
+
+Surfacing: the experiments CLI grows ``--telemetry[=PATH]``
+(:mod:`repro.experiments.__main__`), the :func:`repro.api.run_experiment`
+facade a ``telemetry=`` argument, and ``python -m repro.obs report DIR``
+renders a text dashboard (sparkline occupancy / alpha_i convergence,
+top-N slowest cells, fault/retry summary);  ``python -m repro.obs
+validate DIR`` checks every artifact against the JSONL schemas
+(:mod:`repro.obs.schema`).
+
+Nothing in this package is imported by the hot path at module level;
+when telemetry is off the compiled access kernels contain no obs code
+and the runner performs no telemetry calls.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import render_report
+from .runtime import (
+    TELEMETRY_ENV,
+    TELEMETRY_INTERVAL_ENV,
+    TELEMETRY_PROFILE_ENV,
+    maybe_profile,
+    record_series,
+    series_config,
+    set_cell,
+)
+from .schema import validate_run_dir
+from .session import TelemetrySession
+from .spans import CellSpan, RunTelemetry
+from .timeseries import TimeSeriesRecorder
+
+__all__ = [
+    "CellSpan",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunTelemetry",
+    "TELEMETRY_ENV",
+    "TELEMETRY_INTERVAL_ENV",
+    "TELEMETRY_PROFILE_ENV",
+    "TelemetrySession",
+    "TimeSeriesRecorder",
+    "maybe_profile",
+    "record_series",
+    "render_report",
+    "series_config",
+    "set_cell",
+    "validate_run_dir",
+]

@@ -1,0 +1,65 @@
+"""CLI for telemetry artifacts: ``python -m repro.obs <command> DIR``.
+
+``report``
+    Render the text dashboard for a run directory (written by
+    ``--telemetry`` runs of the experiments CLI) to stdout or ``--out``.
+``validate``
+    Check every artifact in a run directory against the JSONL schemas;
+    exits non-zero listing each problem (the CI smoke job's gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .report import render_report
+from .schema import validate_run_dir
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect telemetry run directories.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="render the text dashboard for a run directory")
+    report.add_argument("dir", help="telemetry run directory")
+    report.add_argument("--top", type=int, default=10, metavar="N",
+                        help="slowest cells to list (default 10)")
+    report.add_argument("--width", type=int, default=60,
+                        help="sparkline width in characters (default 60)")
+    report.add_argument("--max-series", type=int, default=4, metavar="N",
+                        help="series files to plot (default 4)")
+    report.add_argument("--out", default=None, metavar="FILE",
+                        help="write the dashboard to FILE instead of stdout")
+
+    validate = sub.add_parser(
+        "validate", help="validate a run directory against the schemas")
+    validate.add_argument("dir", help="telemetry run directory")
+
+    args = parser.parse_args(argv)
+    if args.command == "report":
+        text = render_report(args.dir, top_n=args.top, width=args.width,
+                             max_series=args.max_series)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        else:
+            sys.stdout.write(text)
+        return 0
+    problems = validate_run_dir(args.dir)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"{len(problems)} schema problem(s) in {args.dir}",
+              file=sys.stderr)
+        return 1
+    print(f"telemetry artifacts in {args.dir} are valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

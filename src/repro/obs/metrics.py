@@ -1,0 +1,253 @@
+"""Labeled counters, gauges and histograms with deterministic export.
+
+:class:`MetricsRegistry` is the one holder of every metric a run
+records.  Instruments follow the conventional trio:
+
+* :class:`Counter` — monotonically increasing integer (cells completed,
+  cache hits, retries);
+* :class:`Gauge` — last-written value (cells in a sweep, configured
+  worker count);
+* :class:`Histogram` — fixed-bucket distribution with count and sum
+  (cell attempts, occupancy error).
+
+An instrument is declared once with a label *schema* (a tuple of label
+names); every observation supplies concrete label values and lands in
+one labeled series.  Export (:meth:`MetricsRegistry.export_jsonl`)
+renders one JSON object per series, sorted by ``(name, labels)`` with
+sorted keys and compact separators, so two identical runs produce
+byte-identical ``metrics.jsonl`` files.  Keep wall-clock-derived values
+*out* of metrics — durations belong in span ``"wall"`` fields
+(:mod:`repro.obs.spans`); metrics are reserved for the deterministic
+facts of a run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Concrete label values of one series, in schema order.
+LabelValues = Tuple[str, ...]
+
+
+def _label_values(name: str, schema: Tuple[str, ...],
+                  labels: Dict[str, object]) -> LabelValues:
+    """Validate observation labels against the instrument's schema."""
+    if set(labels) != set(schema):
+        raise ConfigurationError(
+            f"metric {name!r} takes labels {list(schema)}, got "
+            f"{sorted(labels)}")
+    return tuple(str(labels[key]) for key in schema)
+
+
+class _Instrument:
+    """Shared plumbing: name, label schema, per-label-values series."""
+
+    kind = ""
+
+    def __init__(self, name: str, label_names: Sequence[str] = ()) -> None:
+        if not name:
+            raise ConfigurationError("metric name must be non-empty")
+        self.name = name
+        self.label_names: Tuple[str, ...] = tuple(label_names)
+        if len(set(self.label_names)) != len(self.label_names):
+            raise ConfigurationError(
+                f"metric {name!r} has duplicate label names")
+
+    def _series_rows(self) -> Iterator[Dict[str, object]]:
+        raise NotImplementedError
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Export rows for every series, sorted by label values."""
+        out = []
+        for row in self._series_rows():
+            row["type"] = self.kind
+            row["name"] = self.name
+            out.append(row)
+        out.sort(key=lambda r: sorted(r["labels"].items()))  # type: ignore[arg-type]
+        return out
+
+    def _labels_dict(self, values: LabelValues) -> Dict[str, str]:
+        return dict(zip(self.label_names, values))
+
+
+class Counter(_Instrument):
+    """A monotonically increasing integer per labeled series."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, label_names: Sequence[str] = ()) -> None:
+        super().__init__(name, label_names)
+        self._values: Dict[LabelValues, int] = {}
+
+    def inc(self, amount: int = 1, **labels: object) -> None:
+        """Add ``amount`` (default 1, must be >= 0) to one series."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})")
+        key = _label_values(self.name, self.label_names, labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: object) -> int:
+        """Current value of one series (0 when never incremented)."""
+        key = _label_values(self.name, self.label_names, labels)
+        return self._values.get(key, 0)
+
+    def _series_rows(self) -> Iterator[Dict[str, object]]:
+        for key, value in self._values.items():
+            yield {"labels": self._labels_dict(key), "value": value}
+
+
+class Gauge(_Instrument):
+    """A last-written value per labeled series."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, label_names: Sequence[str] = ()) -> None:
+        super().__init__(name, label_names)
+        self._values: Dict[LabelValues, Union[int, float]] = {}
+
+    def set(self, value: Union[int, float], **labels: object) -> None:
+        """Overwrite one series with ``value``."""
+        key = _label_values(self.name, self.label_names, labels)
+        self._values[key] = value
+
+    def value(self, **labels: object) -> Optional[Union[int, float]]:
+        """Current value of one series (None when never set)."""
+        key = _label_values(self.name, self.label_names, labels)
+        return self._values.get(key)
+
+    def _series_rows(self) -> Iterator[Dict[str, object]]:
+        for key, value in self._values.items():
+            yield {"labels": self._labels_dict(key), "value": value}
+
+
+class Histogram(_Instrument):
+    """Fixed upper-bound buckets plus count and sum, per labeled series.
+
+    ``buckets`` are strictly increasing inclusive upper bounds; every
+    observation additionally lands in an implicit ``+Inf`` overflow
+    bucket, so ``counts`` has ``len(buckets) + 1`` entries.
+    """
+
+    DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100)
+
+    kind = "histogram"
+
+    def __init__(self, name: str, label_names: Sequence[str] = (),
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        super().__init__(name, label_names)
+        bounds = tuple(float(b) for b in
+                       (buckets if buckets is not None
+                        else self.DEFAULT_BUCKETS))
+        if not bounds:
+            raise ConfigurationError(
+                f"histogram {name!r} needs at least one bucket bound")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name!r} buckets must be strictly increasing")
+        self.buckets = bounds
+        self._counts: Dict[LabelValues, List[int]] = {}
+        self._sums: Dict[LabelValues, float] = {}
+        self._totals: Dict[LabelValues, int] = {}
+
+    def observe(self, value: Union[int, float], **labels: object) -> None:
+        """Record one observation into the matching bucket."""
+        key = _label_values(self.name, self.label_names, labels)
+        counts = self._counts.setdefault(key, [0] * (len(self.buckets) + 1))
+        slot = len(self.buckets)  # +Inf overflow by default
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                slot = i
+                break
+        counts[slot] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + value
+        self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: object) -> int:
+        """Total observations of one series."""
+        key = _label_values(self.name, self.label_names, labels)
+        return self._totals.get(key, 0)
+
+    def _series_rows(self) -> Iterator[Dict[str, object]]:
+        for key, counts in self._counts.items():
+            yield {
+                "labels": self._labels_dict(key),
+                "buckets": list(self.buckets),
+                "counts": list(counts),
+                "count": self._totals[key],
+                "sum": self._sums[key],
+            }
+
+
+class MetricsRegistry:
+    """Declare-once registry of every instrument a run records.
+
+    Re-requesting an instrument with the same name returns the existing
+    one (so call sites need no shared handles), but kind and label
+    schema must match — a silent collision between two meanings of one
+    name is a configuration error.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get(self, cls: type, name: str, label_names: Sequence[str],
+             **kwargs: object) -> _Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if (type(existing) is not cls
+                    or existing.label_names != tuple(label_names)):
+                raise ConfigurationError(
+                    f"metric {name!r} is already registered as a "
+                    f"{existing.kind} with labels {list(existing.label_names)}")
+            return existing
+        instrument = cls(name, label_names, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str,
+                label_names: Sequence[str] = ()) -> Counter:
+        """Get or declare a :class:`Counter`."""
+        instrument = self._get(Counter, name, label_names)
+        assert isinstance(instrument, Counter)
+        return instrument
+
+    def gauge(self, name: str, label_names: Sequence[str] = ()) -> Gauge:
+        """Get or declare a :class:`Gauge`."""
+        instrument = self._get(Gauge, name, label_names)
+        assert isinstance(instrument, Gauge)
+        return instrument
+
+    def histogram(self, name: str, label_names: Sequence[str] = (),
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """Get or declare a :class:`Histogram`."""
+        instrument = self._get(Histogram, name, label_names, buckets=buckets)
+        assert isinstance(instrument, Histogram)
+        return instrument
+
+    def names(self) -> List[str]:
+        """Sorted names of every registered instrument."""
+        return sorted(self._instruments)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Every series of every instrument, sorted by (name, labels)."""
+        out: List[Dict[str, object]] = []
+        for name in self.names():
+            out.extend(self._instruments[name].rows())
+        return out
+
+    def export_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write one JSON object per series; byte-stable across runs."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            for row in self.rows():
+                fh.write(json.dumps(row, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+        return path

@@ -1,0 +1,218 @@
+"""Structured runner spans: one record per executed experiment cell.
+
+:class:`RunTelemetry` is the object the runner notifies
+(:func:`repro.runner.run_cells` / :func:`repro.runner.resilience.run_pool`
+accept it as their optional ``telemetry`` argument).  It materializes a
+:class:`CellSpan` per cell covering the full scheduling lifecycle —
+queued, started, retried attempts with their error types, pool losses,
+cache hits, permanent failure or success — and mirrors the deterministic
+facts into a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Determinism contract: every wall-clock-derived field of a span lives
+under its ``"wall"`` sub-object and nowhere else.  Stripping ``"wall"``
+from each row leaves content that is byte-identical across repeated
+identical runs (attempt counts and error types included, provided
+failures themselves are deterministic, e.g. under a
+:mod:`repro.runner.faults` plan).  Rows are emitted in cell order, not
+completion order, for the same reason.  Content-addressed cache keys
+and figure outputs never see any of this.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # avoid a runtime repro.runner <-> repro.obs cycle
+    from ..runner.cells import Cell
+
+__all__ = ["CellSpan", "RunTelemetry"]
+
+#: Bucket bounds for the attempts histogram (1 = first-try success).
+_ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 5.0, 8.0)
+
+
+class CellSpan:
+    """Mutable lifecycle record of one cell within one run."""
+
+    __slots__ = ("index", "cell", "experiment", "key", "status", "attempts",
+                 "retries", "losses", "cache_hit", "errors",
+                 "queued_s", "started_s", "finished_s", "duration_s")
+
+    def __init__(self, index: int, label: str, experiment: str,
+                 key: str) -> None:
+        self.index = index
+        self.cell = label
+        self.experiment = experiment
+        self.key = key
+        self.status = "pending"
+        self.attempts = 0
+        self.retries = 0
+        self.losses = 0
+        self.cache_hit = False
+        #: Error type names of failed attempts, in attempt order.
+        self.errors: List[str] = []
+        self.queued_s: Optional[float] = None
+        self.started_s: Optional[float] = None
+        self.finished_s: Optional[float] = None
+        self.duration_s: Optional[float] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        """Span row with every wall-clock field under ``"wall"``."""
+        return {
+            "index": self.index,
+            "cell": self.cell,
+            "experiment": self.experiment,
+            "key": self.key,
+            "status": self.status,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "losses": self.losses,
+            "cache_hit": self.cache_hit,
+            "errors": list(self.errors),
+            "wall": {
+                "queued_s": self.queued_s,
+                "started_s": self.started_s,
+                "finished_s": self.finished_s,
+                "duration_s": self.duration_s,
+            },
+        }
+
+
+class RunTelemetry:
+    """Collects cell spans and run metrics for one ``run_cells`` sweep.
+
+    The runner drives the lifecycle hooks; everything is parent-process
+    state (worker processes never see this object), so recording cannot
+    perturb cell execution or results.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 experiment: str = "") -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.experiment = experiment
+        self.spans: List[CellSpan] = []
+        self._by_index: Dict[int, CellSpan] = {}
+        self._t0: Optional[float] = None
+
+    # -- lifecycle hooks (called by repro.runner) ----------------------------
+    def begin(self, cells: Sequence["Cell"], keys: Sequence[str]) -> None:
+        """Open one span per cell; all cells are queued at sweep start."""
+        self._t0 = time.monotonic()
+        self.spans = [
+            CellSpan(i, cell.label, cell.experiment, keys[i])
+            for i, cell in enumerate(cells)]
+        self._by_index = {span.index: span for span in self.spans}
+        for span in self.spans:
+            span.queued_s = 0.0
+        experiments = sorted({span.experiment for span in self.spans})
+        gauge = self.metrics.gauge("runner.cells", ("experiment",))
+        for name in experiments:
+            gauge.set(sum(1 for s in self.spans if s.experiment == name),
+                      experiment=name)
+
+    def _span(self, index: int) -> CellSpan:
+        try:
+            return self._by_index[index]
+        except KeyError:
+            raise ConfigurationError(
+                f"no span for cell index {index}; was begin() called?"
+            ) from None
+
+    def _elapsed(self) -> float:
+        return time.monotonic() - self._t0 if self._t0 is not None else 0.0
+
+    def cache_hit(self, index: int) -> None:
+        """The cell's result was served from the content-addressed cache."""
+        span = self._span(index)
+        span.status = "cached"
+        span.cache_hit = True
+        span.finished_s = self._elapsed()
+        self.metrics.counter("runner.cells.cached", ("experiment",)).inc(
+            experiment=span.experiment)
+
+    def started(self, index: int, attempt: int) -> None:
+        """Attempt ``attempt`` (1-based) was handed to a worker/inline."""
+        span = self._span(index)
+        span.attempts = max(span.attempts, attempt)
+        if span.started_s is None:
+            span.started_s = self._elapsed()
+
+    def retried(self, index: int, attempt: int,
+                error: BaseException) -> None:
+        """Attempt ``attempt`` failed and the cell will be retried."""
+        span = self._span(index)
+        span.retries += 1
+        span.errors.append(type(error).__name__)
+        self.metrics.counter(
+            "runner.retries", ("experiment", "error")).inc(
+                experiment=span.experiment, error=type(error).__name__)
+
+    def lost(self, index: int) -> None:
+        """The worker pool broke while the cell was in flight."""
+        span = self._span(index)
+        span.losses += 1
+        self.metrics.counter("runner.pool.losses", ("experiment",)).inc(
+            experiment=span.experiment)
+
+    def completed(self, index: int, elapsed: float) -> None:
+        """The cell produced a result (``elapsed`` = worker-side seconds)."""
+        span = self._span(index)
+        span.status = "ok"
+        span.attempts = max(span.attempts, 1)
+        span.finished_s = self._elapsed()
+        span.duration_s = elapsed
+        self.metrics.counter("runner.cells.completed", ("experiment",)).inc(
+            experiment=span.experiment)
+        self.metrics.histogram(
+            "runner.cell.attempts", ("experiment",),
+            buckets=_ATTEMPT_BUCKETS).observe(
+                span.attempts, experiment=span.experiment)
+
+    def failed(self, index: int, error: BaseException, attempts: int,
+               elapsed: float) -> None:
+        """The cell permanently failed after ``attempts`` attempts."""
+        span = self._span(index)
+        span.status = "failed"
+        span.attempts = max(span.attempts, attempts)
+        span.errors.append(type(error).__name__)
+        span.finished_s = self._elapsed()
+        span.duration_s = elapsed
+        self.metrics.counter("runner.cells.failed", ("experiment",)).inc(
+            experiment=span.experiment)
+        self.metrics.histogram(
+            "runner.cell.attempts", ("experiment",),
+            buckets=_ATTEMPT_BUCKETS).observe(
+                span.attempts, experiment=span.experiment)
+
+    # -- export ---------------------------------------------------------------
+    def rows(self) -> List[Dict[str, Any]]:
+        """Span rows in cell order (deterministic modulo ``"wall"``)."""
+        return [span.to_json() for span in self.spans]
+
+    def counts(self) -> Dict[str, int]:
+        """Summary counters for the run manifest."""
+        statuses = [span.status for span in self.spans]
+        return {
+            "total": len(self.spans),
+            "completed": statuses.count("ok"),
+            "cached": statuses.count("cached"),
+            "failed": statuses.count("failed"),
+            "retries": sum(span.retries for span in self.spans),
+            "losses": sum(span.losses for span in self.spans),
+        }
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write one JSON object per span, in cell order."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            for row in self.rows():
+                fh.write(json.dumps(row, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+        return path

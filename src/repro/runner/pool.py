@@ -26,7 +26,7 @@ from __future__ import annotations
 import os
 import random
 import time
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError, WorkerError
 from .cache import ResultCache, cell_key
@@ -34,6 +34,9 @@ from .cells import Cell
 from .faults import active_plan, corrupt_cache_entries, inject
 from .progress import Progress
 from .resilience import FailedCell, RetryPolicy, run_pool
+
+if TYPE_CHECKING:
+    from ..obs.spans import RunTelemetry
 
 __all__ = ["run_cells", "default_jobs"]
 
@@ -73,6 +76,17 @@ def _execute(payload: Tuple[int, str, Cell, int]) -> Tuple[int, float, Any]:
     index, key, cell, attempt = payload
     _seed_from_key(key)
     inject(cell.label, attempt)
+    if os.environ.get("REPRO_TELEMETRY"):
+        # Telemetry is on (workers learn via the inherited environment):
+        # name the cell so series files land at deterministic paths, and
+        # optionally capture a cProfile of the attempt.
+        from ..obs.runtime import maybe_profile, set_cell
+
+        set_cell(cell.label)
+        start = time.perf_counter()
+        with maybe_profile(cell.label):
+            result = cell.run()
+        return index, time.perf_counter() - start, result
     start = time.perf_counter()
     result = cell.run()
     return index, time.perf_counter() - start, result
@@ -81,7 +95,8 @@ def _execute(payload: Tuple[int, str, Cell, int]) -> Tuple[int, float, Any]:
 def _run_inline(cells: Sequence[Cell], keys: Sequence[str],
                 pending: Sequence[int], policy: RetryPolicy,
                 results: List[Any], cache: Optional[ResultCache],
-                progress: Optional[Progress]) -> None:
+                progress: Optional[Progress],
+                telemetry: Optional["RunTelemetry"] = None) -> None:
     """Sequential execution with retries; raises raw on permanent failure
     (unless ``keep_going``), preserving the historical inline semantics."""
     for i in pending:
@@ -89,6 +104,8 @@ def _run_inline(cells: Sequence[Cell], keys: Sequence[str],
         total_elapsed = 0.0
         while True:
             attempt = failed_attempts + 1
+            if telemetry is not None:
+                telemetry.started(i, attempt)
             start = time.monotonic()
             try:
                 _, elapsed, value = _execute((i, keys[i], cells[i], attempt))
@@ -97,10 +114,14 @@ def _run_inline(cells: Sequence[Cell], keys: Sequence[str],
                 failed_attempts += 1
                 if failed_attempts <= policy.retries:
                     backoff = policy.delay(failed_attempts)
+                    if telemetry is not None:
+                        telemetry.retried(i, attempt, exc)
                     if progress is not None:
                         progress.retry(cells[i], attempt, exc, backoff)
                     time.sleep(backoff)
                     continue
+                if telemetry is not None:
+                    telemetry.failed(i, exc, attempt, total_elapsed)
                 if not policy.keep_going:
                     raise
                 results[i] = FailedCell(
@@ -112,6 +133,8 @@ def _run_inline(cells: Sequence[Cell], keys: Sequence[str],
                     progress.cell(cells[i], failed=True)
                 break
             results[i] = value
+            if telemetry is not None:
+                telemetry.completed(i, elapsed)
             if cache is not None:
                 cache.put(keys[i], value)
             if progress is not None:
@@ -124,7 +147,8 @@ def run_cells(cells: Sequence[Cell], *, jobs: Optional[int] = 1,
               progress: Optional[Progress] = None, retries: int = 0,
               cell_timeout: Optional[float] = None,
               keep_going: bool = False, backoff_base: float = 0.05,
-              backoff_cap: float = 2.0) -> List[Any]:
+              backoff_cap: float = 2.0,
+              telemetry: Optional["RunTelemetry"] = None) -> List[Any]:
     """Execute ``cells`` and return their results in cell order.
 
     Parameters
@@ -156,6 +180,11 @@ def run_cells(cells: Sequence[Cell], *, jobs: Optional[int] = 1,
         failing :class:`~repro.errors.ReproError` propagates unwrapped
         and any other permanent failure raises
         :class:`~repro.errors.WorkerError` listing *every* failed cell.
+    telemetry:
+        Optional :class:`~repro.obs.spans.RunTelemetry` receiving one
+        structured span per cell (queued / started / retries / losses /
+        cache-hit / duration).  Recording is parent-process-only and
+        never influences execution, results, or cache keys.
     """
     jobs = jobs or default_jobs()
     if jobs < 1:
@@ -166,6 +195,8 @@ def run_cells(cells: Sequence[Cell], *, jobs: Optional[int] = 1,
     cells = list(cells)
     keys = [cell_key(cell) for cell in cells]
     results: List[Any] = [_PENDING] * len(cells)
+    if telemetry is not None:
+        telemetry.begin(cells, keys)
     if progress is not None:
         progress.begin(len(cells))
 
@@ -179,6 +210,8 @@ def run_cells(cells: Sequence[Cell], *, jobs: Optional[int] = 1,
             hit, value = cache.get(keys[i])
             if hit:
                 results[i] = value
+                if telemetry is not None:
+                    telemetry.cache_hit(i)
                 if progress is not None:
                     progress.cell(cell, cached=True)
                 continue
@@ -189,11 +222,12 @@ def run_cells(cells: Sequence[Cell], *, jobs: Optional[int] = 1,
                   and (jobs == 1 or len(pending) == 1))
         if inline:
             _run_inline(cells, keys, pending, policy, results, cache,
-                        progress)
+                        progress, telemetry)
         else:
             pool_results, _ = run_pool(
                 cells, keys, pending, jobs=jobs, policy=policy,
-                execute=_execute, cache=cache, progress=progress)
+                execute=_execute, cache=cache, progress=progress,
+                telemetry=telemetry)
             for i, value in pool_results.items():
                 results[i] = value
 

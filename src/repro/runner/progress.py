@@ -53,6 +53,18 @@ class Progress:
                   f"failed ({type(error).__name__}: {error}); "
                   f"retrying in {backoff:.2f}s")
 
+    def note(self, message: str) -> None:
+        """Emit a free-form line (sweep-level notices, error summaries)
+        through the same stream as cell/retry lines, so they cannot
+        interleave with them."""
+        self.emit(message)
+
     def emit(self, message: str) -> None:
-        if self.enabled:
-            print(message, file=self.stream, flush=True)
+        if not self.enabled:
+            return
+        # One write + flush per line: FAILED/retry lines and normal cell
+        # lines land atomically on the shared stream, so a pool callback
+        # firing between a print()'s message and its newline can no
+        # longer interleave output under --jobs > 1.
+        self.stream.write(message + "\n")
+        self.stream.flush()

@@ -43,6 +43,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -57,6 +58,9 @@ from ..errors import CellTimeoutError, ConfigurationError, WorkerError
 from .cache import ResultCache
 from .cells import Cell
 from .progress import Progress
+
+if TYPE_CHECKING:
+    from ..obs.spans import RunTelemetry
 
 __all__ = [
     "MANIFEST_VERSION",
@@ -244,13 +248,16 @@ def run_pool(cells: Sequence[Cell], keys: Sequence[str],
              pending: Sequence[int], *, jobs: int, policy: RetryPolicy,
              execute: ExecuteFn, cache: Optional[ResultCache] = None,
              progress: Optional[Progress] = None,
+             telemetry: Optional["RunTelemetry"] = None,
              ) -> Tuple[Dict[int, Any], Dict[int, FailedCell]]:
     """Execute ``pending`` cell indices across a self-healing pool.
 
     Returns ``(results, failures)``: ``results`` maps every pending
     index to its value (or its :class:`FailedCell`), ``failures`` the
     subset that permanently failed.  Raising (or not) on failures is
-    the caller's policy decision.
+    the caller's policy decision.  ``telemetry`` (when given) receives
+    the full scheduling lifecycle of every cell — submissions, retries,
+    pool losses, completion — as structured spans.
 
     Cells are dispatched at most ``workers`` at a time so a submitted
     cell starts (approximately) immediately — that is what makes the
@@ -273,12 +280,16 @@ def run_pool(cells: Sequence[Cell], keys: Sequence[str],
             attempts=st.submissions, elapsed=round(st.elapsed, 3), exc=exc)
         failures[i] = failed
         results[i] = failed
+        if telemetry is not None:
+            telemetry.failed(i, exc, st.submissions, st.elapsed)
         if progress is not None:
             progress.cell(cells[i], failed=True)
 
     def conclude_success(i: int, cell_elapsed: float, value: Any) -> None:
         states[i].elapsed += cell_elapsed
         results[i] = value
+        if telemetry is not None:
+            telemetry.completed(i, cell_elapsed)
         # Persist immediately: an interrupt later in the sweep must not
         # lose cells that already finished.
         if cache is not None:
@@ -296,6 +307,8 @@ def run_pool(cells: Sequence[Cell], keys: Sequence[str],
         backoff = policy.delay(st.failures)
         st.ready_at = time.monotonic() + backoff
         queue.append(i)
+        if telemetry is not None:
+            telemetry.retried(i, st.submissions, exc)
         if progress is not None:
             progress.retry(cells[i], st.submissions, exc, backoff)
 
@@ -303,6 +316,8 @@ def run_pool(cells: Sequence[Cell], keys: Sequence[str],
         """The pool broke while this cell was in flight."""
         st = states[i]
         st.losses += 1
+        if telemetry is not None:
+            telemetry.lost(i)
         if st.losses > policy.loss_budget:
             conclude_failure(i, WorkerError(
                 f"worker pool broke {st.losses} times while cell "
@@ -337,6 +352,8 @@ def run_pool(cells: Sequence[Cell], keys: Sequence[str],
                 i = queue.pop(0)
                 st = states[i]
                 st.submissions += 1
+                if telemetry is not None:
+                    telemetry.started(i, st.submissions)
                 fut = ex.submit(
                     execute, (i, keys[i], cells[i], st.submissions))
                 deadline = (now + policy.cell_timeout

@@ -144,7 +144,20 @@ class MultiprogramSimulator:
             for t in traces]
 
     def run(self) -> SimulationResult:
-        """Run until every thread retires its instruction limit."""
+        """Run until every thread retires its instruction limit.
+
+        When telemetry is active (:mod:`repro.obs.runtime`) the run is
+        wrapped in a per-partition series recording: the recorder is
+        subscribed *before* the loop captures the compiled access
+        kernel, and unsubscribed (restoring the telemetry-free kernel)
+        when the loop finishes.  With telemetry off this is a no-op and
+        no obs module state is touched.
+        """
+        from ..obs.runtime import record_series
+        with record_series(self.cache):
+            return self._run_loop()
+
+    def _run_loop(self) -> SimulationResult:
         cache = self.cache
         access = cache.access
         nuca_access = self.nuca.access

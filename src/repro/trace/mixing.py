@@ -87,14 +87,16 @@ def run_round_robin(cache: PartitionedCache, traces: Sequence[Trace],
     Thread ``i`` maps to partition ``i``.  When ``warmup`` is positive the
     first ``warmup`` accesses run with statistics discarded.
     """
+    from ..obs.runtime import record_series
     needs_future = cache.ranking.needs_future
-    access = cache.access
-    feed = interleave_round_robin(traces, warmup + length,
-                                  with_next_use=needs_future)
-    for count, (tid, addr, next_use) in enumerate(feed):
-        if count == warmup:
-            cache.reset_stats()
-        access(addr, tid, next_use)
+    with record_series(cache):  # no-op unless telemetry is active
+        access = cache.access
+        feed = interleave_round_robin(traces, warmup + length,
+                                      with_next_use=needs_future)
+        for count, (tid, addr, next_use) in enumerate(feed):
+            if count == warmup:
+                cache.reset_stats()
+            access(addr, tid, next_use)
 
 
 def run_insertion_rate_controlled(cache: PartitionedCache,
@@ -118,51 +120,57 @@ def run_insertion_rate_controlled(cache: PartitionedCache,
         raise TraceError(
             f"{len(traces)} traces but {len(insertion_rates)} insertion rates")
     check_probabilities(insertion_rates, "insertion_rates")
+    from ..obs.runtime import record_series
     rng = random.Random(seed)
     needs_future = cache.ranking.needs_future
     cursors = [TraceCursor(t, with_next_use=needs_future) for t in traces]
-    if prefill:
-        n_threads = len(cursors)
-        budgets = [50 * cache.targets[tid] + len(traces[tid])
-                   for tid in range(n_threads)]
-        while True:
-            # Re-derive each round: filling one partition can drain another.
-            pending = [tid for tid in range(n_threads)
-                       if cache.actual_sizes[tid] < cache.targets[tid]
-                       and budgets[tid] > 0]
-            if not pending:
-                break
-            for tid in pending:
-                for _ in range(64):
-                    if (cache.actual_sizes[tid] >= cache.targets[tid]
-                            or budgets[tid] <= 0):
-                        break
-                    addr, next_use, _gap = cursors[tid].next()
-                    cache.access(addr, tid, next_use)
-                    budgets[tid] -= 1
-        cache.reset_stats()
-    cumulative: List[float] = []
-    acc = 0.0
-    for r in insertion_rates:
-        acc += r
-        cumulative.append(acc)
-    cumulative[-1] = 1.0
-    n = len(cursors)
-    access = cache.access
-    issued = [0] * n
-    total = warmup_insertions + num_insertions
-    for count in range(total):
-        if count == warmup_insertions:
+    # Series recording (no-op unless telemetry is active) spans prefill
+    # and warmup too: the sizing transient and the feedback convergence
+    # it triggers are exactly what the per-partition series is for.
+    with record_series(cache):
+        if prefill:
+            n_threads = len(cursors)
+            budgets = [50 * cache.targets[tid] + len(traces[tid])
+                       for tid in range(n_threads)]
+            while True:
+                # Re-derive each round: filling one partition can drain
+                # another.
+                pending = [tid for tid in range(n_threads)
+                           if cache.actual_sizes[tid] < cache.targets[tid]
+                           and budgets[tid] > 0]
+                if not pending:
+                    break
+                for tid in pending:
+                    for _ in range(64):
+                        if (cache.actual_sizes[tid] >= cache.targets[tid]
+                                or budgets[tid] <= 0):
+                            break
+                        addr, next_use, _gap = cursors[tid].next()
+                        cache.access(addr, tid, next_use)
+                        budgets[tid] -= 1
             cache.reset_stats()
-        x = rng.random()
-        tid = 0
-        while cumulative[tid] < x:
-            tid += 1
-        cursor = cursors[tid]
-        # Feed this thread until it inserts one line (i.e. misses once).
-        while True:
-            addr, next_use, _gap = cursor.next()
-            issued[tid] += 1
-            if not access(addr, tid, next_use):
-                break
+        cumulative: List[float] = []
+        acc = 0.0
+        for r in insertion_rates:
+            acc += r
+            cumulative.append(acc)
+        cumulative[-1] = 1.0
+        n = len(cursors)
+        access = cache.access
+        issued = [0] * n
+        total = warmup_insertions + num_insertions
+        for count in range(total):
+            if count == warmup_insertions:
+                cache.reset_stats()
+            x = rng.random()
+            tid = 0
+            while cumulative[tid] < x:
+                tid += 1
+            cursor = cursors[tid]
+            # Feed this thread until it inserts one line (i.e. misses once).
+            while True:
+                addr, next_use, _gap = cursor.next()
+                issued[tid] += 1
+                if not access(addr, tid, next_use):
+                    break
     return issued

@@ -1,0 +1,148 @@
+"""Mid-run observer churn must never perturb cache behavior.
+
+Attaching and detaching observers *during* a run recompiles the access
+kernel (the bus's ``on_change`` hook), swapping between the bare
+fast path, the inlined well-known observers
+(:class:`~repro.obs.timeseries.TimeSeriesRecorder`) and the generic
+dispatch path.  For every registered scheme the per-access hit/miss
+stream and the final statistics must be byte-identical to an
+observer-free run — observation is read-only by construction.
+"""
+
+import random
+
+import pytest
+
+from repro.cache.arrays import (FullyAssociativeArray, SetAssociativeArray,
+                                ZCacheArray)
+from repro.cache.cache import PartitionedCache
+from repro.cache.events import CacheObserver
+from repro.core.futility import LRURanking
+from repro.core.schemes.base import available_schemes, make_scheme
+from repro.obs import TimeSeriesRecorder
+
+LINES = 256
+WAYS = 8
+PARTS = 2
+ACCESSES = 1_800
+
+
+class CountingObserver(CacheObserver):
+    """Generic (dispatch-path) observer tallying every event kind."""
+
+    def __init__(self) -> None:
+        self.events = 0
+
+    def on_cache_hit(self, idx, part, next_use):
+        self.events += 1
+
+    def on_cache_miss(self, addr, part):
+        self.events += 1
+
+    def on_cache_evict(self, idx, part, futility, dirty):
+        self.events += 1
+
+    def on_cache_insert(self, idx, part, next_use, evicted):
+        self.events += 1
+
+
+def _build(scheme_name: str) -> PartitionedCache:
+    scheme = make_scheme(scheme_name)
+    if not scheme.uses_candidates:
+        array = FullyAssociativeArray(LINES)
+    elif scheme_name == "fs-feedback":
+        array = ZCacheArray(LINES, 4, WAYS)
+    else:
+        array = SetAssociativeArray(LINES, WAYS)
+    return PartitionedCache(array, LRURanking(), scheme, PARTS)
+
+
+def _workload():
+    """The deterministic access stream shared by every run."""
+    rng = random.Random(20140613)
+    return [(p * 10**9 + rng.randrange(LINES), p, rng.randrange(4) == 0)
+            for p in (rng.randrange(PARTS) for _ in range(ACCESSES))]
+
+
+def _stats_tuple(cache: PartitionedCache):
+    st = cache.stats
+    return (tuple(st.hits), tuple(st.misses),
+            tuple(st.insertions), tuple(st.evictions))
+
+
+def _run(cache: PartitionedCache, workload, churn=None):
+    """Drive ``workload``; ``churn`` maps access index -> thunk to run
+    *between* accesses (subscribe/unsubscribe calls).  Returns the
+    per-access hit/miss stream — the observable output byte-for-byte."""
+    stream = []
+    for i, (addr, part, is_write) in enumerate(workload):
+        if churn and i in churn:
+            churn[i]()
+        stream.append(cache.access(addr, part, is_write=is_write))
+    return stream
+
+
+@pytest.mark.parametrize("scheme_name", available_schemes())
+def test_midrun_attach_detach_is_invisible(scheme_name):
+    workload = _workload()
+
+    baseline = _build(scheme_name)
+    base_stream = _run(baseline, workload)
+    base_kernel = baseline.access.__kernel_source__
+
+    cache = _build(scheme_name)
+    recorder = TimeSeriesRecorder(interval=64).attach(cache)
+    generic = CountingObserver()
+    kernels = {}
+
+    def snap(tag):
+        kernels[tag] = cache.access.__kernel_source__
+
+    third, two_thirds = len(workload) // 3, 2 * len(workload) // 3
+    churn = {
+        third: lambda: (cache.events.subscribe(recorder),
+                        cache.events.subscribe(generic), snap("attached")),
+        two_thirds: lambda: (cache.events.unsubscribe(recorder),
+                             cache.events.unsubscribe(generic),
+                             snap("detached")),
+    }
+    stream = _run(cache, workload, churn)
+
+    # Behavior: identical hit/miss stream and final books.
+    assert stream == base_stream
+    assert _stats_tuple(cache) == _stats_tuple(baseline)
+    cache.check_invariants()
+
+    # Observation really happened through both paths.
+    assert recorder.rows(), "inlined recorder never sampled"
+    assert generic.events > 0, "dispatch observer never fired"
+
+    # Compilation: subscribing swapped in an instrumented kernel
+    # (inlined ts_* counters + generic dispatch), detaching restored
+    # the exact observer-free kernel.
+    assert "ts_acc" in kernels["attached"]
+    assert kernels["attached"] != base_kernel
+    assert "ts_" not in kernels["detached"]
+    assert kernels["detached"] == base_kernel
+
+
+def test_subscribed_context_manager_restores_kernel():
+    cache = _build("fs-feedback")
+    clean = cache.access.__kernel_source__
+    recorder = TimeSeriesRecorder(interval=32).attach(cache)
+    with cache.events.subscribed(recorder) as bus:
+        assert bus is cache.events
+        assert "ts_acc" in cache.access.__kernel_source__
+        for i in range(200):
+            cache.access(i % LINES, i % PARTS)
+    assert cache.access.__kernel_source__ == clean
+    assert recorder.rows()
+
+
+def test_subscribed_unwinds_on_error():
+    cache = _build("fs")
+    clean = cache.access.__kernel_source__
+    with pytest.raises(RuntimeError):
+        with cache.events.subscribed(CountingObserver()):
+            raise RuntimeError("boom")
+    assert cache.access.__kernel_source__ == clean

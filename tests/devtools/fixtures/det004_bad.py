@@ -1,0 +1,34 @@
+"""Known-bad DET004 fixture: host-clock reads in simulation code.
+
+Everything here pattern-matches code that belongs in ``repro/cache/``,
+``repro/core/`` or ``repro/sim/``, where *any* host clock — wall or
+monotonic — couples simulated behavior to the machine it runs on.
+"""
+
+import time
+from time import monotonic, perf_counter
+
+
+class CoarseTimestamp:
+    def touch(self) -> float:
+        return time.time()
+
+
+def sample_window_elapsed(start: float) -> float:
+    return time.perf_counter() - start
+
+
+def epoch_now() -> int:
+    return time.time_ns()
+
+
+def feedback_deadline() -> float:
+    return monotonic() + 0.5
+
+
+def profiling_tick() -> float:
+    return perf_counter()
+
+
+def futility_budget() -> float:
+    return time.process_time()

@@ -1,0 +1,33 @@
+"""Known-good DET004 fixture: simulated time driven off the access
+counter — zero findings.
+
+The simulation substrate's only clock is the deterministic access
+count: sampling windows, coarse timestamps and feedback epochs all
+derive from it, so two runs of the same trace are byte-identical on
+any machine at any ``--jobs N``.
+"""
+
+
+class SamplingWindow:
+    """Fires every ``interval`` accesses; no host clock anywhere."""
+
+    def __init__(self, interval: int) -> None:
+        self.interval = interval
+        self.accesses = 0
+        self.samples = 0
+
+    def tick(self) -> bool:
+        self.accesses += 1
+        if self.accesses % self.interval == 0:
+            self.samples += 1
+            return True
+        return False
+
+
+def coarse_timestamp(accesses: int, shift: int = 8) -> int:
+    """Coarse logical timestamps quantize the access count."""
+    return accesses >> shift
+
+
+def feedback_epoch(accesses: int, epoch_length: int) -> int:
+    return accesses // epoch_length

@@ -13,7 +13,8 @@ from repro.devtools.lint import Checker, main
 FIXTURES = Path(__file__).parent / "fixtures"
 PACKAGE_DIR = Path(repro.__file__).parent
 
-ALL_RULES = ["DET001", "DET002", "DET003", "COR001", "COR002", "COR003"]
+ALL_RULES = ["DET001", "DET002", "DET003", "DET004",
+             "COR001", "COR002", "COR003"]
 
 #: Findings each known-bad fixture must produce (lower bound, so adding
 #: detection breadth never breaks the suite).
@@ -21,9 +22,19 @@ MIN_BAD_FINDINGS = {
     "DET001": 8,
     "DET002": 6,
     "DET003": 6,
+    "DET004": 6,
     "COR001": 4,
     "COR002": 5,
     "COR003": 2,
+}
+
+#: Fixtures whose full-ruleset run needs a specific virtual location.
+#: DET002's good fixture *demonstrates* sanctioned monotonic timing,
+#: which DET004 bans inside the simulation substrate — pinning it to a
+#: runner path keeps DET004's include gate closed, exactly as it is for
+#: the real timing code in ``repro/runner/``.
+VIRTUAL_PATHS = {
+    "det002_good.py": "repro/runner/det002_good.py",
 }
 
 
@@ -31,8 +42,8 @@ def lint_fixture(name: str, virtual: str):
     """Lint a fixture under a location-independent virtual path.
 
     Using a virtual path outside any ``repro`` package directory keeps
-    include-scoped rules (COR001) active no matter where the repository
-    is checked out.
+    include-scoped rules (COR001, DET004) active no matter where the
+    repository is checked out.
     """
     source = (FIXTURES / name).read_text()
     return Checker().check_source(source, path=virtual)
@@ -51,7 +62,8 @@ def test_bad_fixture_trips_rule(rule_id):
 @pytest.mark.parametrize("rule_id", ALL_RULES)
 def test_good_fixture_is_clean(rule_id):
     name = f"{rule_id.lower()}_good.py"
-    findings = lint_fixture(name, f"fixtures/{name}")
+    virtual = VIRTUAL_PATHS.get(name, f"fixtures/{name}")
+    findings = lint_fixture(name, virtual)
     assert findings == [], f"{name} must produce no findings: {findings}"
 
 

@@ -1,0 +1,43 @@
+"""Module-level cell functions for observability tests.
+
+Cells are pickled by reference into worker processes, so bodies must
+live at module scope (mirrors ``tests/runner/helpers.py``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cache.arrays import RandomCandidatesArray
+from repro.cache.cache import PartitionedCache
+from repro.core.futility import LRURanking
+from repro.core.schemes.partitioning_first import PartitioningFirstScheme
+from repro.trace.access import Trace
+from repro.trace.mixing import run_round_robin
+
+
+def sim_cell(lines, accesses, seed):
+    """Drive a small cache through a trace mix and return its misses.
+
+    Goes through :func:`run_round_robin`, whose access loop is wrapped
+    in :func:`repro.obs.runtime.record_series` — so with telemetry
+    active this cell emits one series file per invocation.
+    """
+    cache = PartitionedCache(RandomCandidatesArray(lines, 8, seed=seed),
+                             LRURanking(), PartitioningFirstScheme(), 2)
+    run_round_robin(cache, [Trace(range(seed, seed + 100)),
+                            Trace(range(10_000, 10_100))], accesses)
+    return list(cache.stats.misses)
+
+
+def flaky_cell(sentinel_dir, name, value):
+    """Fail with ValueError on the first attempt, succeed afterwards."""
+    sentinel = Path(sentinel_dir, name)
+    if not sentinel.exists():
+        sentinel.write_text("tried")
+        raise ValueError("transient fault")
+    return value
+
+
+def broken_cell(message):
+    raise ValueError(message)

@@ -1,0 +1,96 @@
+"""Metrics instruments: semantics, label schemas, deterministic export."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.obs.schema import validate_metrics_row
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("cells.done", ("experiment",))
+        c.inc(experiment="fig3")
+        c.inc(2, experiment="fig3")
+        c.inc(experiment="fig5")
+        assert c.value(experiment="fig3") == 3
+        assert c.value(experiment="fig5") == 1
+        assert c.value(experiment="fig7") == 0
+
+    def test_negative_increment_rejected(self, registry):
+        c = registry.counter("n")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_wrong_labels_rejected(self, registry):
+        c = registry.counter("n", ("experiment",))
+        with pytest.raises(ConfigurationError):
+            c.inc(scheme="fs")
+        with pytest.raises(ConfigurationError):
+            c.inc()
+
+
+class TestGauge:
+    def test_last_write_wins(self, registry):
+        g = registry.gauge("workers")
+        g.set(4)
+        g.set(8)
+        assert g.value() == 8
+
+    def test_unset_series_is_none(self, registry):
+        assert registry.gauge("w", ("experiment",)).value(
+            experiment="fig2") is None
+
+
+class TestHistogram:
+    def test_bucketing(self, registry):
+        h = registry.histogram("attempts", buckets=(1, 2, 5))
+        for v in (1, 1, 2, 3, 100):
+            h.observe(v)
+        (row,) = h.rows()
+        assert row["counts"] == [2, 1, 1, 1]  # <=1, <=2, <=5, +Inf
+        assert row["count"] == 5
+        assert row["sum"] == 107
+        assert h.count() == 5
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("h", buckets=(5, 5))
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("h2", buckets=())
+
+
+class TestRegistry:
+    def test_redeclare_returns_same_instrument(self, registry):
+        assert registry.counter("n", ("a",)) is registry.counter("n", ("a",))
+
+    def test_kind_collision_rejected(self, registry):
+        registry.counter("n")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("n")
+
+    def test_label_schema_collision_rejected(self, registry):
+        registry.counter("n", ("a",))
+        with pytest.raises(ConfigurationError):
+            registry.counter("n", ("b",))
+
+    def test_export_is_byte_stable_and_valid(self, registry, tmp_path):
+        registry.counter("z.last", ("experiment",)).inc(experiment="fig5")
+        registry.counter("a.first").inc(7)
+        registry.gauge("m.middle").set(1.5)
+        registry.histogram("h", buckets=(1, 2)).observe(1)
+        first = registry.export_jsonl(tmp_path / "one.jsonl").read_bytes()
+        second = registry.export_jsonl(tmp_path / "two.jsonl").read_bytes()
+        assert first == second
+        lines = first.decode().splitlines()
+        # Sorted by instrument name; rows all schema-clean.
+        import json
+        names = [json.loads(line)["name"] for line in lines]
+        assert names == sorted(names)
+        for line in lines:
+            assert validate_metrics_row(json.loads(line)) == []

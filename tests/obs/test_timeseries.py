@@ -1,0 +1,180 @@
+"""Time-series recorder: inline/dispatch equivalence and zero-cost-off.
+
+The compiled access kernel recognizes the exact
+:class:`TimeSeriesRecorder` type and inlines its window counters; any
+subclass goes through the generic event-dispatch path instead.  Both
+paths must produce byte-identical rows, and with no recorder subscribed
+the kernel must contain no trace of the telemetry code at all.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.cache.arrays import SetAssociativeArray, ZCacheArray
+from repro.cache.cache import PartitionedCache
+from repro.core.futility import CoarseTimestampLRURanking, LRURanking
+from repro.core.schemes.futility_scaling import (
+    FeedbackFutilityScalingScheme,
+    FutilityScalingScheme,
+)
+from repro.errors import ConfigurationError
+from repro.obs import TimeSeriesRecorder
+
+LINES = 512
+PARTS = 4
+
+
+class DispatchRecorder(TimeSeriesRecorder):
+    """Forced onto the generic dispatch path (not the exact type)."""
+
+
+def _build(feedback=True):
+    if feedback:
+        scheme = FeedbackFutilityScalingScheme()
+        ranking = CoarseTimestampLRURanking()
+    else:
+        scheme = FutilityScalingScheme()
+        ranking = LRURanking()
+    return PartitionedCache(SetAssociativeArray(LINES, 8), ranking, scheme,
+                            PARTS)
+
+
+def _drive(cache, n=6_000, seed=7):
+    rng = random.Random(seed)
+    access = cache.access
+    for _ in range(n):
+        part = rng.randrange(PARTS)
+        access(part * 10**8 + rng.randrange(LINES), part)
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        TimeSeriesRecorder(0)
+
+
+def test_sampling_before_attach_rejected():
+    rec = TimeSeriesRecorder(4)
+    with pytest.raises(ConfigurationError):
+        rec._sample()
+
+
+def test_kernel_has_no_obs_code_when_off():
+    cache = _build()
+    source = cache.access.__kernel_source__
+    assert "ts_" not in source
+    _drive(cache, 500)
+    assert "ts_" not in cache.access.__kernel_source__
+
+
+def test_inline_and_dispatch_rows_are_identical():
+    rows = {}
+    for cls in (TimeSeriesRecorder, DispatchRecorder):
+        cache = _build()
+        rec = cls(interval=128).attach(cache)
+        cache.events.subscribe(rec)
+        source = cache.access.__kernel_source__
+        if cls is TimeSeriesRecorder:
+            assert "ts_acc" in source, "exact type must be inlined"
+        else:
+            assert "ts_" not in source, "subclass must be dispatched"
+        _drive(cache)
+        cache.events.unsubscribe(rec)
+        rows[cls.__name__] = rec.rows()
+    inline, dispatch = rows["TimeSeriesRecorder"], rows["DispatchRecorder"]
+    assert inline, "no samples recorded"
+    assert json.dumps(inline, sort_keys=True) == \
+        json.dumps(dispatch, sort_keys=True)
+
+
+def test_row_shape_and_window_accounting():
+    cache = _build()
+    rec = TimeSeriesRecorder(interval=256).attach(cache)
+    with cache.events.subscribed(rec):
+        _drive(cache, 1024)
+    assert len(rec.rows()) == 4 * PARTS  # 1024/256 samples x partitions
+    for row in rec.rows():
+        assert set(row) == {"access", "part", "occupancy", "target",
+                            "alpha", "miss_rate", "insertions", "evictions"}
+        assert row["access"] % 256 == 0
+    # Window counters are zeroed between samples: total insertions over
+    # all windows equals total cache insertions at sample boundaries.
+    total_ins = sum(row["insertions"] for row in rec.rows())
+    assert 0 < total_ins <= sum(cache.stats.insertions)
+
+
+def test_alpha_reported_for_feedback_fs_only():
+    feedback = _build(feedback=True)
+    rec = TimeSeriesRecorder(interval=512).attach(feedback)
+    with feedback.events.subscribed(rec):
+        _drive(feedback, 2048)
+    alphas = rec.series("alpha", 0)
+    assert alphas and all(isinstance(a, float) for a in alphas)
+
+    from repro.core.schemes.partitioning_first import PartitioningFirstScheme
+    pf = PartitionedCache(SetAssociativeArray(LINES, 8), LRURanking(),
+                          PartitioningFirstScheme(), PARTS)
+    rec_pf = TimeSeriesRecorder(interval=512).attach(pf)
+    with pf.events.subscribed(rec_pf):
+        _drive(pf, 2048)
+    assert rec_pf.series("alpha", 0)
+    assert all(a is None for a in rec_pf.series("alpha", 0))
+
+
+def test_miss_rate_none_for_idle_partition():
+    cache = _build()
+    rec = TimeSeriesRecorder(interval=64).attach(cache)
+    with cache.events.subscribed(rec):
+        for i in range(256):  # partition 3 never accessed
+            cache.access(i % LINES, i % 2)
+    idle = rec.series("miss_rate", 3)
+    assert idle and all(m is None for m in idle)
+    busy = rec.series("miss_rate", 0)
+    assert all(m is not None and 0.0 <= m <= 1.0 for m in busy)
+
+
+def test_reset_preserves_kernel_bindings():
+    """reset() must zero the window lists *in place* — the compiled
+    kernel holds direct references to them."""
+    cache = _build()
+    rec = TimeSeriesRecorder(interval=64).attach(cache)
+    with cache.events.subscribed(rec):
+        _drive(cache, 512)
+        buffers = (rec._win_acc, rec._win_miss, rec._win_ins, rec._win_evi)
+        rec.reset()
+        assert (rec._win_acc, rec._win_miss, rec._win_ins,
+                rec._win_evi) == tuple([0] * PARTS for _ in range(4))
+        for before, after in zip(buffers, (rec._win_acc, rec._win_miss,
+                                           rec._win_ins, rec._win_evi)):
+            assert before is after
+        _drive(cache, 512)
+    assert rec.rows(), "recorder stopped sampling after reset()"
+
+
+def test_relocating_array_rows_identical_across_paths():
+    """zcache relocation walks exercise insert/evict inlining too."""
+    rows = []
+    for cls in (TimeSeriesRecorder, DispatchRecorder):
+        cache = PartitionedCache(ZCacheArray(256, 4, 8),
+                                 CoarseTimestampLRURanking(),
+                                 FeedbackFutilityScalingScheme(), 2)
+        rec = cls(interval=128).attach(cache)
+        rng = random.Random(11)
+        with cache.events.subscribed(rec):
+            for _ in range(4_000):
+                part = rng.randrange(2)
+                cache.access(part * 10**8 + rng.randrange(256), part)
+        rows.append(rec.rows())
+    assert rows[0] == rows[1]
+
+
+def test_write_jsonl_byte_stable(tmp_path):
+    cache = _build()
+    rec = TimeSeriesRecorder(interval=128).attach(cache)
+    with cache.events.subscribed(rec):
+        _drive(cache, 1024)
+    a = rec.write_jsonl(tmp_path / "a.jsonl").read_bytes()
+    b = rec.write_jsonl(tmp_path / "b.jsonl").read_bytes()
+    assert a == b
+    assert len(a.splitlines()) == len(rec.rows())
