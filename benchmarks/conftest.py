@@ -48,8 +48,9 @@ def bench_jobs() -> int:
 def bench_cache():
     """The shared result cache, or None when not opted in."""
     if os.environ.get("REPRO_BENCH_CACHE", "0") not in ("", "0"):
-        from repro.runner import ResultCache, default_cache_dir
-        return ResultCache(default_cache_dir())
+        from repro.runner import default_cache_dir
+        from repro.store import LocalFileStore
+        return LocalFileStore(default_cache_dir())
     return None
 
 

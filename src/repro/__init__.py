@@ -94,7 +94,8 @@ from .errors import (
     TraceError,
     WorkerError,
 )
-from .runner import Cell, FailedCell, ResultCache, run_cells
+from .runner import Cell, FailedCell, ResultCache, RunConfig, run_cells
+from .store import ExperimentStore, LocalFileStore, SQLiteStore, open_store
 from .sim import (
     TABLE_II,
     MultiprogramSimulator,
@@ -113,13 +114,15 @@ from .trace import (
 __all__ = [
     "__version__",
     # subpackages
-    "alloc", "analysis", "cache", "core", "obs", "runner", "sim", "trace",
+    "alloc", "analysis", "cache", "core", "obs", "runner", "sim", "store", "trace",
     # observability
     "MetricsRegistry", "TelemetrySession", "TimeSeriesRecorder",
     # stable facade
     "build_array", "build_cache", "run_experiment",
     # experiment runner
-    "Cell", "FailedCell", "ResultCache", "run_cells",
+    "Cell", "FailedCell", "ResultCache", "RunConfig", "run_cells",
+    # experiment store
+    "ExperimentStore", "LocalFileStore", "SQLiteStore", "open_store",
     # errors
     "ReproError", "ConfigurationError", "InfeasiblePartitioningError",
     "TraceError", "SimulationError", "WorkerError", "CellTimeoutError",

@@ -16,18 +16,20 @@ timeouts, keep-going sweeps) behind a single function.
 Example::
 
     from repro import build_cache, run_experiment
+    from repro.runner import RunConfig
 
     cache = build_cache(array="set-assoc", num_lines=131_072, ways=16,
                         ranking="coarse-ts-lru", scheme="fs-feedback",
                         num_partitions=32, targets=[4096] * 32)
-    result = run_experiment("fig3", scale="smoke", jobs=4,
-                            retries=2, keep_going=True)
+    result = run_experiment(
+        "fig3", scale="smoke",
+        run_config=RunConfig(jobs=4, retries=2, keep_going=True))
 """
 
 from __future__ import annotations
 
 import os
-from typing import Any, Callable, Dict, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Sequence, Union
 
 from .cache.arrays import (
     CacheArray,
@@ -42,6 +44,9 @@ from .cache.cache import PartitionedCache
 from .core.futility import FutilityRanking, make_ranking
 from .core.schemes.base import PartitioningScheme, make_scheme
 from .errors import ConfigurationError
+
+if TYPE_CHECKING:  # lazy at runtime: keeps `import repro` light
+    from .runner import RunConfig
 
 __all__ = ["ARRAY_KINDS", "build_array", "build_cache", "run_experiment"]
 
@@ -161,15 +166,12 @@ def build_cache(*, array: Union[str, CacheArray],
 
 
 def run_experiment(name: str, *, scale: str = "scaled",
-                   config: Optional[Any] = None, jobs: int = 1,
-                   cache: Union[str, "os.PathLike[str]", Any, None] = None,
-                   force: bool = False, retries: int = 0,
-                   cell_timeout: Optional[float] = None,
-                   keep_going: bool = False,
-                   progress: Optional[Any] = None,
+                   config: Optional[Any] = None,
+                   run_config: Optional["RunConfig"] = None,
                    telemetry: Union[str, "os.PathLike[str]", None] = None,
                    telemetry_interval: int = 1024,
-                   telemetry_profile: bool = False) -> Any:
+                   telemetry_profile: bool = False,
+                   **legacy: Any) -> Any:
     """Run a registered experiment end to end and return its result.
 
     One-call front door to the experiment registry and the
@@ -180,14 +182,19 @@ def run_experiment(name: str, *, scale: str = "scaled",
       :class:`~repro.errors.ConfigurationError` listing what exists.
     - ``config`` overrides the config object; otherwise it is built
       from ``scale`` (``smoke``/``scaled``/``paper``).
-    - ``cache`` may be a :class:`~repro.runner.ResultCache`, a
-      directory path (a cache is opened there), or ``None`` (no
-      memoization).
-    - ``retries``, ``cell_timeout`` and ``keep_going`` are the
-      resilience knobs of :func:`repro.runner.run_cells`; under
-      ``keep_going`` a sweep with permanently failed cells raises
+    - ``run_config`` is a :class:`~repro.runner.RunConfig` saying how
+      to execute the sweep: parallelism (``jobs`` /
+      ``queue_workers``), the experiment store (``local:PATH`` /
+      ``sqlite:PATH`` URL, bare path, instance, or ``None`` for no
+      memoization), and the resilience knobs (``retries``,
+      ``cell_timeout``, ``keep_going``).  Under ``keep_going`` a sweep
+      with permanently failed cells raises
       :class:`~repro.errors.SweepError` carrying the
       :class:`~repro.runner.FailedCell` sentinels and partial results.
+    - The historical keyword style (``jobs=4, cache=..., retries=2``)
+      still works behind a deprecation shim emitting a single
+      :class:`DeprecationWarning`; ``cache=`` maps onto the ``store``
+      field.
     - ``telemetry`` names a directory: the run records metrics, per-cell
       spans, per-partition time series (one sample every
       ``telemetry_interval`` accesses) and, with
@@ -200,7 +207,8 @@ def run_experiment(name: str, *, scale: str = "scaled",
     # experiment modules register themselves on first import — pulling
     # them in here keeps `import repro` light and cycle-free.
     from .experiments import registry as _registry
-    from .runner import Progress, ResultCache
+    from .runner import Progress
+    from .runner.config import coerce_run_config
 
     try:
         spec = _registry.get_experiment(name)
@@ -208,16 +216,13 @@ def run_experiment(name: str, *, scale: str = "scaled",
         raise ConfigurationError(
             f"unknown experiment {name!r}; registered: "
             f"{_registry.experiment_names()}") from None
-    if cache is not None and not isinstance(cache, ResultCache):
-        cache = ResultCache(os.fspath(cache))
+    rc = coerce_run_config(run_config, legacy, where="repro.run_experiment")
     if config is None:
         config = spec.config(scale)
-    if progress is None:
-        progress = Progress(enabled=False)
+    if rc.progress is None:
+        rc = rc.replace(progress=Progress(enabled=False))
     if telemetry is None:
-        return spec.run(config, jobs=jobs, cache=cache, force=force,
-                        progress=progress, retries=retries,
-                        cell_timeout=cell_timeout, keep_going=keep_going)
+        return spec.run(config, run_config=rc)
     from .obs import TelemetrySession
 
     session = TelemetrySession(os.fspath(telemetry), experiment=name,
@@ -225,7 +230,6 @@ def run_experiment(name: str, *, scale: str = "scaled",
                                profile=telemetry_profile)
     with session:
         with session.phase("sweep"):
-            return spec.run(config, jobs=jobs, cache=cache, force=force,
-                            progress=progress, retries=retries,
-                            cell_timeout=cell_timeout, keep_going=keep_going,
-                            telemetry=session.telemetry)
+            return spec.run(config,
+                            run_config=rc.replace(
+                                telemetry=session.telemetry))

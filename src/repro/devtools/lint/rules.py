@@ -116,15 +116,19 @@ class WallClockRule(Rule):
     it for per-cell timings that stream to stderr, never into results,
     and the resilience layer (``repro/runner/resilience.py``) uses it
     for retry backoff and per-cell deadlines — scheduling decisions
-    that never reach results or cache keys.  The CLI's progress/timing
-    path in ``repro/experiments/__main__.py`` is the one sanctioned
-    wall-clock site.
+    that never reach results or cache keys.  Two sanctioned wall-clock
+    sites remain: the CLI's progress/timing path in
+    ``repro/experiments/__main__.py``, and the work queue's claim
+    leases in ``repro/store/queue.py`` — lease expiries must be
+    comparable *across worker processes*, which monotonic clocks are
+    not, and lease timing only schedules work (it never feeds results
+    or cache keys).
     """
 
     rule_id = "DET002"
     summary = ("wall-clock read (time.time / datetime.now) in code that "
                "may feed results or cache keys")
-    allow = ("repro/experiments/__main__.py",)
+    allow = ("repro/experiments/__main__.py", "repro/store/queue.py")
 
     WALL_CLOCK: FrozenSet[str] = frozenset({
         "time.time", "time.time_ns", "time.localtime", "time.gmtime",

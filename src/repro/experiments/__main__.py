@@ -12,20 +12,25 @@ Regenerate any of the paper's figures from the shell::
 parameters; hours in pure Python).
 
 Sweep cells fan out across a process pool (``--jobs N``, default
-``os.cpu_count()``) and every cell's result is memoized in a
-content-addressed on-disk cache (``--cache-dir``, default
-``$REPRO_CACHE_DIR`` or ``~/.cache/repro-experiments``), so interrupted
-or repeated runs resume instantly.  ``--no-cache`` disables the cache,
-``--force`` recomputes and overwrites existing entries.  Figure tables
-go to stdout and are byte-identical for any ``--jobs``; per-cell
-progress and timing stream to stderr.
+``os.cpu_count()``) and every cell's result is memoized in a pluggable
+content-addressed experiment store — ``--store local:PATH`` (directory
+of pickles, the default at ``--cache-dir`` / ``$REPRO_CACHE_DIR`` /
+``~/.cache/repro-experiments``) or ``--store sqlite:PATH`` (one
+WAL-mode database file, safe for concurrent workers) — so interrupted
+or repeated runs resume instantly.  ``--no-cache`` disables the store,
+``--force`` recomputes and overwrites existing entries.
+``--queue-workers N`` executes the sweep through the store's work
+queue with ``N`` independent ``python -m repro.runner.worker``
+processes instead of the in-process pool.  Figure tables go to stdout
+and are byte-identical for any ``--jobs``, ``--queue-workers``, or
+store backend; per-cell progress and timing stream to stderr.
 
 Fault tolerance: ``--retries N`` re-executes failing cells with capped
 deterministic backoff (retried cells are byte-identical to first-try
 runs), ``--cell-timeout SEC`` kills and retries hung cells, and
 ``--keep-going`` completes the sweep despite permanently failed cells,
-recording them in a JSON failure manifest at
-``<cache-dir>/failures/<experiment>.json`` and exiting 1.  Rerunning
+recording them in a JSON failure manifest in the store's
+``failures/`` sidecar directory and exiting 1.  Rerunning
 the same command re-executes only the failed cells — everything else
 is served from the cache.
 
@@ -33,7 +38,8 @@ Telemetry: ``--telemetry[=PATH]`` records a full observability trace of
 each run — metrics, per-cell spans, per-partition time series sampled
 every ``--telemetry-interval`` accesses, and (with
 ``--telemetry-profile``) per-cell cProfile captures — into
-``PATH/<experiment>/`` (default ``<cache-dir>/telemetry/<experiment>``).
+``PATH/<experiment>/`` (default: the store's ``telemetry/`` sidecar
+directory).
 Inspect with ``python -m repro.obs report DIR``.  Telemetry never
 touches stdout, figure outputs, or cache keys.
 """
@@ -51,11 +57,12 @@ from pathlib import Path
 from ..errors import ConfigurationError, SweepError
 from ..runner import (
     Progress,
-    ResultCache,
+    RunConfig,
     default_cache_dir,
     default_jobs,
     write_manifest,
 )
+from ..store import open_store
 from .registry import experiment_names, get_experiment
 from .tableii import render_table_ii  # noqa: F401  (backward-compat export)
 
@@ -114,12 +121,16 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for sweep cells "
                              "(default: os.cpu_count())")
-    parser.add_argument("--cache-dir", default=None, metavar="DIR",
-                        help="content-addressed result cache location "
-                             "(default: $REPRO_CACHE_DIR or "
-                             "~/.cache/repro-experiments)")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="disable the result cache entirely")
+    store_group = parser.add_mutually_exclusive_group()
+    store_group.add_argument("--cache-dir", default=None, metavar="DIR",
+                             help="result store directory, opened with the "
+                                  "local backend (default: $REPRO_CACHE_DIR "
+                                  "or ~/.cache/repro-experiments)")
+    store_group.add_argument("--store", default=None, metavar="URL",
+                             help="experiment store URL: local:PATH or "
+                                  "sqlite:PATH (see repro.store)")
+    store_group.add_argument("--no-cache", action="store_true",
+                             help="disable the result store entirely")
     parser.add_argument("--force", action="store_true",
                         help="recompute cells even when cached")
     parser.add_argument("--retries", type=int, default=0, metavar="N",
@@ -130,6 +141,12 @@ def main(argv=None) -> int:
                         help="per-cell wall-clock limit; a hung cell's "
                              "worker is killed, the pool respawned, and "
                              "the cell retried or failed")
+    parser.add_argument("--queue-workers", type=int, default=None,
+                        metavar="N",
+                        help="execute the sweep through the store's work "
+                             "queue with N independent worker processes "
+                             "(python -m repro.runner.worker) instead of "
+                             "the in-process pool; requires a store")
     parser.add_argument("--keep-going", action="store_true",
                         help="complete the sweep despite failing cells, "
                              "write a JSON failure manifest under the "
@@ -156,31 +173,33 @@ def main(argv=None) -> int:
     else:
         selected = [args.figure]
     jobs = args.jobs if args.jobs and args.jobs > 0 else default_jobs()
-    cache = None
+    store = None
     if not args.no_cache:
-        cache = ResultCache(args.cache_dir if args.cache_dir
-                            else default_cache_dir())
+        store = open_store(args.store if args.store else
+                           (args.cache_dir if args.cache_dir
+                            else default_cache_dir()))
     progress = Progress(sys.stderr)
 
     exit_code = 0
     for name in selected:
         spec = get_experiment(name)
-        session = _make_session(args, cache, name)
+        session = _make_session(args, store, name)
         telemetry = None
         if session is not None:
             session.activate()
             telemetry = session.telemetry
         start = time.time()
         try:
+            run_config = RunConfig(
+                jobs=jobs, store=store, force=args.force,
+                retries=args.retries, cell_timeout=args.cell_timeout,
+                keep_going=args.keep_going, progress=progress,
+                telemetry=telemetry, queue_workers=args.queue_workers,
+                queue_name=name)
             try:
                 with session.phase("sweep") if session else nullcontext():
-                    result = spec.run(spec.config(args.scale), jobs=jobs,
-                                      cache=cache, force=args.force,
-                                      progress=progress,
-                                      retries=args.retries,
-                                      cell_timeout=args.cell_timeout,
-                                      keep_going=args.keep_going,
-                                      telemetry=telemetry)
+                    result = spec.run(spec.config(args.scale),
+                                      run_config=run_config)
                 with session.phase("render") if session else nullcontext():
                     rendered = spec.format(result)
             finally:
@@ -202,7 +221,7 @@ def main(argv=None) -> int:
                 progress.note(f"error: {name}: {failure.label} failed "
                               f"after {failure.attempts} attempt(s): "
                               f"{failure.error_type}: {failure.message}")
-            manifest = _write_failure_manifest(cache, name, exc.failures,
+            manifest = _write_failure_manifest(store, name, exc.failures,
                                                progress)
             where = f"; manifest: {manifest}" if manifest else ""
             progress.note(
@@ -212,27 +231,27 @@ def main(argv=None) -> int:
             exit_code = 1
             continue
         elapsed = time.time() - start
-        if args.keep_going and cache is not None:
+        if args.keep_going and store is not None:
             # An empty manifest records that the sweep fully recovered.
-            _write_failure_manifest(cache, name, [], progress)
+            _write_failure_manifest(store, name, [], progress)
         print(rendered)
         print()
         progress.note(f"[{name} @ {args.scale}: {elapsed:.1f}s]")
     return exit_code
 
 
-def _make_session(args, cache, name):
+def _make_session(args, store, name):
     """Build the experiment's TelemetrySession (None when --telemetry
-    is absent).  ``--telemetry`` alone defaults to
-    ``<cache-dir>/telemetry``; each experiment gets its own subdir."""
+    is absent).  ``--telemetry`` alone defaults to the store's
+    ``telemetry/`` sidecar dir; each experiment gets its own subdir."""
     if not args.telemetry:
         return None
     from ..obs import TelemetrySession
 
     if isinstance(args.telemetry, str):
         root = Path(args.telemetry)
-    elif cache is not None:
-        root = Path(cache.root) / "telemetry"
+    elif store is not None:
+        root = store.aux_dir("telemetry")
     else:
         root = Path("telemetry")
     return TelemetrySession(root / name, experiment=name,
@@ -240,12 +259,12 @@ def _make_session(args, cache, name):
                             profile=args.telemetry_profile)
 
 
-def _write_failure_manifest(cache, name, failures, progress):
-    """Write ``<cache-dir>/failures/<name>.json``; None without a cache."""
-    if cache is None:
-        progress.note(f"[{name}: no cache dir; failure manifest not written]")
+def _write_failure_manifest(store, name, failures, progress):
+    """Write ``failures/<name>.json`` beside the store; None without one."""
+    if store is None:
+        progress.note(f"[{name}: no store; failure manifest not written]")
         return None
-    return write_manifest(Path(cache.root) / "failures" / f"{name}.json",
+    return write_manifest(store.aux_dir("failures") / f"{name}.json",
                           name, failures)
 
 

@@ -24,22 +24,11 @@ sweep through :func:`repro.runner.run_cells`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import (
-    TYPE_CHECKING,
-    Any,
-    Callable,
-    Dict,
-    Iterator,
-    List,
-    Optional,
-    Type,
-)
+from typing import Any, Callable, Dict, Iterator, List, Optional, Type
 
 from ..errors import ConfigurationError, SweepError
-from ..runner import Cell, FailedCell, Progress, ResultCache, run_cells
-
-if TYPE_CHECKING:
-    from ..obs.spans import RunTelemetry
+from ..runner import Cell, FailedCell, RunConfig, run_cells
+from ..runner.config import coerce_run_config
 
 __all__ = [
     "ExperimentSpec",
@@ -95,32 +84,34 @@ class ExperimentSpec:
                 f"{self.config_cls.__name__} has no {scale!r} constructor")
         return ctor()
 
-    def run(self, config: Any = None, *, jobs: int = 1,
-            cache: Optional[ResultCache] = None, force: bool = False,
-            progress: Optional[Progress] = None, retries: int = 0,
-            cell_timeout: Optional[float] = None,
-            keep_going: bool = False,
-            telemetry: Optional["RunTelemetry"] = None) -> Any:
+    def run(self, config: Any = None, *,
+            run_config: Optional[RunConfig] = None,
+            **legacy: Any) -> Any:
         """Run the full sweep and reduce it to the result object.
 
-        With the defaults (``jobs=1``, no cache, no retries) this is
-        exactly the legacy sequential ``run_figN(config)`` behavior.
-        ``retries`` / ``cell_timeout`` / ``keep_going`` /
-        ``telemetry`` thread through to
-        :func:`repro.runner.run_cells`.  Under ``keep_going`` a
-        sweep that finishes with permanently failed cells raises
-        :class:`~repro.errors.SweepError` instead of reducing — the
-        error carries the :class:`~repro.runner.FailedCell` sentinels
-        and the full partial result list, so callers that tolerate
-        holes can still reduce over ``err.results`` themselves.
+        ``config`` is the *experiment* config (what to compute);
+        ``run_config`` is the :class:`~repro.runner.RunConfig` saying
+        *how* to execute it — parallelism, store, retries, timeouts,
+        queue-driven workers, telemetry.  With the defaults
+        (``jobs=1``, no store, no retries) this is exactly the legacy
+        sequential ``run_figN(config)`` behavior.  The historical
+        keyword style (``spec.run(cfg, jobs=4, cache=...)``) still
+        works through a deprecation shim emitting a single
+        :class:`DeprecationWarning`.
+
+        Under ``keep_going`` a sweep that finishes with permanently
+        failed cells raises :class:`~repro.errors.SweepError` instead
+        of reducing — the error carries the
+        :class:`~repro.runner.FailedCell` sentinels and the full
+        partial result list, so callers that tolerate holes can still
+        reduce over ``err.results`` themselves.
         """
+        run_config = coerce_run_config(run_config, legacy,
+                                       where="ExperimentSpec.run")
         if config is None:
             config = self.config("scaled")
-        results = run_cells(self.cells(config), jobs=jobs, cache=cache,
-                            force=force, progress=progress, retries=retries,
-                            cell_timeout=cell_timeout, keep_going=keep_going,
-                            telemetry=telemetry)
-        if keep_going:
+        results = run_cells(self.cells(config), run_config)
+        if run_config.keep_going:
             failures = [r for r in results if isinstance(r, FailedCell)]
             if failures:
                 labels = ", ".join(f.label for f in failures)

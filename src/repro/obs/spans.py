@@ -30,6 +30,7 @@ from .metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # avoid a runtime repro.runner <-> repro.obs cycle
     from ..runner.cells import Cell
+    from ..store import StoreStats
 
 __all__ = ["CellSpan", "RunTelemetry"]
 
@@ -189,6 +190,28 @@ class RunTelemetry:
             "runner.cell.attempts", ("experiment",),
             buckets=_ATTEMPT_BUCKETS).observe(
                 span.attempts, experiment=span.experiment)
+
+    def store_stats(self, stats: "StoreStats") -> None:
+        """Mirror the experiment store's end-of-sweep statistics.
+
+        ``entries``/``quarantined`` describe the store's contents;
+        ``hits``/``misses``/``puts``/``quarantines`` this run's
+        traffic.  All are deterministic facts (no wall-clock), so they
+        are safe outside a ``"wall"`` sub-object.
+        """
+        labels = ("backend",)
+        self.metrics.gauge("store.entries", labels).set(
+            stats.entries, backend=stats.backend)
+        self.metrics.gauge("store.quarantined", labels).set(
+            stats.quarantined, backend=stats.backend)
+        self.metrics.gauge("store.hits", labels).set(
+            stats.hits, backend=stats.backend)
+        self.metrics.gauge("store.misses", labels).set(
+            stats.misses, backend=stats.backend)
+        self.metrics.gauge("store.puts", labels).set(
+            stats.puts, backend=stats.backend)
+        self.metrics.gauge("store.quarantines", labels).set(
+            stats.quarantines, backend=stats.backend)
 
     # -- export ---------------------------------------------------------------
     def rows(self) -> List[Dict[str, Any]]:

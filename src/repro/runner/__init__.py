@@ -1,13 +1,16 @@
 """Experiment-execution engine: parallel cells with content-addressed memoization.
 
 The runner decomposes an experiment into independent :class:`Cell`\\ s,
-executes them inline or across a ``multiprocessing`` worker pool
-(:func:`run_cells`), memoizes each cell's result on disk keyed by a
-SHA-256 of its full configuration (:class:`ResultCache`, checksummed
-and self-quarantining), and streams per-cell progress to stderr
-(:class:`Progress`).  Reduction is ordered, so parallel runs produce
-byte-identical output to sequential runs; see
-:mod:`repro.experiments.registry` for how experiments plug in.
+executes them inline, across a ``multiprocessing`` worker pool, or
+through a store-backed work queue drained by independent worker
+processes (:func:`run_cells` with a :class:`RunConfig`), memoizes each
+cell's result in a pluggable :class:`~repro.store.ExperimentStore`
+keyed by a SHA-256 of its full configuration (checksummed and
+self-quarantining; see :mod:`repro.store`), and streams per-cell
+progress to stderr (:class:`Progress`).  Reduction is ordered, so
+parallel and distributed runs produce byte-identical output to
+sequential runs; see :mod:`repro.experiments.registry` for how
+experiments plug in.
 
 Execution is fault tolerant (:mod:`repro.runner.resilience`): failing
 cells retry with capped deterministic backoff, hung cells are killed by
@@ -27,6 +30,7 @@ from .cache import (
     default_cache_dir,
 )
 from .cells import Cell
+from .config import RunConfig
 from .faults import FAULTS_ENV, Fault, FaultPlan, InjectedFaultError
 from .pool import default_jobs, run_cells
 from .progress import Progress
@@ -48,6 +52,7 @@ __all__ = [
     "Progress",
     "ResultCache",
     "RetryPolicy",
+    "RunConfig",
     "canonical_encode",
     "cell_key",
     "code_version_salt",

@@ -1,26 +1,22 @@
-"""Content-addressed on-disk memoization of experiment cells.
+"""Cell cache keys, plus the deprecated ``ResultCache`` alias.
 
-Every cell's result is stored under a key that is the SHA-256 of a
-canonical JSON encoding of the cell's full identity (experiment name,
-executing function, complete argument tuple including the config
-dataclass) plus a code-version salt.  Identical configs therefore hit
-the same entry across runs *and across processes*, while any change to
-the config, the sweep coordinates, the library version or the cache
-format produces a fresh key.  Interrupted sweeps resume instantly: only
-the missing cells execute on a rerun.
+The content-addressed *keying* of experiment cells lives here: a cell's
+key is the SHA-256 of a canonical JSON encoding of its full identity
+(experiment name, executing function, complete argument tuple including
+the config dataclass) plus a code-version salt
+(:func:`cell_key` / :func:`canonical_encode` / :func:`code_version_salt`).
+Identical configs therefore hit the same entry across runs *and across
+processes*, while any change to the config, the sweep coordinates, the
+library version or the entry format produces a fresh key.
 
-Layout on disk (two-level fan-out to keep directories small)::
-
-    <cache-dir>/<key[:2]>/<key>.pkl
-
-Entries are pickled results written atomically (temp file + rename), so
-a killed run never leaves a truncated entry behind.  Each entry carries
-a header with a SHA-256 checksum of its payload; an entry that fails
-validation (bad header, checksum mismatch, unpicklable payload) is
-**quarantined** to ``<entry>.pkl.corrupt`` with a
-:class:`CacheCorruptionWarning` and treated as a miss — corruption is
-surfaced and preserved for inspection, never silently recomputed over.
-A missing entry is the one silent case: that is just a clean miss.
+The *storage* behind those keys moved to the pluggable
+:mod:`repro.store` package: :class:`~repro.store.LocalFileStore` is the
+historical directory-of-pickles layout, :class:`~repro.store.SQLiteStore`
+a single-file alternative safe for concurrent workers, and
+:func:`~repro.store.open_store` resolves ``local:PATH`` /
+``sqlite:PATH`` URLs.  :class:`ResultCache` remains as a thin
+deprecated alias for :class:`~repro.store.LocalFileStore` so existing
+imports and pickles keep working.
 """
 
 from __future__ import annotations
@@ -29,13 +25,13 @@ import dataclasses
 import hashlib
 import json
 import os
-import pickle
-import tempfile
 import warnings
 from pathlib import Path
-from typing import Any, Optional, Tuple, Union
+from typing import Any, Optional, Union
 
 from ..errors import ConfigurationError
+from ..store import STORE_FORMAT_VERSION, STORE_MAGIC, CacheCorruptionWarning
+from ..store.local import LocalFileStore
 from .cells import Cell
 
 __all__ = [
@@ -48,17 +44,10 @@ __all__ = [
     "default_cache_dir",
 ]
 
-#: Bump to invalidate every existing cache entry after a format change.
-#: v2: checksummed entry header (CACHE_MAGIC + SHA-256 + payload).
-CACHE_FORMAT_VERSION = 2
-
-#: Leading bytes of every v2 cache entry, followed by the 64-hex-char
-#: SHA-256 of the pickled payload, a newline, then the payload itself.
-CACHE_MAGIC = b"repro/result-cache/v2\n"
-
-
-class CacheCorruptionWarning(RuntimeWarning):
-    """A result-cache entry failed validation and was quarantined."""
+#: Deprecated aliases of the :mod:`repro.store` entry-format constants
+#: (the format itself is unchanged — stores read old caches verbatim).
+CACHE_FORMAT_VERSION = STORE_FORMAT_VERSION
+CACHE_MAGIC = STORE_MAGIC
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -79,7 +68,7 @@ def default_cache_dir() -> Path:
 def code_version_salt() -> str:
     """Version salt mixed into every cache key.
 
-    Combines the library version with the cache format version so
+    Combines the library version with the entry-format version so
     upgrading either invalidates stale entries wholesale.
     """
     from .. import __version__  # lazy: avoids a cycle at package init
@@ -130,105 +119,18 @@ def cell_key(cell: Cell, salt: Optional[str] = None) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-class ResultCache:
-    """Pickle store addressed by :func:`cell_key` hashes."""
+class ResultCache(LocalFileStore):
+    """Deprecated alias for :class:`repro.store.LocalFileStore`.
+
+    Same directory layout, same checksummed entries, same quarantine
+    behavior — only the name is historical.  New code should use
+    :class:`~repro.store.LocalFileStore` directly or resolve a
+    ``local:PATH`` URL via :func:`repro.store.open_store`.
+    """
 
     def __init__(self, root: Union[str, "os.PathLike[str]"]) -> None:
-        self.root = Path(root)
-
-    def path_for(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.pkl"
-
-    def get(self, key: str) -> Tuple[bool, Any]:
-        """``(hit, value)``; a missing entry is a clean miss.
-
-        A *present but invalid* entry — bad header, SHA-256 mismatch,
-        payload that will not unpickle — is quarantined to
-        ``<entry>.pkl.corrupt`` with a :class:`CacheCorruptionWarning`
-        and reported as a miss, so the cell recomputes while the
-        corrupt bytes stay on disk for inspection.
-        """
-        path = self.path_for(key)
-        try:
-            blob = path.read_bytes()
-        except FileNotFoundError:
-            return False, None
-        except OSError as exc:
-            warnings.warn(
-                f"result-cache entry {key[:12]}... is unreadable "
-                f"({type(exc).__name__}: {exc}); treating as a miss",
-                CacheCorruptionWarning, stacklevel=2)
-            return False, None
-        head = len(CACHE_MAGIC)
-        reason = None
-        if not blob.startswith(CACHE_MAGIC) or blob[head + 64:head + 65] != \
-                b"\n":
-            reason = "missing or malformed entry header"
-        else:
-            digest = blob[head:head + 64]
-            payload = blob[head + 65:]
-            if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
-                reason = "SHA-256 checksum mismatch"
-            else:
-                try:
-                    return True, pickle.loads(payload)
-                except Exception as exc:
-                    reason = (f"checksummed payload failed to unpickle "
-                              f"({type(exc).__name__}: {exc})")
-        quarantined = self.quarantine(key)
-        where = (f"quarantined to {quarantined}" if quarantined is not None
-                 else "quarantine failed; entry left in place")
         warnings.warn(
-            f"result-cache entry {key[:12]}... is corrupt ({reason}); "
-            f"{where}; the cell will be recomputed",
-            CacheCorruptionWarning, stacklevel=2)
-        return False, None
-
-    def quarantine(self, key: str) -> Optional[Path]:
-        """Move ``key``'s entry aside to ``*.pkl.corrupt``; None on failure."""
-        path = self.path_for(key)
-        target = path.with_name(path.name + ".corrupt")
-        try:
-            os.replace(path, target)
-        except OSError:
-            return None
-        return target
-
-    def put(self, key: str, value: Any) -> None:
-        """Atomically persist ``value`` (checksummed) under ``key``."""
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
-        fd, tmp = tempfile.mkstemp(dir=path.parent,
-                                   prefix=f".{key[:8]}-", suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(CACHE_MAGIC)
-                fh.write(digest)
-                fh.write(b"\n")
-                fh.write(payload)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-
-    def __contains__(self, key: str) -> bool:
-        return self.path_for(key).exists()
-
-    def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.pkl"))
-
-    def purge(self) -> int:
-        """Delete every entry; returns the number removed."""
-        removed = 0
-        for entry in self.root.glob("*/*.pkl"):
-            try:
-                entry.unlink()
-                removed += 1
-            except OSError:
-                pass
-        return removed
+            "ResultCache is deprecated; use repro.store.LocalFileStore "
+            "(or open_store('local:...'))",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(root)

@@ -1,0 +1,166 @@
+"""Typed run configuration: every runner knob in one dataclass.
+
+:class:`RunConfig` replaces the kwargs sprawl that had accreted on
+:func:`repro.runner.run_cells`, :meth:`ExperimentSpec.run
+<repro.experiments.registry.ExperimentSpec.run>` and
+:func:`repro.api.run_experiment` — parallelism, the experiment store,
+the resilience policy, progress/telemetry sinks and queue-driven
+execution all travel together as one validated, immutable value::
+
+    from repro.runner import RunConfig, run_cells
+
+    cfg = RunConfig(jobs=4, store="sqlite:results.db",
+                    retries=2, keep_going=True)
+    results = run_cells(cells, cfg)
+
+The legacy keyword style (``run_cells(cells, jobs=4, cache=...)``)
+still works through :func:`coerce_run_config`, which emits a single
+:class:`DeprecationWarning` per call and maps ``cache=`` onto the
+``store`` field; new code should construct a :class:`RunConfig`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from ..errors import ConfigurationError
+from ..store import ExperimentStore, StoreSpec, resolve_store
+from .progress import Progress
+from .resilience import RetryPolicy
+
+if TYPE_CHECKING:
+    from ..obs.spans import RunTelemetry
+
+__all__ = ["RunConfig", "coerce_run_config"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How a sweep executes (not *what* it computes — that is the
+    experiment config; cache keys never see any of these fields).
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for the in-process pool.  ``1`` (default) runs
+        inline; ``None`` or ``0`` means one per CPU.
+    store:
+        Experiment store holding memoized cell results: a store URL
+        (``local:PATH``, ``sqlite:PATH``), a bare directory path
+        (opened as ``local``), an :class:`~repro.store.ExperimentStore`
+        instance, or ``None`` (no memoization).
+    force:
+        Ignore (and overwrite) existing store entries.
+    retries:
+        Extra attempts per failing cell, with capped deterministic
+        backoff (``backoff_base`` / ``backoff_cap``).
+    cell_timeout:
+        Per-cell wall-clock limit in seconds (``None`` = unlimited).
+    keep_going:
+        Complete the sweep despite permanently failed cells, standing
+        :class:`~repro.runner.FailedCell` sentinels in for results.
+    progress:
+        Optional :class:`~repro.runner.Progress` stderr reporter.
+    telemetry:
+        Optional :class:`~repro.obs.spans.RunTelemetry` span collector.
+    queue_workers:
+        When set, route pending cells through the store's work queue
+        and execute them in that many *independent worker processes*
+        (``python -m repro.runner.worker``) instead of the in-process
+        pool.  Requires a ``store``.  Output stays byte-identical to
+        any other execution mode.
+    queue_name:
+        Which named queue of the store to publish into (one queue per
+        concurrent sweep; the default suits single-sweep runs).
+    queue_lease:
+        Seconds a queue worker may hold a claimed cell before another
+        worker may steal it (crash recovery; see
+        :mod:`repro.store.queue`).
+    """
+
+    jobs: Optional[int] = 1
+    store: Optional[StoreSpec] = None
+    force: bool = False
+    retries: int = 0
+    cell_timeout: Optional[float] = None
+    keep_going: bool = False
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    progress: Optional[Progress] = None
+    telemetry: Optional["RunTelemetry"] = None
+    queue_workers: Optional[int] = None
+    queue_name: str = "sweep"
+    queue_lease: float = 60.0
+
+    def __post_init__(self) -> None:
+        # RetryPolicy construction validates the resilience fields.
+        self.policy()
+        if self.queue_workers is not None and self.queue_workers < 1:
+            raise ConfigurationError(
+                f"queue_workers must be >= 1, got {self.queue_workers}")
+        if self.queue_lease <= 0:
+            raise ConfigurationError(
+                f"queue_lease must be positive, got {self.queue_lease}")
+        if self.queue_workers is not None and self.store is None:
+            raise ConfigurationError(
+                "queue-driven execution (queue_workers=...) requires a "
+                "store — workers hand results back through it")
+
+    def policy(self) -> RetryPolicy:
+        """The :class:`~repro.runner.RetryPolicy` these fields define."""
+        return RetryPolicy(
+            retries=self.retries, backoff_base=self.backoff_base,
+            backoff_cap=self.backoff_cap, cell_timeout=self.cell_timeout,
+            keep_going=self.keep_going)
+
+    def open_store(self) -> Optional[ExperimentStore]:
+        """Resolve the ``store`` field to a live store (or ``None``)."""
+        return resolve_store(self.store)
+
+    def replace(self, **changes: Any) -> "RunConfig":
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+
+#: Legacy keyword names accepted by the deprecation shim; ``cache`` is
+#: the old name of the ``store`` field.
+_LEGACY_ALIASES: Dict[str, str] = {"cache": "store"}
+
+_LEGACY_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(RunConfig)) | frozenset(_LEGACY_ALIASES)
+
+
+def coerce_run_config(config: Optional[RunConfig],
+                      legacy: Dict[str, Any], *, where: str,
+                      stacklevel: int = 3) -> RunConfig:
+    """Fold legacy keyword arguments into a :class:`RunConfig`.
+
+    The shim behind every runner entry point: ``config`` (the new
+    style) passes through untouched; a non-empty ``legacy`` dict (the
+    old ``jobs=... cache=...`` style) emits **one**
+    :class:`DeprecationWarning` and is mapped onto a fresh
+    :class:`RunConfig`.  Mixing both styles, or passing a keyword that
+    was never a runner knob, is an error.
+    """
+    if config is not None:
+        if legacy:
+            raise ConfigurationError(
+                f"{where}: pass either a RunConfig or legacy keyword "
+                f"arguments, not both (got {sorted(legacy)})")
+        return config
+    if not legacy:
+        return RunConfig()
+    unknown = sorted(set(legacy) - _LEGACY_FIELDS)
+    if unknown:
+        raise TypeError(
+            f"{where}() got unexpected keyword argument(s) {unknown}")
+    warnings.warn(
+        f"{where}: keyword arguments {sorted(legacy)} are deprecated; "
+        f"pass a RunConfig (note: cache= is now the store= field)",
+        DeprecationWarning, stacklevel=stacklevel)
+    mapped = {_LEGACY_ALIASES.get(name, name): value
+              for name, value in legacy.items()}
+    return RunConfig(**mapped)

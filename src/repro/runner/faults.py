@@ -50,7 +50,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
-from .cache import ResultCache
+from ..store import ExperimentStore
 from .cells import Cell
 
 __all__ = [
@@ -232,19 +232,21 @@ def inject(label: str, attempt: int) -> None:
 
 
 def corrupt_cache_entries(plan: FaultPlan, cells: Sequence[Cell],
-                          keys: Sequence[str], cache: ResultCache) -> int:
-    """Apply the plan's ``corrupt`` faults to existing cache entries.
+                          keys: Sequence[str],
+                          store: ExperimentStore) -> int:
+    """Apply the plan's ``corrupt`` faults to existing store entries.
 
-    Parent-side, before cache hits are resolved: each targeted cell's
-    on-disk entry (if present) is overwritten with garbage so the
-    subsequent :meth:`ResultCache.get` exercises checksum detection and
-    quarantine.  Returns the number of entries corrupted.
+    Parent-side, before store hits are resolved: each targeted cell's
+    existing entry is overwritten with garbage (via
+    :meth:`~repro.store.ExperimentStore.write_raw`, so it works on any
+    backend) and the subsequent
+    :meth:`~repro.store.ExperimentStore.get` exercises checksum
+    detection and quarantine.  Returns the number of entries corrupted.
     """
     corrupted = 0
     for cell, key in zip(cells, keys):
         if plan.for_cell(cell.label, kind="corrupt"):
-            path = cache.path_for(key)
-            if path.exists():
-                path.write_bytes(_CORRUPT_BYTES)
+            if key in store:
+                store.write_raw(key, _CORRUPT_BYTES)
                 corrupted += 1
     return corrupted

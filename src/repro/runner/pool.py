@@ -1,20 +1,28 @@
 """Parallel, cached execution of experiment cells with an ordered reduce.
 
-:func:`run_cells` is the single entry point.  It resolves cache hits in
-the parent, fans the remaining cells out across a process pool
-(``jobs > 1``) or runs them inline (``jobs == 1``), persists every
-freshly computed result to the cache *as it completes* (so an
-interrupted sweep resumes from where it died), and returns results in
-cell order — the reduce step therefore sees the exact sequence a
-sequential run would have produced, making parallel output
-byte-identical to sequential output.
+:func:`run_cells` is the single entry point.  It resolves store hits in
+the parent, executes the remaining cells — inline (``jobs == 1``),
+across a process pool (``jobs > 1``), or through the store's work queue
+drained by independent worker processes (``queue_workers=N``; see
+:mod:`repro.runner.worker`) — persists every freshly computed result to
+the experiment store *as it completes* (so an interrupted sweep resumes
+from where it died), and returns results in cell order — the reduce
+step therefore sees the exact sequence a sequential run would have
+produced, making parallel and distributed output byte-identical to
+sequential output.
+
+Execution is configured by a :class:`~repro.runner.RunConfig`
+(``run_cells(cells, RunConfig(jobs=4, store="sqlite:results.db"))``);
+the historical keyword style still works behind a deprecation shim
+(:func:`repro.runner.config.coerce_run_config`).
 
 Determinism: before executing a cell, the runner reseeds the global
 ``random`` and ``numpy.random`` generators from the cell's
-content-addressed key.  This happens identically inline, in workers,
-and on *every retry attempt* (:mod:`repro.runner.resilience`), so a
-cell that (incorrectly) reaches for global randomness still cannot
-diverge between ``--jobs 1``, ``--jobs N``, or a retried run.
+content-addressed key.  This happens identically inline, in pool
+workers, in queue workers, and on *every retry attempt*
+(:mod:`repro.runner.resilience`), so a cell that (incorrectly) reaches
+for global randomness still cannot diverge between ``--jobs 1``,
+``--jobs N``, ``--queue-workers N``, or a retried run.
 
 Fault tolerance (``retries`` / ``cell_timeout`` / ``keep_going``) is
 provided by :mod:`repro.runner.resilience`; deterministic fault
@@ -29,8 +37,10 @@ import time
 from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError, WorkerError
-from .cache import ResultCache, cell_key
+from ..store import ExperimentStore
+from .cache import cell_key
 from .cells import Cell
+from .config import RunConfig, coerce_run_config
 from .faults import active_plan, corrupt_cache_entries, inject
 from .progress import Progress
 from .resilience import FailedCell, RetryPolicy, run_pool
@@ -94,7 +104,7 @@ def _execute(payload: Tuple[int, str, Cell, int]) -> Tuple[int, float, Any]:
 
 def _run_inline(cells: Sequence[Cell], keys: Sequence[str],
                 pending: Sequence[int], policy: RetryPolicy,
-                results: List[Any], cache: Optional[ResultCache],
+                results: List[Any], store: Optional[ExperimentStore],
                 progress: Optional[Progress],
                 telemetry: Optional["RunTelemetry"] = None) -> None:
     """Sequential execution with retries; raises raw on permanent failure
@@ -135,63 +145,52 @@ def _run_inline(cells: Sequence[Cell], keys: Sequence[str],
             results[i] = value
             if telemetry is not None:
                 telemetry.completed(i, elapsed)
-            if cache is not None:
-                cache.put(keys[i], value)
+            if store is not None:
+                store.put(keys[i], value)
             if progress is not None:
                 progress.cell(cells[i], elapsed=elapsed)
             break
 
 
-def run_cells(cells: Sequence[Cell], *, jobs: Optional[int] = 1,
-              cache: Optional[ResultCache] = None, force: bool = False,
-              progress: Optional[Progress] = None, retries: int = 0,
-              cell_timeout: Optional[float] = None,
-              keep_going: bool = False, backoff_base: float = 0.05,
-              backoff_cap: float = 2.0,
-              telemetry: Optional["RunTelemetry"] = None) -> List[Any]:
-    """Execute ``cells`` and return their results in cell order.
+def run_cells(cells: Sequence[Cell], config: Optional[RunConfig] = None,
+              **legacy: Any) -> List[Any]:
+    """Execute ``cells`` per ``config`` and return results in cell order.
 
-    Parameters
-    ----------
-    jobs:
-        Worker processes.  ``1`` (default) runs inline; ``None`` or
-        ``0`` means :func:`default_jobs`.
-    cache:
-        Optional :class:`ResultCache`.  Hits short-circuit execution;
-        fresh results are persisted as soon as each cell completes.
-    force:
-        Ignore (and overwrite) existing cache entries.
-    progress:
-        Optional :class:`~repro.runner.progress.Progress` receiving one
-        line per completed cell on stderr.
-    retries:
-        Extra attempts per failing cell, with capped deterministic
-        backoff (``backoff_base`` / ``backoff_cap``); the RNG reseed
-        before every attempt keeps retried results byte-identical.
-    cell_timeout:
-        Per-cell wall-clock limit in seconds.  A cell past its deadline
-        is charged a failed attempt and its hung worker is killed (the
-        pool respawns and innocent in-flight cells are requeued), so
-        timeouts force pool execution even at ``jobs=1``.
-    keep_going:
-        Complete the sweep despite permanently failed cells: their
-        result slots hold :class:`~repro.runner.FailedCell` sentinels
-        instead of aborting the run.  Without it (default), a single
-        failing :class:`~repro.errors.ReproError` propagates unwrapped
-        and any other permanent failure raises
-        :class:`~repro.errors.WorkerError` listing *every* failed cell.
-    telemetry:
-        Optional :class:`~repro.obs.spans.RunTelemetry` receiving one
-        structured span per cell (queued / started / retries / losses /
-        cache-hit / duration).  Recording is parent-process-only and
-        never influences execution, results, or cache keys.
+    ``config`` is a :class:`~repro.runner.RunConfig` — parallelism
+    (``jobs`` / ``queue_workers``), the experiment store, the
+    resilience policy (``retries`` / ``cell_timeout`` / ``keep_going``)
+    and the progress/telemetry sinks in one value; see its docstring
+    for every field.  The legacy keyword style
+    (``run_cells(cells, jobs=4, cache=...)``) still works and emits a
+    single :class:`DeprecationWarning` per call.
+
+    Execution modes (all byte-identical in output):
+
+    - inline — ``jobs=1`` and no ``cell_timeout``;
+    - process pool — ``jobs>1`` or a ``cell_timeout`` (a hung cell's
+      worker must be killable), self-healing per
+      :mod:`repro.runner.resilience`;
+    - work queue — ``queue_workers=N`` publishes pending cells to the
+      store's claim/ack queue and drains it with ``N`` independent
+      ``python -m repro.runner.worker`` processes
+      (:func:`repro.runner.worker.run_queued`).
+
+    Store hits short-circuit execution; fresh results persist as each
+    cell completes, so interrupted sweeps resume from the store.  Under
+    ``keep_going`` permanently failed cells yield
+    :class:`~repro.runner.FailedCell` sentinels instead of aborting;
+    otherwise a single failing :class:`~repro.errors.ReproError`
+    propagates unwrapped and any other permanent failure raises
+    :class:`~repro.errors.WorkerError` listing *every* failed cell.
     """
-    jobs = jobs or default_jobs()
+    cfg = coerce_run_config(config, legacy, where="repro.runner.run_cells")
+    jobs = cfg.jobs or default_jobs()
     if jobs < 1:
         jobs = default_jobs()
-    policy = RetryPolicy(retries=retries, backoff_base=backoff_base,
-                         backoff_cap=backoff_cap, cell_timeout=cell_timeout,
-                         keep_going=keep_going)
+    policy = cfg.policy()
+    store = cfg.open_store()
+    progress = cfg.progress
+    telemetry = cfg.telemetry
     cells = list(cells)
     keys = [cell_key(cell) for cell in cells]
     results: List[Any] = [_PENDING] * len(cells)
@@ -201,13 +200,13 @@ def run_cells(cells: Sequence[Cell], *, jobs: Optional[int] = 1,
         progress.begin(len(cells))
 
     plan = active_plan()
-    if plan is not None and cache is not None and not force:
-        corrupt_cache_entries(plan, cells, keys, cache)
+    if plan is not None and store is not None and not cfg.force:
+        corrupt_cache_entries(plan, cells, keys, store)
 
     pending: List[int] = []
     for i, cell in enumerate(cells):
-        if cache is not None and not force:
-            hit, value = cache.get(keys[i])
+        if store is not None and not cfg.force:
+            hit, value = store.get(keys[i])
             if hit:
                 results[i] = value
                 if telemetry is not None:
@@ -218,22 +217,35 @@ def run_cells(cells: Sequence[Cell], *, jobs: Optional[int] = 1,
         pending.append(i)
 
     if pending:
-        inline = (policy.cell_timeout is None
-                  and (jobs == 1 or len(pending) == 1))
-        if inline:
-            _run_inline(cells, keys, pending, policy, results, cache,
+        if cfg.queue_workers is not None:
+            from .worker import run_queued
+
+            assert store is not None  # RunConfig.__post_init__ enforces
+            pool_results, _ = run_queued(
+                cells, keys, pending, store=store, policy=policy,
+                workers=cfg.queue_workers, queue_name=cfg.queue_name,
+                lease=cfg.queue_lease, progress=progress,
+                telemetry=telemetry)
+            for i, value in pool_results.items():
+                results[i] = value
+        elif (policy.cell_timeout is None
+                and (jobs == 1 or len(pending) == 1)):
+            _run_inline(cells, keys, pending, policy, results, store,
                         progress, telemetry)
         else:
             pool_results, _ = run_pool(
                 cells, keys, pending, jobs=jobs, policy=policy,
-                execute=_execute, cache=cache, progress=progress,
+                execute=_execute, store=store, progress=progress,
                 telemetry=telemetry)
             for i, value in pool_results.items():
                 results[i] = value
 
+    if telemetry is not None and store is not None:
+        telemetry.store_stats(store.stats())
+
     failures = [r for r in results if isinstance(r, FailedCell)]
     if failures and not policy.keep_going:
-        # (The inline path raised already; this is the pool path.)
+        # (The inline path raised already; this is the pool/queue path.)
         if len(failures) == 1 and isinstance(failures[0].exc, ReproError):
             raise failures[0].exc
         detail = "; ".join(f"{f.label}: {f.error_type}: {f.message}"

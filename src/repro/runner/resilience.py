@@ -55,7 +55,7 @@ from typing import (
 )
 
 from ..errors import CellTimeoutError, ConfigurationError, WorkerError
-from .cache import ResultCache
+from ..store import ExperimentStore
 from .cells import Cell
 from .progress import Progress
 
@@ -246,7 +246,7 @@ def _respawn(ex: ProcessPoolExecutor, workers: int) -> ProcessPoolExecutor:
 
 def run_pool(cells: Sequence[Cell], keys: Sequence[str],
              pending: Sequence[int], *, jobs: int, policy: RetryPolicy,
-             execute: ExecuteFn, cache: Optional[ResultCache] = None,
+             execute: ExecuteFn, store: Optional[ExperimentStore] = None,
              progress: Optional[Progress] = None,
              telemetry: Optional["RunTelemetry"] = None,
              ) -> Tuple[Dict[int, Any], Dict[int, FailedCell]]:
@@ -292,8 +292,8 @@ def run_pool(cells: Sequence[Cell], keys: Sequence[str],
             telemetry.completed(i, cell_elapsed)
         # Persist immediately: an interrupt later in the sweep must not
         # lose cells that already finished.
-        if cache is not None:
-            cache.put(keys[i], value)
+        if store is not None:
+            store.put(keys[i], value)
         if progress is not None:
             progress.cell(cells[i], elapsed=cell_elapsed)
 

@@ -1,0 +1,283 @@
+"""Queue-driven sweep execution: independent worker processes.
+
+Two halves of one protocol (see :mod:`repro.store.queue`):
+
+* :func:`work_loop` — the worker side.  ``python -m repro.runner.worker
+  --store sqlite:results.db`` opens the store, claims queue items one
+  at a time, executes each cell through the same
+  :func:`repro.runner.pool._execute` body as the in-process pool (same
+  per-attempt RNG reseed, same fault injection, same telemetry
+  environment), persists the result to the store and acks.  Any number
+  of workers may run concurrently — on this machine or any machine
+  that can reach the store.
+* :func:`run_queued` — the coordinator side, called by
+  :func:`repro.runner.run_cells` when ``queue_workers=N`` is set.  It
+  publishes the pending cells as queue items (one per cell index, so
+  resume is stable), spawns ``N`` worker subprocesses, collects
+  results from the store as items complete, and maps queue failures
+  onto the usual :class:`~repro.runner.FailedCell` sentinels — retry
+  policies, failure manifests and ``keep_going`` semantics are
+  identical to pool execution, and so is the output, byte for byte.
+
+Crash recovery: a worker that dies mid-cell simply stops renewing its
+lease; another worker steals the item when the lease expires (charged
+against the item's loss budget), and the coordinator respawns
+replacement workers up to a budget.  Cells are deterministic, so a
+double execution during a steal race is invisible in the results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import WorkerError
+from ..store import ExperimentStore, open_store
+from ..store.queue import QueueItem
+from .cells import Cell
+from .pool import _execute
+from .progress import Progress
+from .resilience import FailedCell, RetryPolicy
+
+if TYPE_CHECKING:
+    from ..obs.spans import RunTelemetry
+
+__all__ = ["work_loop", "run_queued", "main"]
+
+
+def work_loop(store_url: str, queue_name: str = "sweep", *,
+              lease: float = 60.0, poll: float = 0.2,
+              max_items: Optional[int] = None,
+              worker_id: Optional[str] = None,
+              backoff_base: float = 0.05,
+              backoff_cap: float = 2.0) -> int:
+    """Claim and execute queue items until the queue drains.
+
+    Returns the number of items processed (successful or not).  The
+    loop exits when every published item is ``done`` or ``failed``, or
+    after ``max_items`` claims (a test/ops hook: a worker stopped at
+    ``--max-items K`` leaves a partially drained queue that the next
+    worker — or a full rerun — picks up seamlessly).
+    """
+    store = open_store(store_url)
+    queue = store.make_queue(queue_name)
+    wid = worker_id or f"worker-{os.getpid()}"
+    processed = 0
+    try:
+        while max_items is None or processed < max_items:
+            item = queue.claim(wid, lease)
+            if item is None:
+                if queue.unfinished() == 0:
+                    break
+                # Everything runnable is claimed by someone else (or
+                # backing off); poll until a lease frees or expires.
+                time.sleep(poll)
+                continue
+            index, key, cell = pickle.loads(item.payload)
+            processed += 1
+            try:
+                _, elapsed, value = _execute(
+                    (index, key, cell, item.attempts + 1))
+            except Exception as exc:
+                if queue.nack(item.item_id, type(exc).__name__, str(exc)):
+                    # Same deterministic capped backoff as the pool.
+                    time.sleep(min(backoff_cap,
+                                   backoff_base * 2 ** item.attempts))
+                continue
+            store.put(key, value)
+            queue.ack(item.item_id, elapsed)
+    finally:
+        store.close()
+    return processed
+
+
+def _spawn_worker(store: ExperimentStore, queue_name: str, lease: float,
+                  policy: RetryPolicy, ordinal: int) -> "subprocess.Popen[bytes]":
+    """Start one ``python -m repro.runner.worker`` subprocess.
+
+    The environment is inherited wholesale, so fault plans
+    (``REPRO_FAULTS``), telemetry (``REPRO_TELEMETRY``) and cache salts
+    reach workers exactly as they reach pool workers; the package's own
+    source tree is prepended to ``PYTHONPATH`` so workers resolve the
+    same ``repro`` the coordinator runs.
+    """
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    cmd = [sys.executable, "-m", "repro.runner.worker",
+           "--store", store.url, "--queue", queue_name,
+           "--lease", repr(lease),
+           "--backoff-base", repr(policy.backoff_base),
+           "--backoff-cap", repr(policy.backoff_cap),
+           "--worker-id", f"worker-{ordinal}-{os.getpid()}"]
+    return subprocess.Popen(cmd, env=env)
+
+
+def run_queued(cells: Sequence[Cell], keys: Sequence[str],
+               pending: Sequence[int], *, store: ExperimentStore,
+               policy: RetryPolicy, workers: int,
+               queue_name: str = "sweep", lease: float = 60.0,
+               poll: float = 0.1, progress: Optional[Progress] = None,
+               telemetry: Optional["RunTelemetry"] = None,
+               ) -> Tuple[Dict[int, Any], Dict[int, FailedCell]]:
+    """Coordinator: drive ``pending`` cell indices through the queue.
+
+    Returns ``(results, failures)`` with the same contract as
+    :func:`repro.runner.resilience.run_pool` — every pending index maps
+    to its value or its :class:`FailedCell`; raising on failures is the
+    caller's policy decision.
+    """
+    queue = store.make_queue(queue_name)
+    queue.publish([
+        QueueItem(item_id=i, key=keys[i], label=cells[i].label,
+                  payload=pickle.dumps((i, keys[i], cells[i]),
+                                       protocol=pickle.HIGHEST_PROTOCOL),
+                  max_attempts=policy.retries + 1)
+        for i in pending])
+    # A rerun after failures retries exactly the failed cells, matching
+    # the failure-manifest contract of pool execution.
+    queue.requeue_failed()
+    # The store, not the queue, is the durability source of truth:
+    # every index in ``pending`` is already known missing from the
+    # store, so an item still marked ``done`` from an earlier run
+    # (results purged, or quarantined as corrupt) is stale and must be
+    # re-executed rather than trusted.
+    states = queue.snapshot()
+    queue.reset_items([i for i in pending
+                       if i in states and states[i].status == "done"])
+
+    results: Dict[int, Any] = {}
+    failures: Dict[int, FailedCell] = {}
+    nworkers = max(1, min(workers, len(pending)))
+    respawn_budget = nworkers * (policy.loss_budget + 1)
+    procs: List["subprocess.Popen[bytes]"] = [
+        _spawn_worker(store, queue_name, lease, policy, n)
+        for n in range(nworkers)]
+
+    def collect() -> bool:
+        """Fold finished queue items into results; True when all are in."""
+        states = queue.snapshot()
+        for i in pending:
+            if i in results:
+                continue
+            state = states.get(i)
+            if state is None:
+                continue
+            if state.status == "done":
+                hit, value = store.get(keys[i])
+                if not hit:
+                    # Acked but unreadable (store corrupted between ack
+                    # and collect): surface it as a failure.
+                    _fail(i, "WorkerError",
+                          f"queue marked {cells[i].label} done but its "
+                          f"result is missing from {store.url}",
+                          state.attempts or 1, state.elapsed)
+                    continue
+                results[i] = value
+                if telemetry is not None:
+                    telemetry.completed(i, state.elapsed)
+                if progress is not None:
+                    progress.cell(cells[i], elapsed=state.elapsed)
+            elif state.status == "failed":
+                _fail(i, state.error_type or "WorkerError", state.message,
+                      max(state.attempts, 1), state.elapsed)
+        return len(results) == len(pending)
+
+    def _fail(i: int, error_type: str, message: str, attempts: int,
+              elapsed: float) -> None:
+        exc = WorkerError(f"{error_type}: {message}")
+        failed = FailedCell(
+            index=i, label=cells[i].label, key=keys[i],
+            error_type=error_type, message=message, attempts=attempts,
+            elapsed=round(elapsed, 3), exc=exc)
+        failures[i] = failed
+        results[i] = failed
+        if telemetry is not None:
+            telemetry.failed(i, exc, attempts, elapsed)
+        if progress is not None:
+            progress.cell(cells[i], failed=True)
+
+    try:
+        while not collect():
+            # Reap dead workers; respawn while budget remains (a worker
+            # killed by a cell exercises the lease-steal path, but with
+            # one worker someone must still be alive to steal).
+            procs = [p for p in procs if p.poll() is None]
+            missing = nworkers - len(procs)
+            while missing > 0 and respawn_budget > 0:
+                procs.append(_spawn_worker(
+                    store, queue_name, lease, policy, respawn_budget))
+                respawn_budget -= 1
+                missing -= 1
+            if not procs:
+                # No workers and no budget: fail whatever is unfinished
+                # rather than waiting forever.
+                states = queue.snapshot()
+                for i in pending:
+                    if i not in results:
+                        state = states.get(i)
+                        _fail(i, "WorkerError",
+                              "queue workers exhausted their respawn "
+                              "budget before the cell finished",
+                              (state.attempts if state else 0) or 1,
+                              state.elapsed if state else 0.0)
+                break
+            time.sleep(poll)
+    finally:
+        deadline = time.monotonic() + 10.0
+        for proc in procs:
+            # Workers exit on their own once the queue drains; give
+            # them a moment, then insist.
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+    return results, failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: drain a store's work queue in this process."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner.worker",
+        description="Claim and execute experiment sweep cells from a "
+                    "store's work queue (see repro.store.queue).")
+    parser.add_argument("--store", required=True, metavar="URL",
+                        help="experiment store URL (local:PATH or "
+                             "sqlite:PATH) holding the queue and results")
+    parser.add_argument("--queue", default="sweep", metavar="NAME",
+                        help="queue name within the store "
+                             "(default: sweep)")
+    parser.add_argument("--lease", type=float, default=60.0, metavar="SEC",
+                        help="claim lease; a worker silent past this is "
+                             "presumed dead and its item is stolen "
+                             "(default: 60)")
+    parser.add_argument("--poll", type=float, default=0.2, metavar="SEC",
+                        help="idle poll interval while other workers "
+                             "hold the remaining items (default: 0.2)")
+    parser.add_argument("--max-items", type=int, default=None, metavar="N",
+                        help="exit after processing N items (default: "
+                             "run until the queue drains)")
+    parser.add_argument("--worker-id", default=None, metavar="ID",
+                        help="claim identity (default: worker-<pid>)")
+    parser.add_argument("--backoff-base", type=float, default=0.05)
+    parser.add_argument("--backoff-cap", type=float, default=2.0)
+    args = parser.parse_args(argv)
+    processed = work_loop(
+        args.store, args.queue, lease=args.lease, poll=args.poll,
+        max_items=args.max_items, worker_id=args.worker_id,
+        backoff_base=args.backoff_base, backoff_cap=args.backoff_cap)
+    wid = args.worker_id or f"worker-{os.getpid()}"
+    print(f"[{wid}] processed {processed} queue item(s)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Pluggable experiment-result stores and the distributed work queue.
+
+Public surface:
+
+* :class:`ExperimentStore` — the abstract checksummed store interface
+  (``get``/``put``/``contains``/``quarantine``/``purge``/``stats``).
+* :class:`LocalFileStore` (``local:PATH``) — directory of pickles, the
+  historical ``ResultCache`` layout.
+* :class:`SQLiteStore` (``sqlite:PATH``) — single WAL-mode database
+  file, safe for concurrent worker processes.
+* :func:`open_store` / :func:`resolve_store` — URL/path/instance →
+  store resolution against :data:`STORE_BACKENDS`.
+* :mod:`repro.store.queue` — claim/ack/requeue work queue over a store
+  for multi-process sweeps (``python -m repro.runner.worker``).
+
+See DESIGN.md (“Experiment store and work queue”) for the architecture
+and CONTRIBUTING.md for the add-a-backend checklist.
+"""
+
+from .base import (
+    STORE_BACKENDS,
+    STORE_FORMAT_VERSION,
+    STORE_MAGIC,
+    CacheCorruptionWarning,
+    ExperimentStore,
+    PurgeResult,
+    StoreSpec,
+    StoreStats,
+    decode_entry,
+    encode_entry,
+    open_store,
+    register_backend,
+    resolve_store,
+)
+from .local import LocalFileStore
+from .queue import ItemState, QueueItem, WorkQueue
+from .sqlite import SQLiteStore
+
+__all__ = [
+    "STORE_BACKENDS",
+    "STORE_FORMAT_VERSION",
+    "STORE_MAGIC",
+    "CacheCorruptionWarning",
+    "ExperimentStore",
+    "ItemState",
+    "LocalFileStore",
+    "PurgeResult",
+    "QueueItem",
+    "SQLiteStore",
+    "StoreSpec",
+    "StoreStats",
+    "WorkQueue",
+    "decode_entry",
+    "encode_entry",
+    "open_store",
+    "register_backend",
+    "resolve_store",
+]

@@ -1,0 +1,201 @@
+"""Single-file SQLite store backend, safe for concurrent workers.
+
+``sqlite:PATH`` keeps every entry (and the work queue, and quarantined
+corruption evidence) in one database file.  The connection runs in WAL
+journal mode with a generous busy timeout, so many independent worker
+processes — each with its own connection — can claim queue items and
+persist results concurrently without corrupting each other; SQLite's
+own locking serializes the writes.
+
+Entries store the exact same checksummed v2 blob as the local backend
+(:func:`repro.store.base.encode_entry`), so validation, quarantine
+semantics and sweep output are byte-identical across backends.  A
+corrupt entry moves to the ``quarantine`` table instead of a
+``.corrupt`` sidecar file.
+
+Sidecar artifacts that are inherently files (failure manifests,
+telemetry runs, the local queue's directory layout) land next to the
+database under ``<path>.aux/``.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from pathlib import Path
+from typing import (TYPE_CHECKING, Any, Dict, Iterable, List, Optional,
+                    Tuple, Union)
+
+from .base import ExperimentStore, PurgeResult, register_backend
+
+if TYPE_CHECKING:
+    from .queue import WorkQueue
+
+__all__ = ["SQLiteStore"]
+
+_SCHEMA = (
+    """CREATE TABLE IF NOT EXISTS entries (
+        key TEXT PRIMARY KEY,
+        blob BLOB NOT NULL)""",
+    """CREATE TABLE IF NOT EXISTS quarantine (
+        key TEXT PRIMARY KEY,
+        blob BLOB NOT NULL)""",
+    """CREATE TABLE IF NOT EXISTS work_queue (
+        queue TEXT NOT NULL,
+        item_id INTEGER NOT NULL,
+        key TEXT NOT NULL,
+        label TEXT NOT NULL,
+        payload BLOB NOT NULL,
+        attempts INTEGER NOT NULL DEFAULT 0,
+        max_attempts INTEGER NOT NULL DEFAULT 1,
+        losses INTEGER NOT NULL DEFAULT 0,
+        status TEXT NOT NULL DEFAULT 'pending',
+        worker TEXT NOT NULL DEFAULT '',
+        lease_expires REAL NOT NULL DEFAULT 0,
+        error_type TEXT NOT NULL DEFAULT '',
+        message TEXT NOT NULL DEFAULT '',
+        elapsed REAL NOT NULL DEFAULT 0,
+        PRIMARY KEY (queue, item_id))""",
+    """CREATE TABLE IF NOT EXISTS queue_meta (
+        queue TEXT PRIMARY KEY,
+        fingerprint TEXT NOT NULL)""",
+)
+
+
+@register_backend
+class SQLiteStore(ExperimentStore):
+    """WAL-mode single-file store (``sqlite:PATH``)."""
+
+    scheme = "sqlite"
+
+    def __init__(self, path: Union[str, "os.PathLike[str]"],
+                 timeout: float = 30.0) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._conn: Optional[sqlite3.Connection] = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(str(self.path), timeout=self.timeout,
+                               isolation_level=None,
+                               check_same_thread=False)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute(f"PRAGMA busy_timeout={int(self.timeout * 1000)}")
+        for statement in _SCHEMA:
+            conn.execute(statement)
+        self._conn = conn
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self._connect()
+        assert self._conn is not None
+        return self._conn
+
+    def execute(self, sql: str, params: Iterable[Any] = ()) -> None:
+        """One serialized write statement (autocommit)."""
+        with self._lock:
+            self.connection.execute(sql, tuple(params))
+
+    def query(self, sql: str,
+              params: Iterable[Any] = ()) -> List[Tuple[Any, ...]]:
+        """One serialized read; rows are fetched before the lock drops."""
+        with self._lock:
+            return self.connection.execute(sql, tuple(params)).fetchall()
+
+    def transaction(self, statements: Iterable[Tuple[str, Iterable[Any]]],
+                    ) -> None:
+        """Run ``statements`` inside one immediate transaction."""
+        with self._lock:
+            conn = self.connection
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                for sql, params in statements:
+                    conn.execute(sql, tuple(params))
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            conn.execute("COMMIT")
+
+    # -- storage primitives --------------------------------------------
+
+    def _read(self, key: str) -> Optional[bytes]:
+        rows = self.query(
+            "SELECT blob FROM entries WHERE key = ?", (key,))
+        return None if not rows else bytes(rows[0][0])
+
+    def _write(self, key: str, blob: bytes) -> None:
+        self.execute(
+            "INSERT OR REPLACE INTO entries (key, blob) VALUES (?, ?)",
+            (key, sqlite3.Binary(blob)))
+
+    def quarantine(self, key: str) -> Optional[str]:
+        """Move ``key``'s row into the ``quarantine`` table atomically."""
+        try:
+            self.transaction([
+                ("INSERT OR REPLACE INTO quarantine (key, blob) "
+                 "SELECT key, blob FROM entries WHERE key = ?", (key,)),
+                ("DELETE FROM entries WHERE key = ?", (key,)),
+            ])
+        except sqlite3.Error:
+            return None
+        return f"{self.path}::quarantine[{key[:12]}...]"
+
+    def contains(self, key: str) -> bool:
+        return bool(self.query(
+            "SELECT 1 FROM entries WHERE key = ?", (key,)))
+
+    def __len__(self) -> int:
+        return int(self.query("SELECT COUNT(*) FROM entries")[0][0])
+
+    def quarantined_count(self) -> int:
+        return int(self.query("SELECT COUNT(*) FROM quarantine")[0][0])
+
+    def purge(self) -> PurgeResult:
+        entries = len(self)
+        quarantined = self.quarantined_count()
+        self.transaction([
+            ("DELETE FROM entries", ()),
+            ("DELETE FROM quarantine", ()),
+        ])
+        return PurgeResult(entries=entries, quarantined=quarantined)
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        return f"sqlite:{self.path}"
+
+    def aux_dir(self, name: str) -> Path:
+        path = Path(f"{self.path}.aux") / name
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def make_queue(self, name: str) -> "WorkQueue":
+        from .queue import SQLiteWorkQueue
+
+        return SQLiteWorkQueue(self, name)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    # Connections cannot cross process boundaries; reconnect on unpickle
+    # so a store object captured in a config survives a fork/spawn.
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_conn"] = None
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._conn = None

@@ -1,0 +1,17 @@
+"""Queue-lease wall-clock fixture for DET002's allow-list.
+
+Claim leases must be comparable across worker *processes*, so the work
+queue deliberately reads ``time.time()`` — sanctioned only under the
+virtual path ``repro/store/queue.py``.  The same code anywhere else in
+the store package (or any result-producing module) must trip DET002.
+"""
+
+import time
+
+
+def claim_expiry(lease: float) -> float:
+    return time.time() + lease
+
+
+def lease_expired(expires: float) -> bool:
+    return expires < time.time()

@@ -67,6 +67,22 @@ def test_good_fixture_is_clean(rule_id):
     assert findings == [], f"{name} must produce no findings: {findings}"
 
 
+def test_det002_sanctions_leases_only_in_the_queue_module():
+    """The work queue's wall-clock leases are allow-listed by *path*:
+    identical code in any other store module still trips DET002, so the
+    store backends stay inside the determinism gate."""
+    sanctioned = lint_fixture("det002_queue_lease.py",
+                              "repro/store/queue.py")
+    assert [f for f in sanctioned if f.rule_id == "DET002"] == []
+    for virtual in ("repro/store/local.py", "repro/store/sqlite.py",
+                    "repro/store/base.py"):
+        findings = lint_fixture("det002_queue_lease.py", virtual)
+        fired = [f for f in findings if f.rule_id == "DET002"]
+        assert len(fired) == 2, (
+            f"both time.time() reads must trip DET002 under {virtual}, "
+            f"got {fired}")
+
+
 def test_suppressed_fixture_is_clean():
     findings = lint_fixture("suppressed.py", "fixtures/suppressed.py")
     assert findings == []

@@ -170,8 +170,32 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         for x in range(3):
             cache.put(cell_key(demo_cell(x)), x)
-        assert cache.purge() == 3
+        result = cache.purge()
+        assert result.entries == 3
+        assert result.quarantined == 0
+        assert result.total == 3
         assert len(cache) == 0
+
+    def test_purge_removes_quarantined_entries(self, tmp_path):
+        """purge() deletes quarantined *.pkl.corrupt files too, and
+        reports them separately from live entries."""
+        cache = ResultCache(tmp_path)
+        keep = cell_key(demo_cell(0))
+        bad = cell_key(demo_cell(1))
+        cache.put(keep, 0)
+        cache.put(bad, 1)
+        cache.path_for(bad).write_bytes(b"garbage")
+        with pytest.warns(CacheCorruptionWarning):
+            cache.get(bad)
+        corrupt = cache.path_for(bad).with_name(
+            cache.path_for(bad).name + ".corrupt")
+        assert corrupt.exists()
+        result = cache.purge()
+        assert result == (1, 1)  # one live entry, one quarantined
+        assert result.total == 2
+        assert not corrupt.exists()
+        assert len(cache) == 0
+        assert cache.quarantined_count() == 0
 
     def test_default_dir_honors_env(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))

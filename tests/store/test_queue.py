@@ -1,0 +1,205 @@
+"""Work-queue protocol conformance: claim/ack/nack/steal on every backend.
+
+Leases are wall-clock, so expiry is simulated by claiming with a tiny
+(or negative-effect) lease rather than sleeping: ``lease=0.0`` writes an
+already-expired lease, making the item immediately stealable.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.store import STORE_BACKENDS, QueueItem
+from repro.store.queue import LOST_ERROR_TYPE, sweep_fingerprint
+
+from .helpers import make_store
+
+BACKENDS = sorted(STORE_BACKENDS.values(), key=lambda cls: cls.scheme)
+
+
+@pytest.fixture(params=BACKENDS, ids=lambda cls: cls.scheme)
+def queue(request, tmp_path):
+    store = make_store(request.param, tmp_path)
+    yield store.make_queue("sweep")
+    store.close()
+
+
+def items_for(n, max_attempts=1):
+    return [QueueItem(item_id=i, key=f"{i:064x}", label=f"cell-{i}",
+                      payload=pickle.dumps(("cell", i)),
+                      max_attempts=max_attempts)
+            for i in range(n)]
+
+
+class TestPublish:
+    def test_publish_then_counts(self, queue):
+        assert queue.publish(items_for(3)) == 3
+        assert queue.counts() == {"pending": 3, "claimed": 0,
+                                  "done": 0, "failed": 0}
+        assert queue.unfinished() == 3
+
+    def test_republish_is_idempotent(self, queue):
+        batch = items_for(3)
+        queue.publish(batch)
+        item = queue.claim("w0", lease=60.0)
+        queue.ack(item.item_id)
+        # Same sweep again: no new items, done state preserved (resume).
+        assert queue.publish(batch) == 0
+        counts = queue.counts()
+        assert counts["done"] == 1
+        assert counts["pending"] == 2
+
+    def test_different_sweep_resets_the_queue(self, queue):
+        queue.publish(items_for(3))
+        queue.ack(0)
+        other = [QueueItem(item_id=i, key=f"{i + 7:064x}", label=f"o-{i}",
+                           payload=b"x") for i in range(2)]
+        assert sweep_fingerprint(other) != sweep_fingerprint(items_for(3))
+        assert queue.publish(other) == 2
+        counts = queue.counts()
+        assert counts == {"pending": 2, "claimed": 0, "done": 0, "failed": 0}
+
+
+class TestClaimAckNack:
+    def test_claims_come_in_item_order(self, queue):
+        queue.publish(items_for(3))
+        assert queue.claim("w0", lease=60.0).item_id == 0
+        assert queue.claim("w0", lease=60.0).item_id == 1
+        assert queue.claim("w0", lease=60.0).item_id == 2
+        assert queue.claim("w0", lease=60.0) is None
+
+    def test_claim_round_trips_the_payload(self, queue):
+        queue.publish(items_for(1))
+        item = queue.claim("w0", lease=60.0)
+        assert pickle.loads(item.payload) == ("cell", 0)
+        assert item.key == f"{0:064x}"
+        assert item.label == "cell-0"
+
+    def test_ack_finishes_the_item(self, queue):
+        queue.publish(items_for(1))
+        item = queue.claim("w0", lease=60.0)
+        queue.ack(item.item_id, elapsed=0.25)
+        state = queue.snapshot()[0]
+        assert state.status == "done"
+        assert state.elapsed == 0.25
+        assert queue.unfinished() == 0
+        assert queue.claim("w0", lease=60.0) is None
+
+    def test_nack_requeues_until_budget_spent(self, queue):
+        queue.publish(items_for(1, max_attempts=2))
+        item = queue.claim("w0", lease=60.0)
+        assert queue.nack(item.item_id, "ValueError", "boom 1") is True
+        item = queue.claim("w1", lease=60.0)  # retry is claimable
+        assert item.attempts == 1
+        assert queue.nack(item.item_id, "ValueError", "boom 2") is False
+        state = queue.snapshot()[0]
+        assert state.status == "failed"
+        assert state.attempts == 2
+        assert state.error_type == "ValueError"
+        assert state.message == "boom 2"
+        assert queue.claim("w0", lease=60.0) is None
+        assert queue.unfinished() == 0
+
+    def test_single_attempt_fails_on_first_nack(self, queue):
+        queue.publish(items_for(1, max_attempts=1))
+        item = queue.claim("w0", lease=60.0)
+        assert queue.nack(item.item_id, "RuntimeError", "boom") is False
+        assert queue.snapshot()[0].status == "failed"
+
+
+class TestLeases:
+    def test_live_lease_blocks_other_workers(self, queue):
+        queue.publish(items_for(1))
+        assert queue.claim("w0", lease=60.0) is not None
+        assert queue.claim("w1", lease=60.0) is None
+
+    def test_expired_lease_is_stolen_and_charged(self, queue):
+        queue.publish(items_for(1, max_attempts=3))  # loss budget 2
+        assert queue.claim("w0", lease=0.0) is not None  # expires at once
+        stolen = queue.claim("w1", lease=60.0)
+        assert stolen is not None
+        assert stolen.item_id == 0
+        assert queue.snapshot()[0].losses == 1
+
+    def test_loss_budget_exhaustion_fails_permanently(self, queue):
+        queue.publish(items_for(1, max_attempts=1))  # loss budget 1
+        assert queue.claim("w0", lease=0.0) is not None   # loss 1 pending
+        assert queue.claim("w1", lease=0.0) is not None   # charges loss 1
+        assert queue.claim("w2", lease=60.0) is None      # loss 2: over
+        state = queue.snapshot()[0]
+        assert state.status == "failed"
+        assert state.losses == 2
+        assert state.error_type == LOST_ERROR_TYPE
+        assert "expired" in state.message
+
+
+class TestRequeueFailed:
+    def test_failed_items_reset_to_fresh_pending(self, queue):
+        queue.publish(items_for(2, max_attempts=1))
+        item = queue.claim("w0", lease=60.0)
+        queue.nack(item.item_id, "ValueError", "boom")
+        item = queue.claim("w0", lease=60.0)
+        queue.ack(item.item_id)
+        assert queue.requeue_failed() == 1
+        state = queue.snapshot()[0]
+        assert state.status == "pending"
+        assert state.attempts == 0
+        assert state.losses == 0
+        assert state.error_type == ""
+        # The done item stays done; only the failed one is runnable.
+        assert queue.snapshot()[1].status == "done"
+        assert queue.claim("w0", lease=60.0).item_id == 0
+
+    def test_nothing_failed_is_a_noop(self, queue):
+        queue.publish(items_for(2))
+        assert queue.requeue_failed() == 0
+
+
+class TestResetItems:
+    def test_done_items_reset_to_fresh_pending(self, queue):
+        """The coordinator's stale-done path: a done item whose result
+        vanished from the store is reset and claimable again."""
+        queue.publish(items_for(3))
+        item = queue.claim("w0", lease=60.0)
+        queue.ack(item.item_id, elapsed=1.5)
+        assert queue.reset_items([0, 99]) == 1  # unknown ids ignored
+        state = queue.snapshot()[0]
+        assert state.status == "pending"
+        assert state.attempts == 0
+        assert state.elapsed == 0.0
+        assert queue.claim("w1", lease=60.0).item_id == 0
+
+    def test_empty_request_is_a_noop(self, queue):
+        queue.publish(items_for(1))
+        assert queue.reset_items([]) == 0
+        assert queue.snapshot()[0].status == "pending"
+
+
+class TestClear:
+    def test_clear_drops_everything(self, queue):
+        queue.publish(items_for(3))
+        queue.clear()
+        assert queue.snapshot() == {}
+        assert queue.unfinished() == 0
+
+
+class TestFingerprint:
+    def test_order_insensitive_identity(self):
+        batch = items_for(3)
+        assert sweep_fingerprint(batch) == sweep_fingerprint(batch[::-1])
+
+    def test_sensitive_to_keys_and_ids(self):
+        base = items_for(2)
+        rekeyed = [QueueItem(item_id=i.item_id, key="f" * 64,
+                             label=i.label, payload=i.payload)
+                   for i in base]
+        assert sweep_fingerprint(base) != sweep_fingerprint(rekeyed)
+
+    def test_insensitive_to_payload_and_label(self):
+        base = items_for(2)
+        relabeled = [QueueItem(item_id=i.item_id, key=i.key,
+                               label="x", payload=b"other")
+                     for i in base]
+        assert sweep_fingerprint(base) == sweep_fingerprint(relabeled)
