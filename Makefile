@@ -2,7 +2,7 @@
 
 .PHONY: install test bench bench-smoke bench-paper bench-throughput \
 	bench-regression figures figures-parallel report examples lint \
-	typecheck check clean clean-cache telemetry-smoke
+	lint-baseline typecheck check clean clean-cache telemetry-smoke
 
 # PYTHONPATH=src keeps every target usable from a bare checkout
 # (no editable install required), matching the tier-1 test invocation.
@@ -65,17 +65,26 @@ report:
 # installed (`pip install -e .[dev]`) and are skipped — loudly — when
 # not, so offline checkouts aren't blocked; CI always installs both.
 lint:
-	$(PY) -m repro.devtools.lint src
+	$(PY) -m repro.devtools.lint --baseline \
+		--index-cache .reprolint-cache.json \
+		--aux tests --aux benchmarks src
 	@if python -c "import ruff" >/dev/null 2>&1; then \
 		python -m ruff check src tests benchmarks examples; \
 	else \
 		echo "ruff not installed (pip install -e .[dev]); skipping"; \
 	fi
 
+# Regenerate the committed finding baseline.  The tree is clean today,
+# so the baseline is empty; only regenerate it deliberately when
+# grandfathering a finding is the explicit decision.
+lint-baseline:
+	$(PY) -m repro.devtools.lint --write-baseline \
+		--aux tests --aux benchmarks src
+
 typecheck:
 	@if python -c "import mypy" >/dev/null 2>&1; then \
 		PYTHONPATH=src python -m mypy -m repro.api -p repro.runner \
-			-m repro.experiments.registry; \
+			-m repro.experiments.registry -p repro.devtools.lint; \
 	else \
 		echo "mypy not installed (pip install -e .[dev]); skipping"; \
 	fi
@@ -88,6 +97,7 @@ examples:
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	rm -f .reprolint-cache.json
 	find . -name __pycache__ -type d -exec rm -rf {} +
 
 clean-cache:

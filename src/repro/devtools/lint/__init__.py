@@ -19,12 +19,14 @@ tripping / non-tripping fixture suite.
 """
 
 from . import rules  # noqa: F401  — importing registers the builtin ruleset
+from . import project_rules  # noqa: F401  — registers the phase-2 ruleset
 from .cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, main
 from .core import (
     Checker,
     FileContext,
     Finding,
     LintConfigError,
+    ProjectRule,
     Rule,
     dotted_name,
     import_aliases,
@@ -34,6 +36,7 @@ from .core import (
     rule_ids,
     unregister_rule,
 )
+from .index import FileIndex, ProjectIndex, ProjectIndexer, build_file_index
 
 __all__ = [
     "Checker",
@@ -41,9 +44,14 @@ __all__ = [
     "EXIT_ERROR",
     "EXIT_FINDINGS",
     "FileContext",
+    "FileIndex",
     "Finding",
     "LintConfigError",
+    "ProjectIndex",
+    "ProjectIndexer",
+    "ProjectRule",
     "Rule",
+    "build_file_index",
     "dotted_name",
     "import_aliases",
     "iter_rules",

@@ -1,0 +1,135 @@
+"""Finding baselines: burn down pre-existing debt without blocking CI.
+
+A baseline file (conventionally ``.reprolint-baseline.json``, committed
+at the repo root) records a *fingerprint* for every finding that existed
+when the baseline was written.  CI fails only on findings whose
+fingerprint is not in the baseline, so a new rule can land with the tree
+still dirty and the debt paid off file by file — regenerate deliberately
+with ``make lint-baseline``.
+
+Fingerprints are content-based, not line-based: the SHA-256 of the rule
+ID, the file's posix path, the *stripped text of the offending line*,
+and an occurrence counter (for identical lines repeated in one file).
+Inserting or deleting unrelated lines above a finding therefore does not
+invalidate it, while editing the flagged line itself does — exactly the
+"touch it, fix it" pressure a baseline should apply.  The same
+fingerprint is embedded in SARIF output as a ``partialFingerprints``
+entry (:data:`FINGERPRINT_KEY`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .core import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE",
+    "FINGERPRINT_KEY",
+    "filter_baselined",
+    "fingerprint_findings",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = ".reprolint-baseline.json"
+#: partialFingerprints key shared with the SARIF emitter.
+FINGERPRINT_KEY = "reprolint/v1"
+
+
+def _line_text(path: str, line: int,
+               sources: Optional[Mapping[str, str]]) -> str:
+    source = None
+    if sources is not None:
+        source = sources.get(path)
+    if source is None:
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            return ""
+    lines = source.splitlines()
+    if 1 <= line <= len(lines):
+        return lines[line - 1].strip()
+    return ""
+
+
+def fingerprint_findings(
+        findings: Sequence[Finding], *,
+        sources: Optional[Mapping[str, str]] = None,
+) -> List[Tuple[Finding, str]]:
+    """Pair each finding with its stable content fingerprint.
+
+    ``sources`` maps paths to source text for files not on disk
+    (virtual paths in tests); files are read from disk otherwise.
+    """
+    counters: Dict[Tuple[str, str, str], int] = {}
+    out: List[Tuple[Finding, str]] = []
+    for finding in sorted(findings):
+        posix = finding.path.replace("\\", "/")
+        text = _line_text(finding.path, finding.line, sources)
+        key = (finding.rule_id, posix, text)
+        occurrence = counters.get(key, 0)
+        counters[key] = occurrence + 1
+        payload = "|".join((finding.rule_id, posix, text, str(occurrence)))
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        out.append((finding, digest[:32]))
+    return out
+
+
+def write_baseline(findings: Sequence[Finding], path: str, *,
+                   sources: Optional[Mapping[str, str]] = None) -> int:
+    """Write the baseline for ``findings``; returns how many it holds."""
+    entries = {}
+    for finding, fingerprint in fingerprint_findings(findings,
+                                                     sources=sources):
+        entries[fingerprint] = {
+            "rule": finding.rule_id,
+            "path": finding.path.replace("\\", "/"),
+            "message": finding.message,
+        }
+    doc = {
+        "version": BASELINE_VERSION,
+        "tool": "reprolint",
+        "note": ("Known findings burned down over time; regenerate "
+                 "deliberately with `make lint-baseline`."),
+        "fingerprints": dict(sorted(entries.items())),
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path: str) -> frozenset:
+    """Fingerprints recorded in ``path`` (empty set if absent/invalid)."""
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return frozenset()
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        return frozenset()
+    fingerprints = doc.get("fingerprints", {})
+    if not isinstance(fingerprints, dict):
+        return frozenset()
+    return frozenset(fingerprints)
+
+
+def filter_baselined(
+        findings: Sequence[Finding], baseline: Iterable[str], *,
+        sources: Optional[Mapping[str, str]] = None,
+) -> Tuple[List[Finding], int]:
+    """Split ``findings`` into (new, number suppressed by baseline)."""
+    known = frozenset(baseline)
+    fresh: List[Finding] = []
+    suppressed = 0
+    for finding, fingerprint in fingerprint_findings(findings,
+                                                     sources=sources):
+        if fingerprint in known:
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

@@ -3,13 +3,22 @@
 Exit codes (CI contract):
 
 * ``0`` — no findings;
-* ``1`` — at least one finding (the build must fail);
+* ``1`` — at least one (non-baselined) finding (the build must fail);
 * ``2`` — usage / IO / syntax error (could not complete the analysis).
 
 Findings stream to stdout in ``path:line:col: ID message`` form (or a
-JSON array with ``--format json``); the summary line and all errors go
-to stderr so tooling can parse stdout alone.  Output ordering is fully
-deterministic — reprolint practices what it preaches.
+JSON array with ``--format json``, or a SARIF 2.1.0 document with
+``--format sarif`` for GitHub code scanning); the summary line and all
+errors go to stderr so tooling can parse stdout alone.  Output ordering
+is fully deterministic — reprolint practices what it preaches.
+
+Whole-program analysis: any selected :class:`~.core.ProjectRule` runs
+over a project index of every linted file.  ``--aux PATH`` adds files to
+the index without linting them (tests feeding API002's conformance
+check), ``--index-cache FILE`` persists per-file indexes across runs,
+``--no-project`` restricts the run to per-file rules.  ``--baseline
+[FILE]`` suppresses findings recorded in a committed baseline;
+``--write-baseline`` regenerates it (see ``make lint-baseline``).
 """
 
 from __future__ import annotations
@@ -19,7 +28,14 @@ import json
 import sys
 from typing import List, Optional, Sequence, Type
 
+from .baseline import (
+    DEFAULT_BASELINE,
+    filter_baselined,
+    load_baseline,
+    write_baseline,
+)
 from .core import Checker, LintConfigError, Rule, iter_rules, rule_ids
+from .sarif import to_sarif
 
 __all__ = ["main"]
 
@@ -28,26 +44,24 @@ EXIT_FINDINGS = 1
 EXIT_ERROR = 2
 
 
+def _parse_ids(raw: str, known: set) -> set:
+    wanted = {part.strip() for part in raw.split(",") if part.strip()}
+    unknown = wanted - known
+    if unknown:
+        raise LintConfigError(
+            f"no such rule: {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})")
+    return wanted
+
+
 def _select_rules(select: Optional[str],
                   ignore: Optional[str]) -> List[Type[Rule]]:
     known = set(rule_ids())
     chosen = set(known)
     if select:
-        wanted = {part.strip() for part in select.split(",") if part.strip()}
-        unknown = wanted - known
-        if unknown:
-            raise LintConfigError(
-                f"unknown rule id(s) {sorted(unknown)}; "
-                f"known: {sorted(known)}")
-        chosen = wanted
+        chosen = _parse_ids(select, known)
     if ignore:
-        dropped = {part.strip() for part in ignore.split(",") if part.strip()}
-        unknown = dropped - known
-        if unknown:
-            raise LintConfigError(
-                f"unknown rule id(s) {sorted(unknown)}; "
-                f"known: {sorted(known)}")
-        chosen -= dropped
+        chosen -= _parse_ids(ignore, known)
     return [cls for cls in iter_rules() if cls.rule_id in chosen]
 
 
@@ -61,32 +75,91 @@ def _list_rules() -> str:
             lines.append(f"          sanctioned: {', '.join(cls.allow)}")
     lines.append("")
     lines.append("suppress one line with: # reprolint: disable=RULE[,RULE]")
+    lines.append("explain one rule with:  --explain RULE")
+    return "\n".join(lines)
+
+
+def _explain_rule(rule_id: str) -> str:
+    known = set(rule_ids())
+    if rule_id not in known:
+        raise LintConfigError(
+            f"no such rule: {rule_id} (known: {', '.join(sorted(known))})")
+    cls = next(cls for cls in iter_rules() if cls.rule_id == rule_id)
+    lines = [f"{cls.rule_id}: {cls.summary}", ""]
+    doc = (cls.__doc__ or "").strip()
+    if doc:
+        lines.extend(line.strip() and f"  {line.strip()}" or ""
+                     for line in doc.splitlines())
+        lines.append("")
+    if cls.include:
+        lines.append(f"  scope: {', '.join(cls.include)}")
+    if cls.allow:
+        lines.append(f"  sanctioned paths: {', '.join(cls.allow)}")
+    if cls.example_bad:
+        lines.append("")
+        lines.append("  bad:")
+        lines.extend(f"    {line}" for line in
+                     cls.example_bad.rstrip().splitlines())
+    if cls.example_good:
+        lines.append("")
+        lines.append("  good:")
+        lines.extend(f"    {line}" for line in
+                     cls.example_good.rstrip().splitlines())
     return "\n".join(lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
-        description="reprolint: AST-based determinism & correctness "
-                    "analyzer for the futility-scaling reproduction.")
+        description="reprolint: whole-program determinism, concurrency "
+                    "& drift analyzer for the futility-scaling "
+                    "reproduction.")
     parser.add_argument("paths", nargs="*", metavar="PATH",
                         help="files or directories to analyze")
     parser.add_argument("--format", default="text",
-                        choices=("text", "json"),
+                        choices=("text", "json", "sarif"),
                         help="findings output format (default: text)")
     parser.add_argument("--select", default=None, metavar="IDS",
                         help="comma-separated rule IDs to run exclusively")
     parser.add_argument("--ignore", default=None, metavar="IDS",
                         help="comma-separated rule IDs to skip")
+    parser.add_argument("--explain", default=None, metavar="RULE",
+                        help="print one rule's documentation and "
+                             "good/bad examples, then exit")
     parser.add_argument("--no-suppressions", action="store_true",
                         help="report findings even on lines carrying "
                              "'# reprolint: disable=...' comments")
+    parser.add_argument("--no-project", action="store_true",
+                        help="per-file rules only; skip the "
+                             "whole-program index and project rules")
+    parser.add_argument("--aux", action="append", default=[],
+                        metavar="PATH",
+                        help="index PATH (file or tree) for cross-"
+                             "reference data without linting it; "
+                             "repeatable (e.g. --aux tests/store)")
+    parser.add_argument("--index-cache", default=None, metavar="FILE",
+                        help="JSON cache of per-file indexes, reused "
+                             "across runs for unchanged files")
+    parser.add_argument("--baseline", nargs="?", const=DEFAULT_BASELINE,
+                        default=None, metavar="FILE",
+                        help="suppress findings fingerprinted in FILE "
+                             f"(default: {DEFAULT_BASELINE})")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the current findings to the "
+                             "baseline file instead of failing on them")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the registered ruleset and exit")
     args = parser.parse_args(argv)
 
     if args.list_rules:
         print(_list_rules())
+        return EXIT_CLEAN
+    if args.explain:
+        try:
+            print(_explain_rule(args.explain))
+        except LintConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
         return EXIT_CLEAN
     if not args.paths:
         parser.print_usage(sys.stderr)
@@ -100,9 +173,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return EXIT_ERROR
 
     checker = Checker(rules,
-                      respect_suppressions=not args.no_suppressions)
+                      respect_suppressions=not args.no_suppressions,
+                      project=not args.no_project,
+                      index_cache=args.index_cache)
     try:
-        findings = checker.check_paths(args.paths)
+        findings = checker.check_paths(args.paths, aux_paths=args.aux)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR
@@ -111,8 +186,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"{exc.msg}", file=sys.stderr)
         return EXIT_ERROR
 
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE
+        count = write_baseline(findings, target)
+        print(f"reprolint: baseline of {count} finding(s) written to "
+              f"{target}", file=sys.stderr)
+        return EXIT_CLEAN
+    if args.baseline is not None:
+        findings, suppressed = filter_baselined(
+            findings, load_baseline(args.baseline))
+        if suppressed:
+            print(f"reprolint: {suppressed} baselined finding(s) "
+                  f"suppressed ({args.baseline})", file=sys.stderr)
+
     if args.format == "json":
         print(json.dumps([f.to_dict() for f in findings],
+                         indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(findings, [type(r) for r in
+                                             checker.rules]),
                          indent=2, sort_keys=True))
     else:
         for finding in findings:

@@ -51,6 +51,7 @@ __all__ = [
     "FileContext",
     "Finding",
     "LintConfigError",
+    "ProjectRule",
     "Rule",
     "dotted_name",
     "import_aliases",
@@ -149,14 +150,22 @@ class Rule:
     summary: str = ""
     include: Tuple[str, ...] = ()
     allow: Tuple[str, ...] = ()
+    #: Optional illustrative snippets shown by ``--explain``.
+    example_bad: str = ""
+    example_good: str = ""
+
+    def path_applies(self, posix: str) -> bool:
+        """Path-level gate combining ``allow`` and ``include``."""
+        if any(frag in posix for frag in self.allow):
+            return False
+        in_package = "repro" in PurePosixPath(posix).parts
+        if self.include and in_package:
+            return any(frag in posix for frag in self.include)
+        return True
 
     def applies_to(self, ctx: FileContext) -> bool:
-        """Path-level gate combining ``allow`` and ``include``."""
-        if any(frag in ctx.posix for frag in self.allow):
-            return False
-        if self.include and ctx.in_package:
-            return any(frag in ctx.posix for frag in self.include)
-        return True
+        """Path-level gate for one file context."""
+        return self.path_applies(ctx.posix)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Yield every finding for ``ctx``; must not mutate the tree."""
@@ -166,6 +175,33 @@ class Rule:
         """Build a :class:`Finding` at ``node``'s location."""
         return Finding(path=ctx.path, line=getattr(node, "lineno", 1),
                        col=getattr(node, "col_offset", 0) + 1,
+                       rule_id=self.rule_id, message=message)
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program (phase 2) rules.
+
+    A :class:`ProjectRule` never sees a single AST; it runs once per
+    lint invocation over the assembled
+    :class:`~repro.devtools.lint.index.ProjectIndex` and may report
+    findings in any indexed file.  ``include``/``allow`` scoping is
+    applied to each *finding's* path rather than gating the rule as a
+    whole, so a cross-module rule can follow evidence through files it
+    would never report in.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Project rules do not participate in the per-file phase."""
+        return iter(())
+
+    def check_project(self, index: Any) -> Iterator[Finding]:
+        """Yield findings for the whole project index."""
+        raise NotImplementedError
+
+    def finding_at(self, path: str, line: int, col: int,
+                   message: str) -> Finding:
+        """Build a :class:`Finding` at an explicit location."""
+        return Finding(path=path, line=line, col=col,
                        rule_id=self.rule_id, message=message)
 
 
@@ -284,13 +320,37 @@ def _as_posix(path: str) -> str:
 
 
 class Checker:
-    """Run a set of rules over source files and collect findings."""
+    """Run a set of rules over source files and collect findings.
+
+    Per-file rules run in phase 1, one AST at a time.  When any
+    :class:`ProjectRule` is selected, phase 2 assembles a
+    :class:`~repro.devtools.lint.index.ProjectIndex` over every linted
+    file (plus any ``aux`` files, indexed for cross-reference only) and
+    runs the project rules over it.  ``index_cache`` names an optional
+    JSON file reused across runs to skip re-indexing unchanged files.
+    """
 
     def __init__(self, rules: Optional[Iterable[Type[Rule]]] = None, *,
-                 respect_suppressions: bool = True) -> None:
+                 respect_suppressions: bool = True,
+                 project: bool = True,
+                 index_cache: Optional[str] = None) -> None:
         classes = list(rules) if rules is not None else list(iter_rules())
         self.rules: List[Rule] = [cls() for cls in classes]
         self.respect_suppressions = respect_suppressions
+        self.project = project
+        self.index_cache = index_cache
+        #: Last ProjectIndex built, for introspection (``--stats``, tests).
+        self.last_index: Optional[Any] = None
+
+    @property
+    def file_rules(self) -> List[Rule]:
+        return [r for r in self.rules if not isinstance(r, ProjectRule)]
+
+    @property
+    def project_rules(self) -> List[ProjectRule]:
+        if not self.project:
+            return []
+        return [r for r in self.rules if isinstance(r, ProjectRule)]
 
     def check_source(self, source: str, path: str = "<string>") -> List[Finding]:
         """Lint one in-memory source blob under a (possibly virtual) path.
@@ -298,40 +358,83 @@ class Checker:
         Raises :class:`SyntaxError` when the source does not parse; the
         CLI maps that to exit code 2.
         """
+        return self.check_sources([(path, source)])
+
+    def check_sources(self, pairs: Sequence[Tuple[str, str]],
+                      aux_pairs: Sequence[Tuple[str, str]] = (),
+                      ) -> List[Finding]:
+        """Lint ``(path, source)`` blobs as one project.
+
+        ``aux_pairs`` join the project index (so cross-reference rules
+        can see tests, examples, ...) but never carry findings.
+        """
+        findings: List[Finding] = []
+        for path, source in pairs:
+            findings.extend(self._check_file_phase(source, path))
+        if self.project_rules:
+            from .index import ProjectIndexer  # circular-at-import guard
+
+            indexer = ProjectIndexer(self.index_cache)
+            index = indexer.build(pairs, aux_pairs)
+            self.last_index = index
+            findings.extend(self._check_project_phase(index))
+        return sorted(findings)
+
+    def _check_file_phase(self, source: str, path: str) -> List[Finding]:
         tree = ast.parse(source, filename=path)
         ctx = FileContext(
             path=path, posix=_as_posix(path), source=source, tree=tree,
             suppressions=parse_suppressions(source),
             aliases=import_aliases(tree))
         findings: List[Finding] = []
-        for rule in self.rules:
+        for rule in self.file_rules:
             if not rule.applies_to(ctx):
                 continue
             for finding in rule.check(ctx):
                 if self.respect_suppressions and self._suppressed(ctx, finding):
                     continue
                 findings.append(finding)
-        return sorted(findings)
+        return findings
+
+    def _check_project_phase(self, index: Any) -> List[Finding]:
+        findings: List[Finding] = []
+        for rule in self.project_rules:
+            for finding in rule.check_project(index):
+                if not rule.path_applies(_as_posix(finding.path)):
+                    continue
+                if self.respect_suppressions:
+                    ids = index.suppressions_for(finding.path).get(
+                        finding.line)
+                    if ids and (finding.rule_id in ids
+                                or SUPPRESS_ALL in ids):
+                        continue
+                findings.append(finding)
+        return findings
 
     def check_file(self, path: str) -> List[Finding]:
         """Lint one file from disk."""
-        with tokenize.open(path) as fh:  # honors PEP 263 coding cookies
-            source = fh.read()
-        return self.check_source(source, path=path)
+        return self.check_paths([path])
 
-    def check_paths(self, paths: Sequence[str]) -> List[Finding]:
+    def check_paths(self, paths: Sequence[str],
+                    aux_paths: Sequence[str] = ()) -> List[Finding]:
         """Lint files and directory trees (``*.py``, sorted walk)."""
-        findings: List[Finding] = []
+        return self.check_sources(self._collect(paths),
+                                  self._collect(aux_paths))
+
+    @staticmethod
+    def _collect(paths: Sequence[str]) -> List[Tuple[str, str]]:
+        pairs: List[Tuple[str, str]] = []
         for path in paths:
             target = Path(path)
             if target.is_dir():
-                for item in sorted(target.rglob("*.py")):
-                    if "__pycache__" in item.parts:
-                        continue
-                    findings.extend(self.check_file(str(item)))
+                items = [str(item) for item in sorted(target.rglob("*.py"))
+                         if "__pycache__" not in item.parts]
             else:
-                findings.extend(self.check_file(str(target)))
-        return sorted(findings)
+                items = [str(target)]
+            for item in items:
+                with tokenize.open(item) as fh:  # honors PEP 263 cookies
+                    pairs.append((item, fh.read()))
+        return pairs
 
     @staticmethod
     def _suppressed(ctx: FileContext, finding: Finding) -> bool:

@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 serialization for reprolint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard GitHub code scanning ingests; emitting it lets CI upload
+reprolint findings so they annotate PR diffs instead of living in a job
+log.  Only the small, stable core of the spec is produced: a single
+``run`` with the tool's rule metadata and one ``result`` per finding,
+each carrying a ``partialFingerprints`` entry shared with the baseline
+machinery (:mod:`repro.devtools.lint.baseline`) so the two views of
+"which finding is this" can never drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Type
+
+from .baseline import FINGERPRINT_KEY, fingerprint_findings
+from .core import Finding, Rule
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_TOOL_URI = "https://github.com/paper-repro/futility-scaling"
+
+
+def _rule_descriptor(rule: Type[Rule]) -> Dict[str, Any]:
+    descriptor: Dict[str, Any] = {
+        "id": rule.rule_id,
+        "name": rule.__name__,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {"level": "warning"},
+    }
+    doc = (rule.__doc__ or "").strip()
+    if doc:
+        descriptor["fullDescription"] = {"text": doc.splitlines()[0]}
+        descriptor["help"] = {"text": doc}
+    return descriptor
+
+
+def to_sarif(findings: Sequence[Finding], rules: Sequence[Type[Rule]], *,
+             sources: Optional[Mapping[str, str]] = None) -> Dict[str, Any]:
+    """Build the SARIF 2.1.0 document for ``findings``.
+
+    ``rules`` is the rule classes the run was configured with (all of
+    them, not only those that fired — code scanning uses the list to
+    render rule help).  ``sources`` optionally maps paths to in-memory
+    source text for fingerprinting virtual files.
+    """
+    ordered = sorted(rules, key=lambda r: r.rule_id)
+    rule_index = {r.rule_id: i for i, r in enumerate(ordered)}
+    results: List[Dict[str, Any]] = []
+    for finding, fingerprint in fingerprint_findings(findings,
+                                                     sources=sources):
+        result: Dict[str, Any] = {
+            "ruleId": finding.rule_id,
+            "level": "warning",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col, 1),
+                    },
+                },
+            }],
+            "partialFingerprints": {FINGERPRINT_KEY: fingerprint},
+        }
+        if finding.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule_id]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "informationUri": _TOOL_URI,
+                    "rules": [_rule_descriptor(r) for r in ordered],
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }

@@ -147,6 +147,11 @@ def main(argv=None) -> int:
                              "queue with N independent worker processes "
                              "(python -m repro.runner.worker) instead of "
                              "the in-process pool; requires a store")
+    parser.add_argument("--queue-lease", type=float, default=60.0,
+                        metavar="SEC",
+                        help="seconds a queue worker may hold a claimed "
+                             "cell before another worker may steal it "
+                             "(crash recovery; default: 60)")
     parser.add_argument("--keep-going", action="store_true",
                         help="complete the sweep despite failing cells, "
                              "write a JSON failure manifest under the "
@@ -195,7 +200,7 @@ def main(argv=None) -> int:
                 retries=args.retries, cell_timeout=args.cell_timeout,
                 keep_going=args.keep_going, progress=progress,
                 telemetry=telemetry, queue_workers=args.queue_workers,
-                queue_name=name)
+                queue_name=name, queue_lease=args.queue_lease)
             try:
                 with session.phase("sweep") if session else nullcontext():
                     result = spec.run(spec.config(args.scale),

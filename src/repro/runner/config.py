@@ -89,10 +89,10 @@ class RunConfig:
     keep_going: bool = False
     backoff_base: float = 0.05
     backoff_cap: float = 2.0
-    progress: Optional[Progress] = None
+    progress: Optional[Progress] = None  # reprolint: cli-exempt
     telemetry: Optional["RunTelemetry"] = None
     queue_workers: Optional[int] = None
-    queue_name: str = "sweep"
+    queue_name: str = "sweep"  # reprolint: cli-exempt
     queue_lease: float = 60.0
 
     def __post_init__(self) -> None:

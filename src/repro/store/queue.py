@@ -237,8 +237,7 @@ class SQLiteWorkQueue(WorkQueue):
     def claim(self, worker: str, lease: float) -> Optional[QueueItem]:
         while True:
             now = time.time()
-            with self.store._lock:
-                conn = self.store.connection
+            with self.store.locked() as conn:
                 conn.execute("BEGIN IMMEDIATE")
                 try:
                     row = conn.execute(
@@ -291,8 +290,7 @@ class SQLiteWorkQueue(WorkQueue):
             (round(elapsed, 6), self.name, item_id))
 
     def nack(self, item_id: int, error_type: str, message: str) -> bool:
-        with self.store._lock:
-            conn = self.store.connection
+        with self.store.locked() as conn:
             conn.execute("BEGIN IMMEDIATE")
             try:
                 row = conn.execute(

@@ -23,9 +23,10 @@ from __future__ import annotations
 import os
 import sqlite3
 import threading
+from contextlib import contextmanager
 from pathlib import Path
-from typing import (TYPE_CHECKING, Any, Dict, Iterable, List, Optional,
-                    Tuple, Union)
+from typing import (TYPE_CHECKING, Any, Dict, Iterable, Iterator, List,
+                    Optional, Tuple, Union)
 
 from .base import ExperimentStore, PurgeResult, register_backend
 
@@ -75,10 +76,10 @@ class SQLiteStore(ExperimentStore):
         self.path = Path(path)
         self.timeout = timeout
         self._lock = threading.Lock()
-        self._conn: Optional[sqlite3.Connection] = None
+        self._conn: Optional[sqlite3.Connection] = None  # reprolint: guarded-by=_lock
         self._connect()
 
-    def _connect(self) -> None:
+    def _connect(self) -> None:  # reprolint: requires-lock=_lock
         self.path.parent.mkdir(parents=True, exist_ok=True)
         conn = sqlite3.connect(str(self.path), timeout=self.timeout,
                                isolation_level=None,
@@ -91,28 +92,41 @@ class SQLiteStore(ExperimentStore):
         self._conn = conn
 
     @property
-    def connection(self) -> sqlite3.Connection:
+    def connection(self) -> sqlite3.Connection:  # reprolint: requires-lock=_lock
         if self._conn is None:
             self._connect()
         assert self._conn is not None
         return self._conn
 
+    @contextmanager
+    def locked(self) -> Iterator[sqlite3.Connection]:
+        """The one sanctioned way to borrow the raw connection.
+
+        The connection is opened with ``check_same_thread=False`` and is
+        only safe because every use is serialized behind ``_lock``;
+        collaborators (the work queue's multi-statement transactions)
+        must take it through here rather than reaching into ``_lock`` /
+        ``_conn`` themselves.  The connection is only valid inside the
+        ``with`` block.
+        """
+        with self._lock:
+            yield self.connection
+
     def execute(self, sql: str, params: Iterable[Any] = ()) -> None:
         """One serialized write statement (autocommit)."""
-        with self._lock:
-            self.connection.execute(sql, tuple(params))
+        with self.locked() as conn:
+            conn.execute(sql, tuple(params))
 
     def query(self, sql: str,
               params: Iterable[Any] = ()) -> List[Tuple[Any, ...]]:
         """One serialized read; rows are fetched before the lock drops."""
-        with self._lock:
-            return self.connection.execute(sql, tuple(params)).fetchall()
+        with self.locked() as conn:
+            return conn.execute(sql, tuple(params)).fetchall()
 
     def transaction(self, statements: Iterable[Tuple[str, Iterable[Any]]],
                     ) -> None:
         """Run ``statements`` inside one immediate transaction."""
-        with self._lock:
-            conn = self.connection
+        with self.locked() as conn:
             conn.execute("BEGIN IMMEDIATE")
             try:
                 for sql, params in statements:

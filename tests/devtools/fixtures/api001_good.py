@@ -1,0 +1,24 @@
+"""API001 clean: fields, flags and legacy aliases all agree."""
+
+import argparse
+from dataclasses import dataclass
+
+_LEGACY_ALIASES = {
+    "cache": "store",  # retired kwarg mapping onto a live field
+}
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    jobs: int = 1
+    store: str = ""
+    retries: int = 0
+    progress: object = None  # reprolint: cli-exempt
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--store", default="")
+    parser.add_argument("--retries", type=int, default=0)
+    return parser

@@ -1,0 +1,19 @@
+"""API002 fixture: a registered backend module (virtual repro/store/rocks.py).
+
+Defines a ``@register_backend`` store.  Whether API002 fires depends on
+the ``__init__`` stand-in it is indexed with: ``api002_store_init.py``
+omits the import (drift), ``api002_good_init.py`` includes it (clean).
+"""
+
+from repro.store.base import Store, register_backend
+
+
+@register_backend
+class RocksStore(Store):
+    scheme = "rocks"
+
+    def put(self, key, payload):
+        raise NotImplementedError
+
+    def get(self, key):
+        raise NotImplementedError

@@ -1,0 +1,10 @@
+"""API002 clean: stands in for ``repro/store/__init__.py``.
+
+Unlike ``api002_store_init.py`` this variant imports the ``rocks``
+module, so its ``@register_backend`` decorator runs at import time and
+the backend really exists in ``STORE_BACKENDS``.
+"""
+
+from repro.store import base      # noqa: F401
+from repro.store import rocks     # noqa: F401
+from repro.store import sqlite    # noqa: F401

@@ -1,0 +1,10 @@
+"""API002 fixture: stands in for ``repro/store/__init__.py``.
+
+Linted under that virtual path, this package module imports only the
+``base`` and ``sqlite`` backend modules — the ``rocks`` backend defined
+in ``api002_backend.py`` is left out, so its ``@register_backend``
+decorator never runs: exactly the drift API002 exists to catch.
+"""
+
+from repro.store import base      # noqa: F401
+from repro.store import sqlite    # noqa: F401

@@ -1,0 +1,53 @@
+"""CON001 trips: guarded attributes touched outside their lock."""
+
+import threading
+
+
+class Con001Counter:
+    """Explicitly annotated guard, violated twice."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # reprolint: guarded-by=_lock
+
+    def bump(self):
+        self._count += 1  # BAD: write outside the lock
+
+    def peek(self):
+        return self._count  # BAD: read outside the lock
+
+    def bump_safely(self):
+        with self._lock:
+            self._count += 1
+
+
+class Con001Inferred:
+    """No annotation: majority-under-lock inference flags the straggler."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def drain(self):
+        with self._lock:
+            items = list(self._items)
+            del self._items[:]
+        return items
+
+    def racy_len(self):
+        return len(self._items)  # BAD: every other access holds the lock
+
+
+class Con001Outsider:
+    """Cross-object reach-in: grabbing another object's lock."""
+
+    def __init__(self, counter: Con001Counter):
+        self.counter = counter
+
+    def reach_in(self):
+        with self.counter._lock:  # BAD: couple to Con001Counter's locking
+            return self.counter.peek()

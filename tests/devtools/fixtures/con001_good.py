@@ -1,0 +1,45 @@
+"""CON001 clean: every guarded access holds the lock (or is sanctioned)."""
+
+import threading
+
+
+class Con001SafeCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # reprolint: guarded-by=_lock
+        self._count = self._reset_value()  # construction writes are fine
+
+    def _reset_value(self):
+        return 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def peek(self):
+        with self._lock:
+            return self._count
+
+    def _bump_locked(self):  # reprolint: requires-lock=_lock
+        # Callers hold the lock; the annotation states the contract.
+        self._count += 1
+
+    def bump_twice(self):
+        with self._lock:
+            self._bump_locked()
+            self._bump_locked()
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_lock"] = None
+        return state
+
+
+class Con001SafeCaller:
+    """Collaborates through the owning class's methods, never its lock."""
+
+    def __init__(self, counter: Con001SafeCounter):
+        self.counter = counter
+
+    def observe(self):
+        return self.counter.peek()

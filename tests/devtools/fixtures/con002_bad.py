@@ -1,0 +1,19 @@
+"""CON002 trips: monotonic readings serialized across process bounds."""
+
+import json
+import time
+
+
+def claim_with_monotonic_lease(conn, item_id):
+    deadline = time.monotonic() + 60.0
+    conn.execute(  # BAD: lease compared by *other* processes
+        "UPDATE work_queue SET lease_expires = ? WHERE item_id = ?",
+        (deadline, item_id))
+
+
+def manifest_with_perf_counter(path):
+    doc = {"claimed_at": time.perf_counter()}
+    blob = json.dumps(doc)  # BAD: perf_counter is process-local
+    with open(path, "w") as fh:
+        fh.write(blob)
+    return blob

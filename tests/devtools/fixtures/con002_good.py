@@ -1,0 +1,17 @@
+"""CON002 clean: cross-process leases use the wall clock (sanctioned in
+the queue module), monotonic stays process-local."""
+
+import time
+
+
+def claim_with_wall_lease(conn, item_id, lease):
+    deadline = time.time() + lease  # wall clock: valid across workers
+    conn.execute(
+        "UPDATE work_queue SET lease_expires = ? WHERE item_id = ?",
+        (deadline, item_id))
+
+
+def timed_drain(conn):
+    t0 = time.monotonic()
+    conn.execute("DELETE FROM work_queue WHERE status = 'done'", ())
+    return time.monotonic() - t0  # stays in-process: never serialized

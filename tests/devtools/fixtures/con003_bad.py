@@ -1,0 +1,20 @@
+"""CON003 trips: thread-shared sqlite connections escape their class."""
+
+import sqlite3
+import threading
+
+
+class Con003LeakyStore:
+    def __init__(self, path):
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+
+    def raw(self):
+        return self._conn  # BAD: raw handle escapes, no lock contract
+
+    def cursor(self):
+        return self._conn.cursor()  # BAD: cursor escapes the same way
+
+    def close(self):
+        with self._lock:
+            self._conn.close()

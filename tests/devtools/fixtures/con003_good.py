@@ -1,0 +1,28 @@
+"""CON003 clean: the shared connection only leaves under the lock
+contract (lexically locked, or declared with requires-lock)."""
+
+import sqlite3
+import threading
+from contextlib import contextmanager
+
+
+class Con003SafeStore:
+    def __init__(self, path):
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+
+    def connection(self):  # reprolint: requires-lock=_lock
+        return self._conn
+
+    @contextmanager
+    def locked(self):
+        with self._lock:
+            yield self.connection()
+
+    def execute(self, sql, params=()):
+        with self.locked() as conn:
+            conn.execute(sql, tuple(params))
+
+    def close(self):
+        with self._lock:
+            self._conn.close()

@@ -1,0 +1,24 @@
+"""TNT001 trips: wall-clock/entropy taint reaches reproducible data."""
+
+import hashlib
+import os
+import random
+import time
+
+
+def stamped_cache_key(config_blob):
+    stamp = time.time()
+    tag = f"run-{stamp:.0f}"  # taint survives the f-string
+    return hashlib.sha256(tag.encode() + config_blob)  # BAD: keyed on clock
+
+
+def entropy_payload(store, key):
+    nonce = os.urandom(16)
+    payload = b"result:" + nonce
+    store.put(key, payload)  # BAD: payload differs every run
+
+
+def jittered_digest(values):
+    jitter = random.random()  # global RNG: interpreter-state dependent
+    doc = repr((values, jitter))
+    return hashlib.md5(doc.encode())  # BAD: digest depends on RNG state

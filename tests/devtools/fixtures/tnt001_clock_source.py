@@ -1,0 +1,15 @@
+"""Half of the TNT001 acceptance pair: a *sanctioned* wall-clock read.
+
+Linted per-file under its virtual path (``repro/store/queue.py``) this
+module is completely clean: DET002 explicitly allows wall-clock leases
+in the queue module, and nothing here hashes or stores the value.  The
+leak only exists across the module boundary — see
+``tnt001_clock_sink.py``.
+"""
+
+import time
+
+
+def lease_stamp(lease_seconds):
+    """Wall-clock lease expiry (sanctioned: compared across workers)."""
+    return time.time() + lease_seconds

@@ -1,0 +1,19 @@
+"""TNT001 clean: everything hashed or stored derives from config + seed."""
+
+import hashlib
+import random
+
+
+def cache_key(config_items, seed):
+    blob = repr((sorted(config_items), seed)).encode()
+    return hashlib.sha256(blob)  # pure function of config + seed
+
+
+def seeded_payload(store, key, seed):
+    rng = random.Random(seed)  # seeded: reproducible by construction
+    payload = bytes(rng.getrandbits(8) for _ in range(16))
+    store.put(key, payload)
+
+
+def content_digest(path_bytes):
+    return hashlib.blake2b(path_bytes, digest_size=16)

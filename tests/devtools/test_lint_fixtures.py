@@ -14,7 +14,8 @@ FIXTURES = Path(__file__).parent / "fixtures"
 PACKAGE_DIR = Path(repro.__file__).parent
 
 ALL_RULES = ["DET001", "DET002", "DET003", "DET004",
-             "COR001", "COR002", "COR003"]
+             "COR001", "COR002", "COR003",
+             "CON001", "CON002", "CON003", "TNT001", "API001"]
 
 #: Findings each known-bad fixture must produce (lower bound, so adding
 #: detection breadth never breaks the suite).
@@ -26,15 +27,23 @@ MIN_BAD_FINDINGS = {
     "COR001": 4,
     "COR002": 5,
     "COR003": 2,
+    "CON001": 3,
+    "CON002": 2,
+    "CON003": 2,
+    "TNT001": 3,
+    "API001": 2,
 }
 
 #: Fixtures whose full-ruleset run needs a specific virtual location.
 #: DET002's good fixture *demonstrates* sanctioned monotonic timing,
 #: which DET004 bans inside the simulation substrate — pinning it to a
 #: runner path keeps DET004's include gate closed, exactly as it is for
-#: the real timing code in ``repro/runner/``.
+#: the real timing code in ``repro/runner/``.  CON002's good fixture
+#: uses the queue module's sanctioned wall-clock lease for the same
+#: reason.
 VIRTUAL_PATHS = {
     "det002_good.py": "repro/runner/det002_good.py",
+    "con002_good.py": "repro/store/queue.py",
 }
 
 
@@ -94,6 +103,78 @@ def test_suppressed_fixture_is_noisy_without_suppressions():
     findings = checker.check_source(source, path="fixtures/suppressed.py")
     assert {f.rule_id for f in findings} >= {
         "DET001", "DET002", "DET003", "COR002", "COR003"}
+
+
+def test_project_phase_respects_suppressions():
+    findings = lint_fixture("suppressed_project.py",
+                            "fixtures/suppressed_project.py")
+    assert findings == []
+
+
+def test_project_phase_is_noisy_without_suppressions():
+    source = (FIXTURES / "suppressed_project.py").read_text()
+    checker = Checker(respect_suppressions=False)
+    findings = checker.check_source(
+        source, path="fixtures/suppressed_project.py")
+    assert {f.rule_id for f in findings} >= {"CON001", "CON003", "TNT001"}
+
+
+# ------------------------------------------------- whole-program only --
+
+
+def _fixture(name):
+    return (FIXTURES / name).read_text()
+
+
+def test_tnt001_catches_cross_module_clock_leak():
+    """The acceptance pair: each half is clean per-file, but linting
+    them as one project traces ``time.time()`` through ``lease_stamp``'s
+    return into the cache-key hash two modules away."""
+    source = _fixture("tnt001_clock_source.py")
+    sink = _fixture("tnt001_clock_sink.py")
+    src_path = "repro/store/queue.py"
+    sink_path = "repro/runner/stamped.py"
+
+    assert Checker().check_sources([(src_path, source)]) == []
+    assert Checker().check_sources([(sink_path, sink)]) == []
+
+    findings = Checker().check_sources([(src_path, source),
+                                        (sink_path, sink)])
+    fired = [f for f in findings if f.rule_id == "TNT001"]
+    assert fired, f"whole-program pass must flag the leak: {findings}"
+    assert all(f.path == sink_path for f in fired)
+    assert any("lease_stamp" in f.message for f in fired)
+
+
+def test_api002_flags_unimported_backend():
+    pairs = [("repro/store/rocks.py", _fixture("api002_backend.py")),
+             ("repro/store/__init__.py", _fixture("api002_store_init.py"))]
+    findings = Checker().check_sources(pairs)
+    fired = [f for f in findings if f.rule_id == "API002"]
+    assert fired, f"unimported backend must trip API002: {findings}"
+    assert any("RocksStore" in f.message for f in fired)
+
+
+def test_api002_clean_when_backend_imported_and_covered():
+    pairs = [("repro/store/rocks.py", _fixture("api002_backend.py")),
+             ("repro/store/__init__.py", _fixture("api002_good_init.py"))]
+    aux = [("tests/store/test_conformance.py",
+            "import pytest\n"
+            "from repro.store.base import STORE_BACKENDS\n\n\n"
+            "@pytest.mark.parametrize('scheme', sorted(STORE_BACKENDS))\n"
+            "def test_roundtrip(scheme):\n    pass\n")]
+    findings = Checker().check_sources(pairs, aux_pairs=aux)
+    assert [f for f in findings if f.rule_id == "API002"] == []
+
+
+def test_api002_flags_backend_without_conformance_coverage():
+    pairs = [("repro/store/rocks.py", _fixture("api002_backend.py")),
+             ("repro/store/__init__.py", _fixture("api002_good_init.py"))]
+    aux = [("tests/store/test_misc.py", "def test_nothing():\n    pass\n")]
+    findings = Checker().check_sources(pairs, aux_pairs=aux)
+    fired = [f for f in findings if f.rule_id == "API002"]
+    assert fired
+    assert any("conformance" in f.message for f in fired)
 
 
 # ---------------------------------------------------------------- CLI --
@@ -157,5 +238,6 @@ def test_cli_ignore_drops_rule(capsys):
 def test_cli_directory_walk_hits_all_bad_fixtures(capsys):
     assert main([str(FIXTURES)]) == 1
     out = capsys.readouterr().out
-    for rule_id in ("DET001", "DET002", "DET003", "COR002", "COR003"):
+    for rule_id in ("DET001", "DET002", "DET003", "COR002", "COR003",
+                    "CON001", "CON003", "TNT001"):
         assert rule_id in out

@@ -1,0 +1,277 @@
+"""Whole-program machinery: index cache invalidation, SARIF output,
+baseline round-trips, and the ``--explain`` surface — plus regression
+coverage for the lock-discipline refactor the project rules forced on
+the real store package."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.devtools.lint import Checker, main
+from repro.devtools.lint.baseline import (
+    FINGERPRINT_KEY,
+    filter_baselined,
+    fingerprint_findings,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.lint.core import Finding
+from repro.devtools.lint.index import ProjectIndexer, build_file_index
+from repro.devtools.lint.sarif import SARIF_VERSION, to_sarif
+
+FIXTURES = Path(__file__).parent / "fixtures"
+PACKAGE_DIR = Path(repro.__file__).parent
+SRC_DIR = PACKAGE_DIR.parent
+
+
+# -------------------------------------------------------- index cache --
+
+
+def _store_sources():
+    pairs = []
+    for path in sorted((PACKAGE_DIR / "store").rglob("*.py")):
+        pairs.append((str(path), path.read_text()))
+    return pairs
+
+
+def test_index_cache_reuses_unchanged_files(tmp_path):
+    cache = tmp_path / "index.json"
+    pairs = _store_sources()
+
+    first = ProjectIndexer(str(cache)).build(pairs)
+    assert first.stats.built == len(pairs)
+    assert first.stats.reused == 0
+    assert cache.exists()
+
+    second = ProjectIndexer(str(cache)).build(pairs)
+    assert second.stats.built == 0
+    assert second.stats.reused == len(pairs)
+
+
+def test_index_cache_recomputes_only_the_edited_file(tmp_path):
+    cache = tmp_path / "index.json"
+    pairs = _store_sources()
+    ProjectIndexer(str(cache)).build(pairs)
+
+    path0, source0 = pairs[0]
+    pairs[0] = (path0, source0 + "\n# touched\n")
+    rebuilt = ProjectIndexer(str(cache)).build(pairs)
+    assert rebuilt.stats.built == 1
+    assert rebuilt.stats.reused == len(pairs) - 1
+
+
+def test_index_cache_version_mismatch_discards(tmp_path):
+    cache = tmp_path / "index.json"
+    pairs = _store_sources()
+    ProjectIndexer(str(cache)).build(pairs)
+    doc = json.loads(cache.read_text())
+    doc["version"] = -1
+    cache.write_text(json.dumps(doc))
+    rebuilt = ProjectIndexer(str(cache)).build(pairs)
+    assert rebuilt.stats.built == len(pairs)
+
+
+def test_index_roundtrips_through_json():
+    for path, source in _store_sources():
+        idx = build_file_index(source, path)
+        clone = type(idx).from_json(idx.to_json())
+        assert clone.to_json() == idx.to_json()
+
+
+def test_checker_threads_cache_through(tmp_path):
+    cache = tmp_path / "index.json"
+    checker = Checker(index_cache=str(cache))
+    checker.check_paths([PACKAGE_DIR / "store"])
+    assert checker.last_index is not None
+    assert checker.last_index.stats.built > 0
+
+    again = Checker(index_cache=str(cache))
+    again.check_paths([PACKAGE_DIR / "store"])
+    assert again.last_index.stats.built == 0
+    assert again.last_index.stats.reused == checker.last_index.stats.total
+
+
+# -------------------------------------------------------------- SARIF --
+
+
+def _sarif_over_src(capsys, *extra):
+    assert main(["--format", "sarif", *extra, str(SRC_DIR)]) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+def test_sarif_output_is_valid_2_1_0(capsys):
+    doc = _sarif_over_src(capsys)
+    assert doc["version"] == SARIF_VERSION == "2.1.0"
+    assert doc["$schema"].endswith("sarif-2.1.0.json")
+    assert len(doc["runs"]) == 1
+    driver = doc["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "reprolint"
+    rule_ids = [r["id"] for r in driver["rules"]]
+    assert "CON001" in rule_ids and "TNT001" in rule_ids
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+    assert doc["runs"][0]["results"] == []  # the src tree is clean
+
+
+def test_sarif_results_carry_locations_and_fingerprints():
+    findings = Checker().check_file(FIXTURES / "cor003_bad.py")
+    doc = to_sarif(findings, [type(r) for r in Checker().rules])
+    results = doc["runs"][0]["results"]
+    assert results
+    for res in results:
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"]
+        assert loc["region"]["startLine"] >= 1
+        assert FINGERPRINT_KEY in res["partialFingerprints"]
+        assert res["ruleId"] == "COR003"
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["rules"][res["ruleIndex"]]["id"] == res["ruleId"]
+
+
+# ----------------------------------------------------------- baseline --
+
+
+def _findings():
+    return Checker().check_file(FIXTURES / "cor003_bad.py")
+
+
+def test_baseline_roundtrip_suppresses_known_findings(tmp_path):
+    target = tmp_path / "baseline.json"
+    findings = _findings()
+    write_baseline(findings, str(target))
+    known = load_baseline(str(target))
+    assert len(known) == len(findings)
+    fresh, suppressed = filter_baselined(findings, known)
+    assert fresh == [] and suppressed == len(findings)
+
+
+def test_baseline_fingerprints_survive_line_shifts():
+    source = (FIXTURES / "cor003_bad.py").read_text()
+    shifted = "# a new header comment\n" + source
+    base = fingerprint_findings(
+        Checker().check_source(source, path="fixtures/cor003_bad.py"),
+        sources={"fixtures/cor003_bad.py": source})
+    moved = fingerprint_findings(
+        Checker().check_source(shifted, path="fixtures/cor003_bad.py"),
+        sources={"fixtures/cor003_bad.py": shifted})
+    assert [fp for _, fp in base] == [fp for _, fp in moved]
+
+
+def test_baseline_invalidates_when_the_line_changes(tmp_path):
+    findings = _findings()
+    target = tmp_path / "baseline.json"
+    write_baseline(findings, str(target))
+    known = load_baseline(str(target))
+    edited = [Finding(path=f.path, line=f.line, col=f.col,
+                      rule_id=f.rule_id, message=f.message)
+              for f in findings]
+    sources = {findings[0].path: "completely = 'different'\n"}
+    fresh, _ = filter_baselined(edited, known, sources=sources)
+    assert fresh  # changed line text -> new fingerprint -> reported
+
+
+def test_cli_write_baseline_then_gate(tmp_path, capsys):
+    target = tmp_path / "baseline.json"
+    bad = str(FIXTURES / "cor003_bad.py")
+    assert main(["--write-baseline", "--baseline", str(target), bad]) == 0
+    capsys.readouterr()
+    doc = json.loads(target.read_text())
+    assert doc["fingerprints"]
+
+    # Baselined findings gate to exit 0; a fresh file still fails.
+    assert main(["--baseline", str(target), bad]) == 0
+    assert "baselined" in capsys.readouterr().err
+    assert main(["--baseline", str(target),
+                 str(FIXTURES / "cor002_bad.py")]) == 1
+    capsys.readouterr()
+
+
+def test_repo_baseline_is_empty():
+    """The committed baseline asserts the tree is clean — it must never
+    silently accumulate grandfathered findings."""
+    doc = json.loads(
+        (SRC_DIR.parent / ".reprolint-baseline.json").read_text())
+    assert doc["fingerprints"] == {}
+
+
+# -------------------------------------------------------- CLI surface --
+
+
+def test_cli_explain_prints_rule_card(capsys):
+    assert main(["--explain", "TNT001"]) == 0
+    out = capsys.readouterr().out
+    assert "TNT001" in out
+    assert "bad:" in out and "good:" in out
+
+
+def test_cli_explain_every_registered_rule(capsys):
+    assert main(["--list-rules"]) == 0
+    listed = capsys.readouterr().out
+    for rule_id in ("CON001", "CON002", "CON003", "TNT001",
+                    "API001", "API002"):
+        assert rule_id in listed
+        assert main(["--explain", rule_id]) == 0
+        assert rule_id in capsys.readouterr().out
+
+
+def test_cli_explain_unknown_rule_exits_2(capsys):
+    assert main(["--explain", "NOP999"]) == 2
+    assert "no such rule" in capsys.readouterr().err
+
+
+def test_cli_select_unknown_rule_names_the_problem(capsys):
+    assert main(["--select", "NOP001", str(FIXTURES)]) == 2
+    err = capsys.readouterr().err
+    assert "no such rule" in err and "NOP001" in err
+
+
+def test_cli_no_project_skips_whole_program_rules(capsys):
+    pair_dir = FIXTURES
+    bad = str(pair_dir / "con001_bad.py")
+    assert main(["--select", "CON001", bad]) == 1
+    capsys.readouterr()
+    assert main(["--no-project", "--select", "CON001", bad]) == 0
+
+
+# ----------------------------------- store refactor regression guards --
+
+
+def test_store_package_is_lint_clean(capsys):
+    assert main([str(PACKAGE_DIR / "store")]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_sqlite_locked_yields_connection_under_lock(tmp_path):
+    from repro.store.sqlite import SQLiteStore
+
+    store = SQLiteStore(tmp_path / "s.db")
+    try:
+        with store.locked() as conn:
+            assert store._lock.locked()
+            assert conn.execute("SELECT 1").fetchone() == (1,)
+        assert not store._lock.locked()
+    finally:
+        store.close()
+
+
+def test_queue_claim_and_nack_still_work(tmp_path):
+    """``claim``/``nack`` now borrow the connection via
+    ``SQLiteStore.locked()``; the queue semantics must be unchanged."""
+    from repro.store.queue import QueueItem, SQLiteWorkQueue
+    from repro.store.sqlite import SQLiteStore
+
+    store = SQLiteStore(tmp_path / "q.db")
+    try:
+        queue = SQLiteWorkQueue(store, "t")
+        queue.publish([QueueItem(item_id=0, key="job-1", label="j",
+                                 payload=b"x", max_attempts=3)])
+        item = queue.claim(worker="w0", lease=60.0)
+        assert item is not None and item.key == "job-1"
+        assert queue.nack(item.item_id, "Boom", "bang")
+        again = queue.claim(worker="w1", lease=60.0)
+        assert again is not None and again.key == "job-1"
+        queue.ack(again.item_id)
+    finally:
+        store.close()
