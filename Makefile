@@ -2,7 +2,8 @@
 
 .PHONY: install test bench bench-smoke bench-paper bench-throughput \
 	bench-regression figures figures-parallel report examples lint \
-	lint-baseline typecheck check clean clean-cache telemetry-smoke
+	lint-baseline typecheck check clean clean-cache telemetry-smoke \
+	chaos-smoke
 
 # PYTHONPATH=src keeps every target usable from a bare checkout
 # (no editable install required), matching the tier-1 test invocation.
@@ -50,6 +51,21 @@ telemetry-smoke:
 	$(PY) -m repro.obs validate telemetry-run/obs/fig3
 	$(PY) -m repro.obs validate telemetry-run/obs/fig6
 	$(PY) -m repro.obs report telemetry-run/obs/fig6
+
+# Local mirror of the CI store-chaos job: a fig3 queue-worker run
+# under injected store faults (lock contention, claim latency) plus a
+# cell slower than its lease must print exactly the bytes a fault-free
+# --jobs 1 run prints; the heartbeat keeps steals at zero.
+chaos-smoke:
+	rm -rf chaos-run && mkdir -p chaos-run
+	$(PY) -m repro.experiments fig3 --jobs 1 \
+		--cache-dir chaos-run/baseline > chaos-run/baseline.out
+	REPRO_FAULTS='{"faults": [{"cell": "fig3[0.6]", "kind": "hang", "seconds": 2.0}]}' \
+	REPRO_STORE_FAULTS='{"faults": [{"op": "*", "kind": "busy", "every": 3}, {"op": "claim", "kind": "latency", "seconds": 0.01}]}' \
+	$(PY) -m repro.experiments fig3 --store sqlite:chaos-run/results.db \
+		--queue-workers 2 --queue-lease 0.5 > chaos-run/chaos.out
+	cmp chaos-run/baseline.out chaos-run/chaos.out
+	$(PY) -m repro.store status --store sqlite:chaos-run/results.db
 
 figures:
 	python -m repro.experiments all

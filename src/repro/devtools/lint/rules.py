@@ -116,19 +116,27 @@ class WallClockRule(Rule):
     it for per-cell timings that stream to stderr, never into results,
     and the resilience layer (``repro/runner/resilience.py``) uses it
     for retry backoff and per-cell deadlines — scheduling decisions
-    that never reach results or cache keys.  Two sanctioned wall-clock
-    sites remain: the CLI's progress/timing path in
-    ``repro/experiments/__main__.py``, and the work queue's claim
-    leases in ``repro/store/queue.py`` — lease expiries must be
-    comparable *across worker processes*, which monotonic clocks are
-    not, and lease timing only schedules work (it never feeds results
-    or cache keys).
+    that never reach results or cache keys.  Three sanctioned
+    wall-clock sites remain: the CLI's progress/timing path in
+    ``repro/experiments/__main__.py``; the work queue's claim leases
+    (claim, renewal heartbeats, steal checks) in
+    ``repro/store/queue.py`` — lease expiries must be comparable
+    *across worker processes*, which monotonic clocks are not, and
+    lease timing only schedules work (it never feeds results or cache
+    keys); and the read-only queue-status CLI in
+    ``repro/store/__main__.py``, which compares those stored lease
+    deadlines against the wall clock for time-to-expiry display.  The
+    store backends, proxies and the fault-injection harness
+    (``repro/store/faults.py``) stay *unsanctioned*: injection
+    schedules must be pure functions of call counts and seeds or chaos
+    runs stop being reproducible.
     """
 
     rule_id = "DET002"
     summary = ("wall-clock read (time.time / datetime.now) in code that "
                "may feed results or cache keys")
-    allow = ("repro/experiments/__main__.py", "repro/store/queue.py")
+    allow = ("repro/experiments/__main__.py", "repro/store/queue.py",
+             "repro/store/__main__.py")
 
     WALL_CLOCK: FrozenSet[str] = frozenset({
         "time.time", "time.time_ns", "time.localtime", "time.gmtime",

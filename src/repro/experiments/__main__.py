@@ -21,7 +21,10 @@ or repeated runs resume instantly.  ``--no-cache`` disables the store,
 ``--force`` recomputes and overwrites existing entries.
 ``--queue-workers N`` executes the sweep through the store's work
 queue with ``N`` independent ``python -m repro.runner.worker``
-processes instead of the in-process pool.  Figure tables go to stdout
+processes instead of the in-process pool; workers heartbeat their
+claim leases (``--queue-renew-interval``) so slow cells are never
+stolen from a live worker, and transient store errors retry with
+bounded backoff (``--store-retries``).  Figure tables go to stdout
 and are byte-identical for any ``--jobs``, ``--queue-workers``, or
 store backend; per-cell progress and timing stream to stderr.
 
@@ -152,6 +155,15 @@ def main(argv=None) -> int:
                         help="seconds a queue worker may hold a claimed "
                              "cell before another worker may steal it "
                              "(crash recovery; default: 60)")
+    parser.add_argument("--queue-renew-interval", type=float, default=None,
+                        metavar="SEC",
+                        help="lease-renewal heartbeat period while a queue "
+                             "worker runs a cell (default: lease/3; 0 "
+                             "disables renewal so slow cells are stolen)")
+    parser.add_argument("--store-retries", type=int, default=5, metavar="N",
+                        help="bounded retries for transient store errors "
+                             "(locked database, EAGAIN) in workers and "
+                             "coordinator (default: 5)")
     parser.add_argument("--keep-going", action="store_true",
                         help="complete the sweep despite failing cells, "
                              "write a JSON failure manifest under the "
@@ -200,7 +212,9 @@ def main(argv=None) -> int:
                 retries=args.retries, cell_timeout=args.cell_timeout,
                 keep_going=args.keep_going, progress=progress,
                 telemetry=telemetry, queue_workers=args.queue_workers,
-                queue_name=name, queue_lease=args.queue_lease)
+                queue_name=name, queue_lease=args.queue_lease,
+                queue_renew_interval=args.queue_renew_interval,
+                store_retries=args.store_retries)
             try:
                 with session.phase("sweep") if session else nullcontext():
                     result = spec.run(spec.config(args.scale),

@@ -213,6 +213,24 @@ class RunTelemetry:
         self.metrics.gauge("store.quarantines", labels).set(
             stats.quarantines, backend=stats.backend)
 
+    def queue_stats(self, queue: str, *, renewals: int,
+                    steals: int) -> None:
+        """Mirror the work queue's end-of-sweep heartbeat counters.
+
+        ``renewals`` counts lease-renewal heartbeats (live workers
+        running cells longer than their lease); ``steals`` counts
+        expired-lease steals (workers that died holding an item).
+        Together they prove the distinction the heartbeat exists for: a
+        healthy fleet shows ``steals == 0`` however slow its cells.
+        Both are timing-dependent (like ``runner.retries``), so they
+        describe the run without feeding results or cache keys.
+        """
+        labels = ("queue",)
+        self.metrics.gauge("queue.renewals", labels).set(
+            renewals, queue=queue)
+        self.metrics.gauge("queue.steals", labels).set(
+            steals, queue=queue)
+
     # -- export ---------------------------------------------------------------
     def rows(self) -> List[Dict[str, Any]]:
         """Span rows in cell order (deterministic modulo ``"wall"``)."""

@@ -79,6 +79,17 @@ class RunConfig:
         Seconds a queue worker may hold a claimed cell before another
         worker may steal it (crash recovery; see
         :mod:`repro.store.queue`).
+    queue_renew_interval:
+        Seconds between lease-renewal heartbeats while a queue worker
+        executes a cell.  ``None`` (default) derives ``queue_lease / 3``;
+        ``0`` disables renewal entirely — a cell slower than the lease
+        *will* be stolen, which is the pre-heartbeat behavior and only
+        useful for exercising the steal path.
+    store_retries:
+        Bounded retries for *transient* store/queue errors (SQLite
+        ``database is locked``, ``EAGAIN``-family ``OSError``) in queue
+        workers and the coordinator (see :mod:`repro.store.retry`).
+        Permanent store errors are never retried.
     """
 
     jobs: Optional[int] = 1
@@ -94,6 +105,8 @@ class RunConfig:
     queue_workers: Optional[int] = None
     queue_name: str = "sweep"  # reprolint: cli-exempt
     queue_lease: float = 60.0
+    queue_renew_interval: Optional[float] = None
+    store_retries: int = 5
 
     def __post_init__(self) -> None:
         # RetryPolicy construction validates the resilience fields.
@@ -104,6 +117,14 @@ class RunConfig:
         if self.queue_lease <= 0:
             raise ConfigurationError(
                 f"queue_lease must be positive, got {self.queue_lease}")
+        if (self.queue_renew_interval is not None
+                and self.queue_renew_interval < 0):
+            raise ConfigurationError(
+                f"queue_renew_interval must be >= 0 (0 disables renewal) "
+                f"or None for auto, got {self.queue_renew_interval}")
+        if self.store_retries < 0:
+            raise ConfigurationError(
+                f"store_retries must be >= 0, got {self.store_retries}")
         if self.queue_workers is not None and self.store is None:
             raise ConfigurationError(
                 "queue-driven execution (queue_workers=...) requires a "

@@ -225,7 +225,9 @@ def run_cells(cells: Sequence[Cell], config: Optional[RunConfig] = None,
                 cells, keys, pending, store=store, policy=policy,
                 workers=cfg.queue_workers, queue_name=cfg.queue_name,
                 lease=cfg.queue_lease, progress=progress,
-                telemetry=telemetry)
+                telemetry=telemetry,
+                renew_interval=cfg.queue_renew_interval,
+                store_retries=cfg.store_retries)
             for i, value in pool_results.items():
                 results[i] = value
         elif (policy.cell_timeout is None

@@ -19,11 +19,27 @@ Two halves of one protocol (see :mod:`repro.store.queue`):
   policies, failure manifests and ``keep_going`` semantics are
   identical to pool execution, and so is the output, byte for byte.
 
-Crash recovery: a worker that dies mid-cell simply stops renewing its
-lease; another worker steals the item when the lease expires (charged
-against the item's loss budget), and the coordinator respawns
-replacement workers up to a budget.  Cells are deterministic, so a
-double execution during a steal race is invisible in the results.
+Crash recovery is the lease-renewal protocol of
+:mod:`repro.store.queue`: while a claimed cell executes, a background
+*heartbeat thread* renews the worker's lease every ``renew_interval``
+seconds (default ``lease / 3``), so a **live** worker running a long
+cell is never stolen from, no matter how slow the cell.  A worker that
+**dies** mid-cell (crashed, killed, wedged) stops heartbeating; its
+lease expires and another worker steals the item — charged against the
+item's loss budget — while the coordinator respawns replacement workers
+up to a budget.  Delivery is therefore at-least-once: a stall longer
+than the heartbeat can still race a stealer, and both may execute the
+same cell.  That is safe by construction — cells are deterministic
+(per-attempt RNG reseed from the cell key) and store puts are
+idempotent, so a double execution is invisible in the results.
+
+Store resilience: every store/queue operation a worker makes goes
+through :mod:`repro.store.retry` — transient errors (SQLite lock
+contention, ``EAGAIN``-family ``OSError``) retry with bounded
+deterministic backoff; a *permanent* store error (malformed database,
+``ENOSPC``) aborts the worker with :data:`EXIT_STORE_PERMANENT`, which
+the coordinator treats as "do not respawn" — a broken store will not
+heal by throwing fresh processes at it.
 """
 
 from __future__ import annotations
@@ -31,15 +47,20 @@ from __future__ import annotations
 import argparse
 import os
 import pickle
+import sqlite3
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import WorkerError
 from ..store import ExperimentStore, open_store
-from ..store.queue import QueueItem
+from ..store.faults import maybe_faulty_store
+from ..store.queue import QueueItem, WorkQueue
+from ..store.retry import (RetryingStore, StoreRetryPolicy,
+                           is_transient_store_error)
 from .cells import Cell
 from .pool import _execute
 from .progress import Progress
@@ -48,7 +69,71 @@ from .resilience import FailedCell, RetryPolicy
 if TYPE_CHECKING:
     from ..obs.spans import RunTelemetry
 
-__all__ = ["work_loop", "run_queued", "main"]
+__all__ = ["EXIT_STORE_PERMANENT", "work_loop", "run_queued", "main"]
+
+#: Worker exit code for a permanent store failure (malformed database,
+#: ``ENOSPC``, missing table) — distinct from a cell-induced crash so
+#: the coordinator knows respawning cannot help.
+EXIT_STORE_PERMANENT = 3
+
+
+def _wrap_store(store: ExperimentStore,
+                store_retries: int) -> ExperimentStore:
+    """The standard resilience stack around a freshly opened store.
+
+    Fault injection (when ``$REPRO_STORE_FAULTS`` is set) goes innermost
+    so the retry layer sees — and absorbs — the injected transients,
+    exactly as it would absorb real ones.
+    """
+    return RetryingStore(maybe_faulty_store(store),
+                         StoreRetryPolicy(retries=store_retries))
+
+
+class _Heartbeat:
+    """Background lease-renewal loop for one claimed queue item.
+
+    Beats every ``interval`` seconds until stopped.  A renewal that
+    *fails* transiently (the retry stack re-raises past its budget) is
+    skipped — the next beat tries again, and the lease survives one
+    missed beat because ``interval < lease``.  A renewal that is
+    *refused* (the item was stolen; this worker no longer holds it)
+    sets :attr:`lost` and stops beating — finishing the cell stays
+    safe, delivery is at-least-once.
+    """
+
+    def __init__(self, queue: WorkQueue, item_id: int, worker: str,
+                 lease: float, interval: float) -> None:
+        self.queue = queue
+        self.item_id = item_id
+        self.worker = worker
+        self.lease = lease
+        self.interval = interval
+        self.lost = threading.Event()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True,
+            name=f"heartbeat-{worker}-{item_id}")
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                renewed = self.queue.renew(self.item_id, self.worker,
+                                           self.lease)
+            except Exception:
+                # Renewal could not reach the store even after retries;
+                # keep beating — the item may survive, and the cell's
+                # outcome is protected by at-least-once delivery anyway.
+                continue
+            if not renewed:
+                self.lost.set()
+                return
 
 
 def work_loop(store_url: str, queue_name: str = "sweep", *,
@@ -56,7 +141,9 @@ def work_loop(store_url: str, queue_name: str = "sweep", *,
               max_items: Optional[int] = None,
               worker_id: Optional[str] = None,
               backoff_base: float = 0.05,
-              backoff_cap: float = 2.0) -> int:
+              backoff_cap: float = 2.0,
+              renew_interval: Optional[float] = None,
+              store_retries: int = 5) -> int:
     """Claim and execute queue items until the queue drains.
 
     Returns the number of items processed (successful or not).  The
@@ -64,8 +151,16 @@ def work_loop(store_url: str, queue_name: str = "sweep", *,
     after ``max_items`` claims (a test/ops hook: a worker stopped at
     ``--max-items K`` leaves a partially drained queue that the next
     worker — or a full rerun — picks up seamlessly).
+
+    While a cell runs, a :class:`_Heartbeat` thread renews the lease
+    every ``renew_interval`` seconds (``None`` = ``lease / 3``; ``0``
+    disables renewal, restoring steal-on-slow behavior).  Transient
+    store errors retry per ``store_retries``; a permanent one
+    propagates out for :func:`main` to turn into
+    :data:`EXIT_STORE_PERMANENT`.
     """
-    store = open_store(store_url)
+    interval = lease / 3.0 if renew_interval is None else renew_interval
+    store = _wrap_store(open_store(store_url), store_retries)
     queue = store.make_queue(queue_name)
     wid = worker_id or f"worker-{os.getpid()}"
     processed = 0
@@ -81,15 +176,28 @@ def work_loop(store_url: str, queue_name: str = "sweep", *,
                 continue
             index, key, cell = pickle.loads(item.payload)
             processed += 1
+            beat: Optional[_Heartbeat] = None
+            if interval > 0:
+                beat = _Heartbeat(queue, item.item_id, wid, lease, interval)
+                beat.start()
             try:
                 _, elapsed, value = _execute(
                     (index, key, cell, item.attempts + 1))
             except Exception as exc:
+                if beat is not None:
+                    beat.stop()
                 if queue.nack(item.item_id, type(exc).__name__, str(exc)):
                     # Same deterministic capped backoff as the pool.
                     time.sleep(min(backoff_cap,
                                    backoff_base * 2 ** item.attempts))
                 continue
+            finally:
+                if beat is not None:
+                    beat.stop()
+            # Persist and ack even when the lease was stolen mid-cell:
+            # the put is idempotent (deterministic cells, same bytes)
+            # and an ack of an already-reassigned item merely marks it
+            # done — exactly the at-least-once contract.
             store.put(key, value)
             queue.ack(item.item_id, elapsed)
     finally:
@@ -98,14 +206,19 @@ def work_loop(store_url: str, queue_name: str = "sweep", *,
 
 
 def _spawn_worker(store: ExperimentStore, queue_name: str, lease: float,
-                  policy: RetryPolicy, ordinal: int) -> "subprocess.Popen[bytes]":
+                  policy: RetryPolicy, ordinal: int,
+                  renew_interval: Optional[float] = None,
+                  store_retries: int = 5) -> "subprocess.Popen[bytes]":
     """Start one ``python -m repro.runner.worker`` subprocess.
 
     The environment is inherited wholesale, so fault plans
-    (``REPRO_FAULTS``), telemetry (``REPRO_TELEMETRY``) and cache salts
-    reach workers exactly as they reach pool workers; the package's own
-    source tree is prepended to ``PYTHONPATH`` so workers resolve the
-    same ``repro`` the coordinator runs.
+    (``REPRO_FAULTS``, ``REPRO_STORE_FAULTS``), telemetry
+    (``REPRO_TELEMETRY``) and cache salts reach workers exactly as they
+    reach pool workers; the package's own source tree is prepended to
+    ``PYTHONPATH`` so workers resolve the same ``repro`` the
+    coordinator runs.  ``store.url`` is always the *raw* backend URL
+    (proxies delegate it), so each worker builds its own
+    fault-injection/retry stack from the inherited environment.
     """
     env = dict(os.environ)
     src_root = str(Path(__file__).resolve().parents[2])
@@ -116,7 +229,11 @@ def _spawn_worker(store: ExperimentStore, queue_name: str, lease: float,
            "--lease", repr(lease),
            "--backoff-base", repr(policy.backoff_base),
            "--backoff-cap", repr(policy.backoff_cap),
+           "--store-retries", str(store_retries),
            "--worker-id", f"worker-{ordinal}-{os.getpid()}"]
+    if renew_interval is not None:
+        # Omitted = each worker derives lease / 3 itself.
+        cmd += ["--renew-interval", repr(renew_interval)]
     return subprocess.Popen(cmd, env=env)
 
 
@@ -126,6 +243,8 @@ def run_queued(cells: Sequence[Cell], keys: Sequence[str],
                queue_name: str = "sweep", lease: float = 60.0,
                poll: float = 0.1, progress: Optional[Progress] = None,
                telemetry: Optional["RunTelemetry"] = None,
+               renew_interval: Optional[float] = None,
+               store_retries: int = 5,
                ) -> Tuple[Dict[int, Any], Dict[int, FailedCell]]:
     """Coordinator: drive ``pending`` cell indices through the queue.
 
@@ -134,6 +253,11 @@ def run_queued(cells: Sequence[Cell], keys: Sequence[str],
     to its value or its :class:`FailedCell`; raising on failures is the
     caller's policy decision.
     """
+    # The coordinator's own store traffic (publish, snapshots, result
+    # collection) gets the same fault-injection + retry stack the
+    # workers build for themselves; ``store.url`` still resolves to the
+    # raw backend through the proxies.
+    store = _wrap_store(store, store_retries)
     queue = store.make_queue(queue_name)
     queue.publish([
         QueueItem(item_id=i, key=keys[i], label=cells[i].label,
@@ -157,8 +281,10 @@ def run_queued(cells: Sequence[Cell], keys: Sequence[str],
     failures: Dict[int, FailedCell] = {}
     nworkers = max(1, min(workers, len(pending)))
     respawn_budget = nworkers * (policy.loss_budget + 1)
+    permanent_exits = 0
     procs: List["subprocess.Popen[bytes]"] = [
-        _spawn_worker(store, queue_name, lease, policy, n)
+        _spawn_worker(store, queue_name, lease, policy, n,
+                      renew_interval, store_retries)
         for n in range(nworkers)]
 
     def collect() -> bool:
@@ -208,28 +334,50 @@ def run_queued(cells: Sequence[Cell], keys: Sequence[str],
         while not collect():
             # Reap dead workers; respawn while budget remains (a worker
             # killed by a cell exercises the lease-steal path, but with
-            # one worker someone must still be alive to steal).
-            procs = [p for p in procs if p.poll() is None]
+            # one worker someone must still be alive to steal).  A
+            # worker reporting EXIT_STORE_PERMANENT shrinks the fleet
+            # instead: a broken store will not heal with a fresh
+            # process, so burning respawn budget on it only loops.
+            alive: List["subprocess.Popen[bytes]"] = []
+            for p in procs:
+                code = p.poll()
+                if code is None:
+                    alive.append(p)
+                elif code == EXIT_STORE_PERMANENT:
+                    permanent_exits += 1
+                    nworkers = max(nworkers - 1, 0)
+            procs = alive
             missing = nworkers - len(procs)
             while missing > 0 and respawn_budget > 0:
                 procs.append(_spawn_worker(
-                    store, queue_name, lease, policy, respawn_budget))
+                    store, queue_name, lease, policy, respawn_budget,
+                    renew_interval, store_retries))
                 respawn_budget -= 1
                 missing -= 1
             if not procs:
                 # No workers and no budget: fail whatever is unfinished
                 # rather than waiting forever.
+                reason = (
+                    f"queue workers aborted on permanent store errors "
+                    f"({permanent_exits} worker(s); see worker stderr)"
+                    if permanent_exits and nworkers == 0 else
+                    "queue workers exhausted their respawn budget "
+                    "before the cell finished")
                 states = queue.snapshot()
                 for i in pending:
                     if i not in results:
                         state = states.get(i)
-                        _fail(i, "WorkerError",
-                              "queue workers exhausted their respawn "
-                              "budget before the cell finished",
+                        _fail(i, "WorkerError", reason,
                               (state.attempts if state else 0) or 1,
                               state.elapsed if state else 0.0)
                 break
             time.sleep(poll)
+        if telemetry is not None:
+            final = queue.snapshot()
+            telemetry.queue_stats(
+                queue_name,
+                renewals=sum(s.renewals for s in final.values()),
+                steals=sum(s.losses for s in final.values()))
     finally:
         deadline = time.monotonic() + 10.0
         for proc in procs:
@@ -267,14 +415,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "run until the queue drains)")
     parser.add_argument("--worker-id", default=None, metavar="ID",
                         help="claim identity (default: worker-<pid>)")
+    parser.add_argument("--renew-interval", type=float, default=None,
+                        metavar="SEC",
+                        help="lease-renewal heartbeat period while a cell "
+                             "runs (default: lease/3; 0 disables renewal "
+                             "and restores steal-on-slow behavior)")
+    parser.add_argument("--store-retries", type=int, default=5, metavar="N",
+                        help="bounded retries for transient store errors "
+                             "(locked database, EAGAIN); permanent errors "
+                             f"exit {EXIT_STORE_PERMANENT} immediately "
+                             "(default: 5)")
     parser.add_argument("--backoff-base", type=float, default=0.05)
     parser.add_argument("--backoff-cap", type=float, default=2.0)
     args = parser.parse_args(argv)
-    processed = work_loop(
-        args.store, args.queue, lease=args.lease, poll=args.poll,
-        max_items=args.max_items, worker_id=args.worker_id,
-        backoff_base=args.backoff_base, backoff_cap=args.backoff_cap)
     wid = args.worker_id or f"worker-{os.getpid()}"
+    try:
+        processed = work_loop(
+            args.store, args.queue, lease=args.lease, poll=args.poll,
+            max_items=args.max_items, worker_id=args.worker_id,
+            backoff_base=args.backoff_base, backoff_cap=args.backoff_cap,
+            renew_interval=args.renew_interval,
+            store_retries=args.store_retries)
+    except (sqlite3.Error, OSError) as exc:
+        # A store-layer error escaping work_loop already survived the
+        # transient-retry budget (or was permanent outright): either
+        # way this worker cannot make progress against this store.
+        flavor = ("transient, retry budget exhausted"
+                  if is_transient_store_error(exc) else "permanent")
+        print(f"[{wid}] store failure ({flavor}): "
+              f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_STORE_PERMANENT
     print(f"[{wid}] processed {processed} queue item(s)", file=sys.stderr)
     return 0
 

@@ -10,8 +10,15 @@ Public surface:
   file, safe for concurrent worker processes.
 * :func:`open_store` / :func:`resolve_store` — URL/path/instance →
   store resolution against :data:`STORE_BACKENDS`.
-* :mod:`repro.store.queue` — claim/ack/requeue work queue over a store
-  for multi-process sweeps (``python -m repro.runner.worker``).
+* :mod:`repro.store.queue` — claim/renew/ack/requeue work queue over a
+  store for multi-process sweeps (``python -m repro.runner.worker``).
+* :mod:`repro.store.retry` — transient-vs-permanent error
+  classification and :class:`RetryingStore` / :class:`RetryingQueue`
+  bounded-backoff wrappers.
+* :mod:`repro.store.faults` — the ``REPRO_STORE_FAULTS`` deterministic
+  fault-injection harness (:func:`maybe_faulty_store`).
+* ``python -m repro.store status --store URL`` — queue/lease status CLI
+  (:mod:`repro.store.__main__`).
 
 See DESIGN.md (“Experiment store and work queue”) for the architecture
 and CONTRIBUTING.md for the add-a-backend checklist.
@@ -24,6 +31,7 @@ from .base import (
     CacheCorruptionWarning,
     ExperimentStore,
     PurgeResult,
+    StoreProxy,
     StoreSpec,
     StoreStats,
     decode_entry,
@@ -32,26 +40,54 @@ from .base import (
     register_backend,
     resolve_store,
 )
+from .faults import (
+    STORE_FAULTS_ENV,
+    FaultyStore,
+    StoreFault,
+    StoreFaultPlan,
+    active_store_plan,
+    maybe_faulty_store,
+)
 from .local import LocalFileStore
-from .queue import ItemState, QueueItem, WorkQueue
+from .queue import ItemState, QueueItem, WorkQueue, WorkQueueProxy
+from .retry import (
+    RetryingQueue,
+    RetryingStore,
+    StoreRetryPolicy,
+    call_with_retries,
+    is_transient_store_error,
+)
 from .sqlite import SQLiteStore
 
 __all__ = [
     "STORE_BACKENDS",
+    "STORE_FAULTS_ENV",
     "STORE_FORMAT_VERSION",
     "STORE_MAGIC",
     "CacheCorruptionWarning",
     "ExperimentStore",
+    "FaultyStore",
     "ItemState",
     "LocalFileStore",
     "PurgeResult",
     "QueueItem",
+    "RetryingQueue",
+    "RetryingStore",
     "SQLiteStore",
+    "StoreFault",
+    "StoreFaultPlan",
+    "StoreProxy",
+    "StoreRetryPolicy",
     "StoreSpec",
     "StoreStats",
     "WorkQueue",
+    "WorkQueueProxy",
+    "active_store_plan",
+    "call_with_retries",
     "decode_entry",
     "encode_entry",
+    "is_transient_store_error",
+    "maybe_faulty_store",
     "open_store",
     "register_backend",
     "resolve_store",

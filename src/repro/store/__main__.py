@@ -1,0 +1,148 @@
+"""Queue-status CLI: what is the worker fleet doing right now?
+
+::
+
+    python -m repro.store status --store sqlite:results/cache.db
+    python -m repro.store status --store local:results/cache --queue fig3 -v
+
+For each work queue in the store, prints the item counts by status and
+then the interesting items: who holds each ``claimed`` lease and how
+long until it expires (negative = expired, stealable), which items have
+been lost/renewed and how often, and the recorded error of every
+``failed`` item.  ``--verbose`` lists every item.
+
+This is a *read-only* inspection tool — it never claims, resets, or
+otherwise mutates the queue — safe to point at a live sweep from a
+second terminal.
+
+Wall-clock note: time-to-expiry compares stored lease deadlines (which
+are ``time.time()`` values by protocol, see :mod:`repro.store.queue`)
+against the current wall clock.  Display only; nothing feeds back into
+results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .base import ExperimentStore, open_store
+from .queue import STATUSES, ItemState, WorkQueue
+
+__all__ = ["main", "render_queue_status"]
+
+
+def _format_lease(state: ItemState, now: float) -> str:
+    if state.status != "claimed":
+        return ""
+    remaining = state.lease_expires - now
+    holder = state.worker or "<unknown>"
+    if remaining >= 0:
+        return f"worker={holder} lease expires in {remaining:.1f}s"
+    return f"worker={holder} lease EXPIRED {-remaining:.1f}s ago (stealable)"
+
+
+def _describe(item_id: int, state: ItemState, label: str,
+              now: float) -> str:
+    parts = [f"#{item_id:04d} {label}  [{state.status}]"]
+    lease = _format_lease(state, now)
+    if lease:
+        parts.append(lease)
+    counters = []
+    if state.attempts:
+        counters.append(f"attempts={state.attempts}")
+    if state.losses:
+        counters.append(f"losses={state.losses}")
+    if state.renewals:
+        counters.append(f"renewals={state.renewals}")
+    if counters:
+        parts.append(" ".join(counters))
+    if state.status == "failed" and state.error_type:
+        parts.append(f"{state.error_type}: {state.message}")
+    if state.status == "done" and state.elapsed:
+        parts.append(f"elapsed={state.elapsed:.3f}s")
+    return "  ".join(parts)
+
+
+def render_queue_status(store: ExperimentStore, name: str, *,
+                        now: Optional[float] = None,
+                        verbose: bool = False) -> List[str]:
+    """Status lines for one queue (``now`` injectable for tests)."""
+    queue: WorkQueue = store.make_queue(name)
+    snapshot = queue.snapshot()
+    if now is None:
+        now = time.time()
+    counts = {status: 0 for status in STATUSES}
+    for state in snapshot.values():
+        counts[state.status] = counts.get(state.status, 0) + 1
+    lines = [f"queue {name!r} @ {store.url}"]
+    lines.append("  " + "  ".join(f"{status}={counts.get(status, 0)}"
+                                  for status in STATUSES)
+                 + f"  ({len(snapshot)} items)")
+    for item_id in sorted(snapshot):
+        state = snapshot[item_id]
+        interesting = (state.status in ("claimed", "failed")
+                       or state.losses or state.renewals)
+        if not (verbose or interesting):
+            continue
+        item = queue.peek(item_id)
+        label = item.label if item is not None else "<missing item>"
+        lines.append("  " + _describe(item_id, state, label, now))
+    return lines
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    store = open_store(args.store)
+    try:
+        names = store.queues()
+        if args.queue is not None:
+            if args.queue not in names:
+                print(f"no queue named {args.queue!r} in {store.url} "
+                      f"(found: {names or 'none'})", file=sys.stderr)
+                return 1
+            names = [args.queue]
+        if not names:
+            print(f"no work queues in {store.url}")
+            return 0
+        for i, name in enumerate(names):
+            if i:
+                print()
+            for line in render_queue_status(store, name,
+                                            verbose=args.verbose):
+                print(line)
+        return 0
+    finally:
+        store.close()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="Inspect experiment stores and their work queues.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    status = sub.add_parser(
+        "status", help="show queue counts, lease holders, losses")
+    status.add_argument("--store", required=True,
+                        help="store URL (local:PATH or sqlite:PATH)")
+    status.add_argument("--queue", default=None,
+                        help="only this queue (default: every queue)")
+    status.add_argument("-v", "--verbose", action="store_true",
+                        help="list every item, not just the interesting ones")
+    status.set_defaults(func=_cmd_status)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return int(args.func(args))
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

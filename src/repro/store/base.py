@@ -40,6 +40,7 @@ from typing import (
     TYPE_CHECKING,
     Any,
     Dict,
+    List,
     NamedTuple,
     Optional,
     Tuple,
@@ -61,6 +62,7 @@ __all__ = [
     "CacheCorruptionWarning",
     "ExperimentStore",
     "PurgeResult",
+    "StoreProxy",
     "StoreStats",
     "decode_entry",
     "encode_entry",
@@ -217,6 +219,14 @@ class ExperimentStore(ABC):
     def make_queue(self, name: str) -> "WorkQueue":
         """Open the named work queue backed by this store's storage."""
 
+    @abstractmethod
+    def queues(self) -> List[str]:
+        """Names of every work queue this store holds (sorted).
+
+        Discovery hook for the status CLI (``python -m repro.store``);
+        listing must not create anything.
+        """
+
     def close(self) -> None:
         """Release backend resources (connections); idempotent."""
 
@@ -281,6 +291,82 @@ class ExperimentStore(ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.url!r})"
+
+
+class StoreProxy(ExperimentStore):
+    """Transparent pass-through wrapper around another store.
+
+    Base class for decorating stores — fault injection
+    (:mod:`repro.store.faults`) and transient-error retries
+    (:mod:`repro.store.retry`) subclass this and override only the
+    operations they intercept.  *Every* operation, public protocol
+    included, delegates to ``inner``: hit/miss/put traffic keeps
+    accruing on the wrapped store's counters, so ``stats()`` telemetry
+    is identical with or without a proxy in the stack.
+    """
+
+    def __init__(self, inner: ExperimentStore) -> None:
+        super().__init__()
+        self.inner = inner
+
+    @property
+    def scheme(self) -> str:  # type: ignore[override]
+        return self.inner.scheme
+
+    # -- storage primitives --------------------------------------------
+
+    def _read(self, key: str) -> Optional[bytes]:
+        return self.inner._read(key)
+
+    def _write(self, key: str, blob: bytes) -> None:
+        self.inner._write(key, blob)
+
+    def quarantine(self, key: str) -> Optional[str]:
+        return self.inner.quarantine(key)
+
+    def purge(self) -> PurgeResult:
+        return self.inner.purge()
+
+    def contains(self, key: str) -> bool:
+        return self.inner.contains(key)
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def quarantined_count(self) -> int:
+        return self.inner.quarantined_count()
+
+    # -- shared protocol (delegated so traffic counters stay inner) ----
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        return self.inner.get(key)
+
+    def put(self, key: str, value: Any) -> None:
+        self.inner.put(key, value)
+
+    def write_raw(self, key: str, blob: bytes) -> None:
+        self.inner.write_raw(key, blob)
+
+    def stats(self) -> StoreStats:
+        return self.inner.stats()
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        return self.inner.url
+
+    def aux_dir(self, name: str) -> Path:
+        return self.inner.aux_dir(name)
+
+    def make_queue(self, name: str) -> "WorkQueue":
+        return self.inner.make_queue(name)
+
+    def queues(self) -> List[str]:
+        return self.inner.queues()
+
+    def close(self) -> None:
+        self.inner.close()
 
 
 #: Registered backends: URL scheme -> store class.

@@ -20,7 +20,7 @@ import os
 import tempfile
 import warnings
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, List, Optional, Union
 
 from .base import CacheCorruptionWarning, ExperimentStore, PurgeResult, register_backend
 
@@ -122,3 +122,9 @@ class LocalFileStore(ExperimentStore):
         from .queue import LocalWorkQueue
 
         return LocalWorkQueue(self.aux_dir("queue") / name)
+
+    def queues(self) -> List[str]:
+        root = self.root / "queue"
+        if not root.is_dir():
+            return []
+        return sorted(p.name for p in root.iterdir() if p.is_dir())

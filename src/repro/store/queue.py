@@ -15,6 +15,11 @@ Protocol (mirrors the in-process retry policy of
   again (its worker is presumed dead); each such steal charges the item
   a *loss*, and an item lost more than its loss budget times fails
   permanently — a poison cell cannot wedge the sweep.
+* **renew** — extend a held lease from a worker heartbeat.  A live
+  worker running a cell longer than its lease renews periodically and
+  is never stolen from; only a worker that *stops* renewing (crashed,
+  killed, wedged) loses its item.  Renewal is guarded by the holder's
+  identity, so a stolen item cannot be revived by its old worker.
 * **ack** — the item's result is safely in the store; mark it done.
 * **nack** — the attempt raised; the item returns to ``pending`` until
   its ``max_attempts`` budget (retries + 1) is spent, then it is marked
@@ -53,14 +58,17 @@ import time
 from abc import ABC, abstractmethod
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Any, Dict, List, Optional, Sequence,
+                    Tuple)
 
-from .sqlite import SQLiteStore
+if TYPE_CHECKING:  # runtime-free: retry/faults import this module
+    from .sqlite import SQLiteStore
 
 __all__ = [
     "ItemState",
     "QueueItem",
     "WorkQueue",
+    "WorkQueueProxy",
     "LocalWorkQueue",
     "SQLiteWorkQueue",
     "sweep_fingerprint",
@@ -100,14 +108,23 @@ class QueueItem:
 
 @dataclass
 class ItemState:
-    """Mutable status of one published item (payload excluded)."""
+    """Mutable status of one published item (payload excluded).
+
+    ``worker`` / ``lease_expires`` identify the current claim holder
+    (empty / ``0.0`` outside ``claimed``); ``losses`` counts lease
+    steals and ``renewals`` heartbeat renewals — together they tell a
+    live long cell (renewals, no losses) from a dead worker (losses).
+    """
 
     status: str = "pending"
     attempts: int = 0
     losses: int = 0
+    renewals: int = 0
     error_type: str = ""
     message: str = ""
     elapsed: float = 0.0
+    worker: str = ""
+    lease_expires: float = 0.0
 
 
 def sweep_fingerprint(items: Sequence[QueueItem]) -> str:
@@ -140,6 +157,19 @@ class WorkQueue(ABC):
 
         Runnable means ``pending``, or ``claimed`` with an expired
         lease (charged as a loss; over-budget items fail instead).
+        """
+
+    @abstractmethod
+    def renew(self, item_id: int, worker: str, lease: float) -> bool:
+        """Extend ``worker``'s lease on ``item_id`` by ``lease`` seconds.
+
+        The heartbeat operation: succeeds (``True``) only while the
+        item is still ``claimed`` *by this worker* — after a steal the
+        old holder's renewals return ``False`` and it must abandon the
+        item's bookkeeping (finishing the cell itself stays safe:
+        delivery is at-least-once and results are idempotent puts).
+        A renewal past expiry but before any steal revives the lease —
+        the worker is demonstrably alive, just late.
         """
 
     @abstractmethod
@@ -176,6 +206,14 @@ class WorkQueue(ABC):
         """Current state of every published item, by id."""
 
     @abstractmethod
+    def peek(self, item_id: int) -> Optional[QueueItem]:
+        """The published item (payload included) without claiming it.
+
+        Inspection hook for the status CLI (``python -m repro.store``);
+        ``None`` for unknown ids.
+        """
+
+    @abstractmethod
     def clear(self) -> None:
         """Drop the queue's items and metadata entirely."""
 
@@ -200,7 +238,7 @@ class SQLiteWorkQueue(WorkQueue):
     the store's WAL mode keeps readers unblocked meanwhile.
     """
 
-    def __init__(self, store: SQLiteStore, name: str) -> None:
+    def __init__(self, store: "SQLiteStore", name: str) -> None:
         self.store = store
         self.name = name
 
@@ -282,10 +320,22 @@ class SQLiteWorkQueue(WorkQueue):
                     conn.execute("ROLLBACK")
                     raise
 
+    def renew(self, item_id: int, worker: str, lease: float) -> bool:
+        now = time.time()
+        with self.store.locked() as conn:
+            cursor = conn.execute(
+                "UPDATE work_queue SET lease_expires = ?, "
+                "renewals = renewals + 1 "
+                "WHERE queue = ? AND item_id = ? AND status = 'claimed' "
+                "AND worker = ?",
+                (now + lease, self.name, item_id, worker))
+            return cursor.rowcount == 1
+
     def ack(self, item_id: int, elapsed: float = 0.0) -> None:
         self.store.execute(
             "UPDATE work_queue SET status = 'done', elapsed = ?, "
-            "error_type = '', message = '' "
+            "error_type = '', message = '', worker = '', "
+            "lease_expires = 0 "
             "WHERE queue = ? AND item_id = ?",
             (round(elapsed, 6), self.name, item_id))
 
@@ -304,7 +354,8 @@ class SQLiteWorkQueue(WorkQueue):
                 retry = attempts < int(row[1])
                 conn.execute(
                     "UPDATE work_queue SET status = ?, attempts = ?, "
-                    "error_type = ?, message = ? "
+                    "error_type = ?, message = ?, worker = '', "
+                    "lease_expires = 0 "
                     "WHERE queue = ? AND item_id = ?",
                     ("pending" if retry else "failed", attempts,
                      error_type, message, self.name, item_id))
@@ -319,9 +370,13 @@ class SQLiteWorkQueue(WorkQueue):
             "SELECT COUNT(*) FROM work_queue "
             "WHERE queue = ? AND status = 'failed'", (self.name,))[0][0])
         if failed:
+            # A fresh pending state clears *everything* — the stale
+            # worker/lease of the last holder included — matching
+            # reset_items and the local backend.
             self.store.execute(
                 "UPDATE work_queue SET status = 'pending', attempts = 0, "
-                "losses = 0, error_type = '', message = '' "
+                "losses = 0, renewals = 0, error_type = '', message = '', "
+                "elapsed = 0, worker = '', lease_expires = 0 "
                 "WHERE queue = ? AND status = 'failed'", (self.name,))
         return failed
 
@@ -335,21 +390,36 @@ class SQLiteWorkQueue(WorkQueue):
         if existing:
             self.store.transaction([
                 ("UPDATE work_queue SET status = 'pending', attempts = 0, "
-                 "losses = 0, error_type = '', message = '', elapsed = 0, "
-                 "worker = '', lease_expires = 0 "
+                 "losses = 0, renewals = 0, error_type = '', message = '', "
+                 "elapsed = 0, worker = '', lease_expires = 0 "
                  "WHERE queue = ? AND item_id = ?", (self.name, item_id))
                 for item_id in existing])
         return len(existing)
 
     def snapshot(self) -> Dict[int, ItemState]:
         rows = self.store.query(
-            "SELECT item_id, status, attempts, losses, error_type, "
-            "message, elapsed FROM work_queue WHERE queue = ?",
+            "SELECT item_id, status, attempts, losses, renewals, "
+            "error_type, message, elapsed, worker, lease_expires "
+            "FROM work_queue WHERE queue = ?",
             (self.name,))
         return {int(r[0]): ItemState(status=r[1], attempts=int(r[2]),
-                                     losses=int(r[3]), error_type=r[4],
-                                     message=r[5], elapsed=float(r[6]))
+                                     losses=int(r[3]), renewals=int(r[4]),
+                                     error_type=r[5], message=r[6],
+                                     elapsed=float(r[7]), worker=r[8],
+                                     lease_expires=float(r[9]))
                 for r in rows}
+
+    def peek(self, item_id: int) -> Optional[QueueItem]:
+        rows = self.store.query(
+            "SELECT item_id, key, label, payload, attempts, max_attempts "
+            "FROM work_queue WHERE queue = ? AND item_id = ?",
+            (self.name, int(item_id)))
+        if not rows:
+            return None
+        row = rows[0]
+        return QueueItem(item_id=int(row[0]), key=row[1], label=row[2],
+                         payload=bytes(row[3]), attempts=int(row[4]),
+                         max_attempts=int(row[5]))
 
     def clear(self) -> None:
         self.store.transaction([
@@ -417,13 +487,10 @@ class LocalWorkQueue(WorkQueue):
                 setattr(state, field, value)
         return state
 
-    def _write_state(self, item_id: int, state: ItemState,
-                     lease_expires: float = 0.0, worker: str = "") -> None:
-        doc = asdict(state)
-        doc["lease_expires"] = lease_expires
-        doc["worker"] = worker
+    def _write_state(self, item_id: int, state: ItemState) -> None:
         self._replace_bytes(self._state_path(item_id),
-                            json.dumps(doc, sort_keys=True).encode("utf-8"))
+                            json.dumps(asdict(state),
+                                       sort_keys=True).encode("utf-8"))
 
     def _read_lease(self, item_id: int) -> float:
         try:
@@ -528,13 +595,31 @@ class LocalWorkQueue(WorkQueue):
                         pass
                     continue
             state.status = "claimed"
-            self._write_state(item_id, state, lease_expires=now + lease,
-                              worker=worker)
+            state.worker = worker
+            state.lease_expires = now + lease
+            self._write_state(item_id, state)
             return QueueItem(item_id=item.item_id, key=item.key,
                              label=item.label, payload=item.payload,
                              attempts=state.attempts,
                              max_attempts=item.max_attempts)
         return None
+
+    def renew(self, item_id: int, worker: str, lease: float) -> bool:
+        state = self._read_state(item_id)
+        if (state is None or state.status != "claimed"
+                or state.worker != worker):
+            return False
+        now = time.time()
+        state.lease_expires = now + lease
+        state.renewals += 1
+        # The claim token's expiry gates stealing too; refresh both so
+        # a renewed holder cannot lose a token race it already won.
+        self._replace_bytes(
+            self._token_path(item_id),
+            json.dumps({"worker": worker, "expires": now + lease},
+                       sort_keys=True).encode("utf-8"))
+        self._write_state(item_id, state)
+        return True
 
     def ack(self, item_id: int, elapsed: float = 0.0) -> None:
         state = self._read_state(item_id) or ItemState()
@@ -542,6 +627,8 @@ class LocalWorkQueue(WorkQueue):
         state.elapsed = round(elapsed, 6)
         state.error_type = ""
         state.message = ""
+        state.worker = ""
+        state.lease_expires = 0.0
         self._write_state(item_id, state)
         try:
             os.unlink(self._token_path(item_id))
@@ -557,6 +644,8 @@ class LocalWorkQueue(WorkQueue):
         state.status = "pending" if retry else "failed"
         state.error_type = error_type
         state.message = message
+        state.worker = ""
+        state.lease_expires = 0.0
         self._write_state(item_id, state)
         try:
             os.unlink(self._token_path(item_id))
@@ -599,5 +688,58 @@ class LocalWorkQueue(WorkQueue):
                 out[item_id] = state
         return out
 
+    def peek(self, item_id: int) -> Optional[QueueItem]:
+        item = self._read_item(int(item_id))
+        if item is None:
+            return None
+        state = self._read_state(int(item_id))
+        return QueueItem(item_id=item.item_id, key=item.key,
+                         label=item.label, payload=item.payload,
+                         attempts=state.attempts if state else item.attempts,
+                         max_attempts=item.max_attempts)
+
     def clear(self) -> None:
         shutil.rmtree(self.root, ignore_errors=True)
+
+
+class WorkQueueProxy(WorkQueue):
+    """Transparent pass-through wrapper around another :class:`WorkQueue`.
+
+    Base class for decorating queues — fault injection
+    (:mod:`repro.store.faults`) and transient-error retries
+    (:mod:`repro.store.retry`) both subclass this and override only the
+    operations they intercept; everything else delegates to ``inner``.
+    """
+
+    def __init__(self, inner: WorkQueue) -> None:
+        self.inner = inner
+
+    def publish(self, items: Sequence[QueueItem]) -> int:
+        return self.inner.publish(items)
+
+    def claim(self, worker: str, lease: float) -> Optional[QueueItem]:
+        return self.inner.claim(worker, lease)
+
+    def renew(self, item_id: int, worker: str, lease: float) -> bool:
+        return self.inner.renew(item_id, worker, lease)
+
+    def ack(self, item_id: int, elapsed: float = 0.0) -> None:
+        self.inner.ack(item_id, elapsed)
+
+    def nack(self, item_id: int, error_type: str, message: str) -> bool:
+        return self.inner.nack(item_id, error_type, message)
+
+    def requeue_failed(self) -> int:
+        return self.inner.requeue_failed()
+
+    def reset_items(self, item_ids: Sequence[int]) -> int:
+        return self.inner.reset_items(item_ids)
+
+    def snapshot(self) -> Dict[int, ItemState]:
+        return self.inner.snapshot()
+
+    def peek(self, item_id: int) -> Optional[QueueItem]:
+        return self.inner.peek(item_id)
+
+    def clear(self) -> None:
+        self.inner.clear()

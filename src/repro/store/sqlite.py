@@ -23,12 +23,14 @@ from __future__ import annotations
 import os
 import sqlite3
 import threading
+import warnings
 from contextlib import contextmanager
 from pathlib import Path
 from typing import (TYPE_CHECKING, Any, Dict, Iterable, Iterator, List,
                     Optional, Tuple, Union)
 
-from .base import ExperimentStore, PurgeResult, register_backend
+from .base import (CacheCorruptionWarning, ExperimentStore, PurgeResult,
+                   register_backend)
 
 if TYPE_CHECKING:
     from .queue import WorkQueue
@@ -51,6 +53,7 @@ _SCHEMA = (
         attempts INTEGER NOT NULL DEFAULT 0,
         max_attempts INTEGER NOT NULL DEFAULT 1,
         losses INTEGER NOT NULL DEFAULT 0,
+        renewals INTEGER NOT NULL DEFAULT 0,
         status TEXT NOT NULL DEFAULT 'pending',
         worker TEXT NOT NULL DEFAULT '',
         lease_expires REAL NOT NULL DEFAULT 0,
@@ -61,6 +64,13 @@ _SCHEMA = (
     """CREATE TABLE IF NOT EXISTS queue_meta (
         queue TEXT PRIMARY KEY,
         fingerprint TEXT NOT NULL)""",
+)
+
+#: Columns grown after the table first shipped; ``CREATE TABLE IF NOT
+#: EXISTS`` never alters an existing file, so each is applied as an
+#: idempotent ``ALTER TABLE`` migration on connect.
+_MIGRATIONS = (
+    "ALTER TABLE work_queue ADD COLUMN renewals INTEGER NOT NULL DEFAULT 0",
 )
 
 
@@ -89,6 +99,11 @@ class SQLiteStore(ExperimentStore):
         conn.execute(f"PRAGMA busy_timeout={int(self.timeout * 1000)}")
         for statement in _SCHEMA:
             conn.execute(statement)
+        for statement in _MIGRATIONS:
+            try:
+                conn.execute(statement)
+            except sqlite3.OperationalError:
+                pass  # column already present (fresh schema or migrated)
         self._conn = conn
 
     @property
@@ -149,14 +164,33 @@ class SQLiteStore(ExperimentStore):
             (key, sqlite3.Binary(blob)))
 
     def quarantine(self, key: str) -> Optional[str]:
-        """Move ``key``'s row into the ``quarantine`` table atomically."""
-        try:
+        """Move ``key``'s row into the ``quarantine`` table atomically.
+
+        Transient errors (a concurrent writer holding the lock) retry
+        with bounded backoff; a *permanent* failure warns through the
+        :class:`~repro.store.CacheCorruptionWarning` channel and leaves
+        the entry in place — never a silent ``None``.
+        """
+        from .retry import (StoreRetryPolicy, call_with_retries,
+                            is_transient_store_error)
+
+        def _move() -> None:
             self.transaction([
                 ("INSERT OR REPLACE INTO quarantine (key, blob) "
                  "SELECT key, blob FROM entries WHERE key = ?", (key,)),
                 ("DELETE FROM entries WHERE key = ?", (key,)),
             ])
-        except sqlite3.Error:
+
+        try:
+            call_with_retries(_move, policy=StoreRetryPolicy())
+        except sqlite3.Error as exc:
+            kind = ("still failing after transient retries"
+                    if is_transient_store_error(exc) else "failed")
+            warnings.warn(
+                f"quarantine of entry {key[:12]}... {kind} "
+                f"({type(exc).__name__}: {exc}); the corrupt entry stays "
+                f"in place in {self.path}",
+                CacheCorruptionWarning, stacklevel=2)
             return None
         return f"{self.path}::quarantine[{key[:12]}...]"
 
@@ -194,6 +228,10 @@ class SQLiteStore(ExperimentStore):
         from .queue import SQLiteWorkQueue
 
         return SQLiteWorkQueue(self, name)
+
+    def queues(self) -> List[str]:
+        return sorted(str(row[0]) for row in
+                      self.query("SELECT queue FROM queue_meta"))
 
     def close(self) -> None:
         with self._lock:

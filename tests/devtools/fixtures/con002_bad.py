@@ -11,6 +11,14 @@ def claim_with_monotonic_lease(conn, item_id):
         (deadline, item_id))
 
 
+def renew_with_monotonic_lease(conn, item_id, worker):
+    fresh = time.monotonic() + 60.0
+    conn.execute(  # BAD: renewed deadline read by *other* processes
+        "UPDATE work_queue SET lease_expires = ? "
+        "WHERE item_id = ? AND worker = ?",
+        (fresh, item_id, worker))
+
+
 def manifest_with_perf_counter(path):
     doc = {"claimed_at": time.perf_counter()}
     blob = json.dumps(doc)  # BAD: perf_counter is process-local

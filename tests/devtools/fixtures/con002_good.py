@@ -11,6 +11,14 @@ def claim_with_wall_lease(conn, item_id, lease):
         (deadline, item_id))
 
 
+def renew_with_wall_lease(conn, item_id, worker, lease):
+    deadline = time.time() + lease  # heartbeat renewal: same contract
+    conn.execute(
+        "UPDATE work_queue SET lease_expires = ? "
+        "WHERE item_id = ? AND worker = ?",
+        (deadline, item_id, worker))
+
+
 def timed_drain(conn):
     t0 = time.monotonic()
     conn.execute("DELETE FROM work_queue WHERE status = 'done'", ())

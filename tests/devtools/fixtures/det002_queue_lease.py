@@ -15,3 +15,9 @@ def claim_expiry(lease: float) -> float:
 
 def lease_expired(expires: float) -> bool:
     return expires < time.time()
+
+
+def renew_expiry(lease: float) -> float:
+    # The heartbeat renewal writes a fresh wall-clock deadline for the
+    # same cross-process comparability reason the claim does.
+    return time.time() + lease

@@ -28,7 +28,7 @@ MIN_BAD_FINDINGS = {
     "COR002": 5,
     "COR003": 2,
     "CON001": 3,
-    "CON002": 2,
+    "CON002": 3,
     "CON003": 2,
     "TNT001": 3,
     "API001": 2,
@@ -77,19 +77,26 @@ def test_good_fixture_is_clean(rule_id):
 
 
 def test_det002_sanctions_leases_only_in_the_queue_module():
-    """The work queue's wall-clock leases are allow-listed by *path*:
-    identical code in any other store module still trips DET002, so the
-    store backends stay inside the determinism gate."""
-    sanctioned = lint_fixture("det002_queue_lease.py",
-                              "repro/store/queue.py")
-    assert [f for f in sanctioned if f.rule_id == "DET002"] == []
+    """The work queue's wall-clock leases (claim + renewal heartbeat)
+    are allow-listed by *path*: identical code in any other store
+    module — the backends, the retry layer, and especially the
+    fault-injection harness, whose schedules must stay pure functions
+    of call counts and seeds — still trips DET002, so the store stays
+    inside the determinism gate.  The read-only status CLI shares the
+    sanction: it compares stored lease deadlines against the wall
+    clock for display only."""
+    for sanctioned_path in ("repro/store/queue.py",
+                            "repro/store/__main__.py"):
+        sanctioned = lint_fixture("det002_queue_lease.py", sanctioned_path)
+        assert [f for f in sanctioned if f.rule_id == "DET002"] == []
     for virtual in ("repro/store/local.py", "repro/store/sqlite.py",
-                    "repro/store/base.py"):
+                    "repro/store/base.py", "repro/store/retry.py",
+                    "repro/store/faults.py"):
         findings = lint_fixture("det002_queue_lease.py", virtual)
         fired = [f for f in findings if f.rule_id == "DET002"]
-        assert len(fired) == 2, (
-            f"both time.time() reads must trip DET002 under {virtual}, "
-            f"got {fired}")
+        assert len(fired) == 3, (
+            f"all three time.time() reads must trip DET002 under "
+            f"{virtual}, got {fired}")
 
 
 def test_suppressed_fixture_is_clean():

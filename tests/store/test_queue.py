@@ -1,8 +1,12 @@
-"""Work-queue protocol conformance: claim/ack/nack/steal on every backend.
+"""Work-queue protocol conformance: claim/renew/ack/nack/steal on every
+backend.
 
 Leases are wall-clock, so expiry is simulated by claiming with a tiny
 (or negative-effect) lease rather than sleeping: ``lease=0.0`` writes an
-already-expired lease, making the item immediately stealable.
+already-expired lease, making the item immediately stealable.  The
+boundary tests go further and pin ``time.time`` itself (both backends
+read it through the queue module), so "at exactly the expiry instant"
+is a testable moment rather than a race.
 """
 
 from __future__ import annotations
@@ -11,7 +15,7 @@ import pickle
 
 import pytest
 
-from repro.store import STORE_BACKENDS, QueueItem
+from repro.store import STORE_BACKENDS, ItemState, QueueItem
 from repro.store.queue import LOST_ERROR_TYPE, sweep_fingerprint
 
 from .helpers import make_store
@@ -134,6 +138,93 @@ class TestLeases:
         assert state.error_type == LOST_ERROR_TYPE
         assert "expired" in state.message
 
+    def test_final_steal_at_exactly_the_loss_budget_succeeds(self, queue):
+        """Off-by-one guard: a steal that *reaches* the budget is still
+        granted; only exceeding it fails the item."""
+        queue.publish(items_for(1, max_attempts=3))  # loss budget 2
+        assert queue.claim("w0", lease=0.0) is not None
+        assert queue.claim("w1", lease=0.0) is not None   # loss 1
+        assert queue.claim("w2", lease=0.0) is not None   # loss 2 == budget
+        assert queue.snapshot()[0].losses == 2
+        assert queue.claim("w3", lease=60.0) is None      # loss 3: over
+        state = queue.snapshot()[0]
+        assert state.status == "failed"
+        assert state.losses == 3
+
+    def test_lease_valid_through_its_expiry_instant(self, queue,
+                                                    monkeypatch):
+        """Both backends treat ``lease_expires == now`` as *held*: an
+        item becomes stealable strictly after its expiry instant."""
+        queue.publish(items_for(1, max_attempts=3))
+        now = [1_000_000.0]
+        monkeypatch.setattr("repro.store.queue.time.time",
+                            lambda: now[0])
+        assert queue.claim("w0", lease=30.0) is not None
+        now[0] += 30.0  # exactly lease_expires
+        assert queue.claim("w1", lease=30.0) is None
+        assert queue.snapshot()[0].losses == 0
+        now[0] += 0.001  # strictly past expiry
+        stolen = queue.claim("w1", lease=30.0)
+        assert stolen is not None and stolen.item_id == 0
+        assert queue.snapshot()[0].losses == 1
+
+
+class TestRenewal:
+    def test_renew_extends_a_live_lease(self, queue, monkeypatch):
+        queue.publish(items_for(1))
+        now = [1_000_000.0]
+        monkeypatch.setattr("repro.store.queue.time.time",
+                            lambda: now[0])
+        assert queue.claim("w0", lease=10.0) is not None
+        now[0] += 8.0
+        assert queue.renew(0, "w0", 10.0) is True  # expires at t0 + 18
+        now[0] += 8.0  # t0 + 16: original lease long gone, renewal holds
+        assert queue.claim("w1", lease=10.0) is None
+        state = queue.snapshot()[0]
+        assert state.status == "claimed"
+        assert state.worker == "w0"
+        assert state.renewals == 1
+        assert state.losses == 0
+
+    def test_late_renewal_before_any_steal_revives_the_lease(
+            self, queue, monkeypatch):
+        """A renewal past expiry but before a steal proves the worker
+        is alive (just late) — the lease revives rather than racing."""
+        queue.publish(items_for(1))
+        now = [1_000_000.0]
+        monkeypatch.setattr("repro.store.queue.time.time",
+                            lambda: now[0])
+        assert queue.claim("w0", lease=10.0) is not None
+        now[0] += 25.0  # well past expiry, nobody stole yet
+        assert queue.renew(0, "w0", 10.0) is True
+        assert queue.claim("w1", lease=10.0) is None  # held again
+        assert queue.snapshot()[0].worker == "w0"
+
+    def test_renew_by_wrong_worker_is_refused(self, queue):
+        queue.publish(items_for(1))
+        assert queue.claim("w0", lease=60.0) is not None
+        assert queue.renew(0, "imposter", 60.0) is False
+        state = queue.snapshot()[0]
+        assert state.worker == "w0"
+        assert state.renewals == 0
+
+    def test_renew_after_steal_cannot_revive_the_old_claim(self, queue):
+        queue.publish(items_for(1, max_attempts=3))
+        assert queue.claim("w0", lease=0.0) is not None  # expires at once
+        assert queue.claim("w1", lease=60.0) is not None  # steals it
+        assert queue.renew(0, "w0", 60.0) is False
+        state = queue.snapshot()[0]
+        assert state.worker == "w1"
+        assert state.losses == 1
+
+    def test_renew_of_unclaimed_or_finished_items_is_refused(self, queue):
+        queue.publish(items_for(2))
+        assert queue.renew(0, "w0", 60.0) is False  # still pending
+        item = queue.claim("w0", lease=60.0)
+        queue.ack(item.item_id)
+        assert queue.renew(item.item_id, "w0", 60.0) is False  # done
+        assert queue.renew(99, "w0", 60.0) is False  # unknown id
+
 
 class TestRequeueFailed:
     def test_failed_items_reset_to_fresh_pending(self, queue):
@@ -155,6 +246,32 @@ class TestRequeueFailed:
     def test_nothing_failed_is_a_noop(self, queue):
         queue.publish(items_for(2))
         assert queue.requeue_failed() == 0
+
+    def test_requeue_clears_every_lease_and_loss_field(self, queue):
+        """A requeued item is indistinguishable from a freshly published
+        one — stale worker/lease/losses/renewals must not leak through
+        (they would skew the steal accounting of the rerun)."""
+        queue.publish(items_for(1, max_attempts=1))  # loss budget 1
+        assert queue.claim("w0", lease=60.0) is not None
+        assert queue.renew(0, "w0", 0.0) is True     # renewal, then expiry
+        assert queue.claim("w1", lease=0.0) is not None  # steal: loss 1
+        assert queue.claim("w2", lease=60.0) is None     # loss 2: failed
+        assert queue.snapshot()[0].status == "failed"
+        assert queue.requeue_failed() == 1
+        assert queue.snapshot()[0] == ItemState()
+
+
+class TestResetConsistency:
+    def test_reset_items_clears_every_lease_and_loss_field(self, queue):
+        queue.publish(items_for(1, max_attempts=3))
+        assert queue.claim("w0", lease=60.0) is not None
+        assert queue.renew(0, "w0", 60.0) is True
+        queue.ack(0, elapsed=2.5)
+        assert queue.reset_items([0]) == 1
+        assert queue.snapshot()[0] == ItemState()
+        # And the reset item is claimable by anyone, with no history.
+        fresh = queue.claim("w9", lease=60.0)
+        assert fresh is not None and fresh.attempts == 0
 
 
 class TestResetItems:

@@ -1,0 +1,142 @@
+"""The read-only queue-status CLI (``python -m repro.store status``).
+
+Rendering is tested with an injected ``now`` so time-to-expiry strings
+are exact; the command-level tests cover queue discovery, filtering,
+and the error exits.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.store import LocalFileStore, QueueItem, SQLiteStore
+from repro.store.__main__ import main, render_queue_status
+
+from .helpers import key_of
+
+
+def publish(store, name, n=3):
+    queue = store.make_queue(name)
+    queue.publish([
+        QueueItem(item_id=i, key=key_of(i), label=f"fig3[{i}]",
+                  payload=pickle.dumps(i))
+        for i in range(n)])
+    return queue
+
+
+@pytest.fixture
+def store(tmp_path):
+    st = SQLiteStore(tmp_path / "results.db")
+    yield st
+    st.close()
+
+
+class TestRendering:
+    def test_counts_line_covers_every_status(self, store):
+        queue = publish(store, "fig3", n=4)
+        item = queue.claim("w0", lease=60.0)
+        queue.ack(item.item_id, elapsed=1.25)
+        item = queue.claim("w0", lease=60.0)
+        queue.nack(item.item_id, "ValueError", "boom")  # budget is 1: failed
+        item = queue.claim("w0", lease=60.0)
+
+        lines = render_queue_status(store, "fig3", now=0.0)
+        assert lines[0] == f"queue 'fig3' @ {store.url}"
+        assert "pending=1" in lines[1]
+        assert "claimed=1" in lines[1]
+        assert "done=1" in lines[1]
+        assert "failed=1" in lines[1]
+        assert "(4 items)" in lines[1]
+
+    def test_claimed_item_shows_holder_and_time_to_expiry(self, store):
+        queue = publish(store, "fig3", n=1)
+        queue.claim("w7", lease=30.0)
+        expires = queue.snapshot()[0].lease_expires
+
+        live = render_queue_status(store, "fig3", now=expires - 12.0)
+        assert any("worker=w7 lease expires in 12.0s" in ln for ln in live)
+
+        expired = render_queue_status(store, "fig3", now=expires + 5.0)
+        assert any("worker=w7 lease EXPIRED 5.0s ago (stealable)" in ln
+                   for ln in expired)
+
+    def test_failed_item_shows_the_recorded_error(self, store):
+        queue = publish(store, "fig3", n=1)
+        item = queue.claim("w0", lease=60.0)
+        queue.nack(item.item_id, "ValueError", "boom")  # budget is 1: failed
+        lines = render_queue_status(store, "fig3", now=0.0)
+        assert any("[failed]" in ln and "ValueError: boom" in ln
+                   for ln in lines)
+        assert any("attempts=1" in ln for ln in lines)
+
+    def test_renewed_and_lossy_items_are_interesting(self, store):
+        queue = publish(store, "fig3", n=2)
+        queue.claim("w0", lease=60.0)
+        queue.renew(0, "w0", 60.0)
+        item = queue.claim("w1", lease=60.0)
+        queue.ack(item.item_id)
+
+        lines = render_queue_status(store, "fig3", now=0.0)
+        assert any("#0000" in ln and "renewals=1" in ln for ln in lines)
+        # The cleanly finished item is boring without --verbose...
+        assert not any("#0001" in ln for ln in lines)
+        # ...and listed with it.
+        verbose = render_queue_status(store, "fig3", now=0.0, verbose=True)
+        assert any("#0001" in ln and "[done]" in ln for ln in verbose)
+
+    def test_labels_come_from_the_published_items(self, store):
+        queue = publish(store, "fig3", n=1)
+        queue.claim("w0", lease=60.0)
+        lines = render_queue_status(store, "fig3", now=0.0)
+        assert any("fig3[0]" in ln for ln in lines)
+
+
+class TestCommand:
+    def test_status_prints_every_queue(self, tmp_path, capsys):
+        store = LocalFileStore(tmp_path / "cache")
+        publish(store, "fig3")
+        publish(store, "fig4")
+        assert main(["status", "--store", store.url]) == 0
+        out = capsys.readouterr().out
+        assert "queue 'fig3'" in out
+        assert "queue 'fig4'" in out
+
+    def test_queue_filter_selects_one(self, tmp_path, capsys):
+        store = LocalFileStore(tmp_path / "cache")
+        publish(store, "fig3")
+        publish(store, "fig4")
+        assert main(["status", "--store", store.url,
+                     "--queue", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "queue 'fig4'" in out
+        assert "fig3" not in out
+
+    def test_unknown_queue_exits_1(self, tmp_path, capsys):
+        store = LocalFileStore(tmp_path / "cache")
+        publish(store, "fig3")
+        assert main(["status", "--store", store.url,
+                     "--queue", "nope"]) == 1
+        err = capsys.readouterr().err
+        assert "no queue named 'nope'" in err
+        assert "fig3" in err
+
+    def test_store_without_queues_says_so(self, tmp_path, capsys):
+        store = LocalFileStore(tmp_path / "cache")
+        store.put(key_of(0), "just results, no queues")
+        assert main(["status", "--store", store.url]) == 0
+        assert "no work queues" in capsys.readouterr().out
+
+    def test_bad_store_url_exits_2(self, tmp_path, capsys):
+        assert main(["status", "--store", f"redis:{tmp_path}"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_status_never_mutates_the_queue(self, tmp_path, capsys):
+        store = LocalFileStore(tmp_path / "cache")
+        queue = publish(store, "fig3")
+        queue.claim("w0", lease=60.0)
+        before = queue.snapshot()
+        assert main(["status", "--store", store.url, "-v"]) == 0
+        capsys.readouterr()
+        assert store.make_queue("fig3").snapshot() == before
