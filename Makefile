@@ -3,7 +3,7 @@
 .PHONY: install test bench bench-smoke bench-paper bench-throughput \
 	bench-regression figures figures-parallel report examples lint \
 	lint-baseline typecheck check clean clean-cache telemetry-smoke \
-	chaos-smoke
+	chaos-smoke scenario-smoke
 
 # PYTHONPATH=src keeps every target usable from a bare checkout
 # (no editable install required), matching the tier-1 test invocation.
@@ -51,6 +51,21 @@ telemetry-smoke:
 	$(PY) -m repro.obs validate telemetry-run/obs/fig3
 	$(PY) -m repro.obs validate telemetry-run/obs/fig6
 	$(PY) -m repro.obs report telemetry-run/obs/fig6
+
+# Local mirror of the CI scenario job: the lifecycle scenario suite
+# (tenant churn + phase change) under telemetry, byte-compared across
+# --jobs, with every artifact — including the new lifecycle/*.jsonl
+# control-plane logs — validated against repro.obs.schema.
+scenario-smoke:
+	rm -rf scenario-run && mkdir -p scenario-run
+	$(PY) -m repro.experiments scenarios --scale smoke --jobs 1 \
+		--no-cache > scenario-run/baseline.out
+	$(PY) -m repro.experiments scenarios --scale smoke --jobs 2 \
+		--cache-dir scenario-run/cache \
+		--telemetry=scenario-run/obs > scenario-run/telemetry.out
+	cmp scenario-run/baseline.out scenario-run/telemetry.out
+	$(PY) -m repro.obs validate scenario-run/obs/scenarios
+	test -n "$$(ls scenario-run/obs/scenarios/lifecycle/*.jsonl)"
 
 # Local mirror of the CI store-chaos job: a fig3 queue-worker run
 # under injected store faults (lock contention, claim latency) plus a

@@ -96,7 +96,7 @@ def run_once(benchmark, fn, *args, **kwargs):
     if spec is not None and not kwargs:
         config = args[0]
         return benchmark.pedantic(
-            lambda: spec.run(config, jobs=jobs, cache=cache),
+            lambda: spec.run(config, jobs=jobs, store=cache),
             rounds=1, iterations=1, warmup_rounds=0)
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)

@@ -9,6 +9,13 @@ from .policies import (
     StaticPolicy,
     UtilityBasedPolicy,
 )
+from .reapportion import (
+    FairnessReapportionPolicy,
+    PhaseAwareReapportionPolicy,
+    ReapportionController,
+    ReapportionPolicy,
+    UCPReapportionPolicy,
+)
 
 __all__ = [
     "AllocationPolicy",
@@ -18,4 +25,9 @@ __all__ = [
     "UtilityBasedPolicy",
     "UtilityMonitor",
     "profile_miss_curve",
+    "ReapportionPolicy",
+    "UCPReapportionPolicy",
+    "PhaseAwareReapportionPolicy",
+    "FairnessReapportionPolicy",
+    "ReapportionController",
 ]

@@ -65,6 +65,18 @@ class UtilityMonitor:
         self.histogram[distance] = self.histogram.get(distance, 0) + 1
         return distance
 
+    def reset(self) -> "UtilityMonitor":
+        """Forget all profiled history (epoch/windowed re-apportioning:
+        each epoch's curve reflects only that epoch's accesses); returns
+        self for chaining."""
+        self._last_seq = {}
+        self._stack = SortedKeyList()
+        self._seq = 0
+        self.histogram = {}
+        self.cold_misses = 0
+        self.accesses = 0
+        return self
+
     def consume(self, trace: Trace) -> "UtilityMonitor":
         """Profile an entire trace; returns self for chaining."""
         access = self.access

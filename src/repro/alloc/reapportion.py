@@ -1,0 +1,298 @@
+"""Online re-apportioning: periodic target recomputation from observed
+miss curves.
+
+The one-shot policies in :mod:`repro.alloc.policies` answer "how should a
+*known* workload mix split the cache"; the :class:`ReapportionController`
+here answers the live question — tenants arrive, depart and change phase,
+so targets must track the workload.  It owns one
+:class:`~repro.alloc.monitors.UtilityMonitor` per registered partition,
+feeds every observed access into it, and every ``interval`` observed
+accesses produces fresh per-partition miss curves for a pluggable
+:class:`ReapportionPolicy`:
+
+* :class:`UCPReapportionPolicy` — re-run the UCP lookahead
+  (:class:`~repro.alloc.policies.UtilityBasedPolicy`) on each epoch's
+  curves: maximize total hits, re-apportion every epoch.
+* :class:`PhaseAwareReapportionPolicy` — Com-CAS-style: re-apportion only
+  when some tenant's predicted miss ratio at its current allocation moved
+  by more than ``threshold`` since the last decision (a phase change);
+  otherwise keep the current targets and spare the enforcement scheme the
+  resizing churn.
+* :class:`FairnessReapportionPolicy` — LFOC-style: estimate each tenant's
+  slowdown from its miss curve under a simple two-level latency model and
+  greedily move capacity from the least- to the most-slowed tenant while
+  the unfairness factor (max/min slowdown) improves.
+
+Everything here is a pure function of the observed access stream — epochs
+are counted in accesses, never wall clock — so a scenario replay is
+byte-reproducible at any parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .monitors import UtilityMonitor
+from .policies import UtilityBasedPolicy
+
+__all__ = [
+    "ReapportionPolicy",
+    "UCPReapportionPolicy",
+    "PhaseAwareReapportionPolicy",
+    "FairnessReapportionPolicy",
+    "ReapportionController",
+]
+
+
+class ReapportionPolicy:
+    """Decide new targets from one epoch's miss curves.
+
+    ``curves`` maps partition id -> miss curve (``curve[g]`` = predicted
+    misses at ``g * granule`` lines); ``current`` maps partition id ->
+    current target in lines.  Return a full ``{part: lines}`` assignment
+    summing to at most ``total_lines``, or ``None`` to keep the current
+    targets.
+    """
+
+    name = "abstract"
+
+    def decide(self, curves: Dict[int, List[float]],
+               current: Dict[int, int], total_lines: int,
+               granule: int) -> Optional[Dict[int, int]]:
+        raise NotImplementedError
+
+
+def _ucp_allocate(curves: Dict[int, List[float]], total_lines: int,
+                  granule: int) -> Dict[int, int]:
+    """UCP lookahead over the active partitions, one-granule floor each."""
+    parts = sorted(curves)
+    policy = UtilityBasedPolicy([curves[p] for p in parts], granule=granule,
+                                minimum_granules=[1] * len(parts))
+    targets = policy.allocate(total_lines)
+    return {p: t for p, t in zip(parts, targets)}
+
+
+class UCPReapportionPolicy(ReapportionPolicy):
+    """Re-run the UCP lookahead on every epoch's curves."""
+
+    name = "ucp"
+
+    def decide(self, curves, current, total_lines, granule):
+        if not curves:
+            return None
+        return _ucp_allocate(curves, total_lines, granule)
+
+
+class PhaseAwareReapportionPolicy(ReapportionPolicy):
+    """Com-CAS-style: recompute only on a detected phase change.
+
+    A tenant's *signature* is its predicted miss ratio at the capacity it
+    currently holds.  When every signature is within ``threshold`` of the
+    value at the last accepted decision, the epoch is considered
+    phase-stable and the current targets stand; otherwise the UCP
+    lookahead runs on the fresh curves.  A tenant set change (arrival or
+    departure) always triggers a recompute.
+    """
+
+    name = "phase-aware"
+
+    def __init__(self, threshold: float = 0.05) -> None:
+        if threshold <= 0:
+            raise ConfigurationError(
+                f"threshold must be positive, got {threshold}")
+        self.threshold = float(threshold)
+        self._signatures: Dict[int, float] = {}
+        #: Epochs skipped as phase-stable (for reports/tests).
+        self.stable_epochs = 0
+
+    @staticmethod
+    def _signature(curve: Sequence[float], lines: int, granule: int) -> float:
+        total = curve[0]
+        if total <= 0:
+            return 0.0
+        g = min(len(curve) - 1, max(0, lines // granule))
+        return curve[g] / total
+
+    def decide(self, curves, current, total_lines, granule):
+        if not curves:
+            return None
+        signatures = {
+            p: self._signature(curve, current.get(p, 0), granule)
+            for p, curve in curves.items()}
+        if set(signatures) == set(self._signatures):
+            drift = max(abs(signatures[p] - self._signatures[p])
+                        for p in signatures)
+            if drift <= self.threshold:
+                self.stable_epochs += 1
+                return None
+        self._signatures = signatures
+        return _ucp_allocate(curves, total_lines, granule)
+
+
+class FairnessReapportionPolicy(ReapportionPolicy):
+    """LFOC-style fairness: balance estimated slowdowns.
+
+    The slowdown of a tenant holding ``s`` lines is estimated under a
+    two-level latency model as ``cpi(s) / cpi(full)`` where
+    ``cpi(s) = hit_latency + miss_ratio(s) * miss_penalty`` — its cost
+    sharing the cache over its cost owning all of it.  Starting from an
+    equal split, capacity moves one granule at a time from the
+    least-slowed to the most-slowed tenant for as long as that strictly
+    shrinks the unfairness factor (max/min slowdown).
+    """
+
+    name = "fairness"
+
+    def __init__(self, hit_latency: float = 1.0,
+                 miss_penalty: float = 10.0) -> None:
+        if hit_latency <= 0 or miss_penalty <= 0:
+            raise ConfigurationError(
+                "hit_latency and miss_penalty must be positive")
+        self.hit_latency = float(hit_latency)
+        self.miss_penalty = float(miss_penalty)
+
+    def _slowdown(self, curve: Sequence[float], granules: int) -> float:
+        total = curve[0]
+        if total <= 0:
+            return 1.0
+        g = min(len(curve) - 1, max(0, granules))
+        shared = self.hit_latency + (curve[g] / total) * self.miss_penalty
+        alone = self.hit_latency + (curve[-1] / total) * self.miss_penalty
+        return shared / alone
+
+    def decide(self, curves, current, total_lines, granule):
+        if not curves:
+            return None
+        parts = sorted(curves)
+        n = len(parts)
+        budget = max(n, total_lines // granule)
+        have = {p: budget // n for p in parts}
+        for p in parts[:budget - sum(have.values())]:
+            have[p] += 1
+        for p in parts:
+            have[p] = max(1, have[p])
+
+        def unfairness():
+            slows = [self._slowdown(curves[p], have[p]) for p in parts]
+            low = min(slows)
+            return max(slows) / low if low > 0 else float("inf")
+
+        best = unfairness()
+        # Each move transfers one granule rich -> poor; n * budget bounds
+        # the walk even on flat curves.
+        for _ in range(n * budget):
+            slows = {p: self._slowdown(curves[p], have[p]) for p in parts}
+            donor = min(parts, key=lambda p: (slows[p], p))
+            taker = max(parts, key=lambda p: (slows[p], -p))
+            if donor == taker or have[donor] <= 1:
+                break
+            have[donor] -= 1
+            have[taker] += 1
+            moved = unfairness()
+            if moved >= best:
+                have[donor] += 1
+                have[taker] -= 1
+                break
+            best = moved
+        return {p: have[p] * granule for p in parts}
+
+
+class ReapportionController:
+    """Feed observed accesses in; get fresh targets out, every epoch.
+
+    Parameters
+    ----------
+    total_lines:
+        Capacity to apportion (the shared cache's line count).
+    interval:
+        Epoch length in *observed accesses* (never wall clock).
+    granule:
+        Allocation granularity in lines (default: ``total_lines // 64``,
+        at least 1).
+    policy:
+        The :class:`ReapportionPolicy` (default UCP lookahead).
+    sampling:
+        UMON-style set sampling for the per-partition monitors.
+    windowed:
+        When ``True`` (default) monitors reset every epoch, so each
+        decision sees only the latest epoch's behavior — the responsive
+        setting for phase changes.  ``False`` accumulates history.
+    """
+
+    def __init__(self, total_lines: int, *, interval: int = 4096,
+                 granule: Optional[int] = None,
+                 policy: Optional[ReapportionPolicy] = None,
+                 sampling: int = 1, windowed: bool = True) -> None:
+        if total_lines <= 0:
+            raise ConfigurationError(
+                f"total_lines must be positive, got {total_lines}")
+        if interval < 1:
+            raise ConfigurationError(
+                f"interval must be >= 1, got {interval}")
+        self.total_lines = int(total_lines)
+        self.interval = int(interval)
+        self.granule = (int(granule) if granule is not None
+                        else max(1, total_lines // 64))
+        if self.granule <= 0:
+            raise ConfigurationError(
+                f"granule must be positive, got {self.granule}")
+        self.policy = policy if policy is not None else UCPReapportionPolicy()
+        self.sampling = int(sampling)
+        self.windowed = bool(windowed)
+        self._monitors: Dict[int, UtilityMonitor] = {}
+        self._targets: Dict[int, int] = {}
+        self._observed = 0
+        #: Completed epochs and accepted (non-None) decisions.
+        self.epochs = 0
+        self.decisions = 0
+
+    # -- tenant membership ---------------------------------------------------
+    def register(self, part: int, *, target: int = 0) -> None:
+        """Start monitoring partition ``part`` (tenant arrival)."""
+        if part in self._monitors:
+            raise ConfigurationError(f"partition {part} is already registered")
+        self._monitors[part] = UtilityMonitor(sampling=self.sampling,
+                                              seed_mask=part)
+        self._targets[part] = int(target)
+
+    def deregister(self, part: int) -> None:
+        """Stop monitoring partition ``part`` (tenant departure)."""
+        if part not in self._monitors:
+            raise ConfigurationError(f"partition {part} is not registered")
+        del self._monitors[part]
+        del self._targets[part]
+
+    def registered(self) -> List[int]:
+        """Registered partition ids, ascending."""
+        return sorted(self._monitors)
+
+    # -- the observation loop ------------------------------------------------
+    def observe(self, part: int, addr: int) -> Optional[Dict[int, int]]:
+        """Record one access by ``part``; at epoch boundaries, return the
+        policy's new ``{part: lines}`` targets (or ``None``)."""
+        monitor = self._monitors.get(part)
+        if monitor is not None:
+            monitor.access(addr)
+        self._observed += 1
+        if self._observed % self.interval == 0:
+            return self._epoch()
+        return None
+
+    def _epoch(self) -> Optional[Dict[int, int]]:
+        self.epochs += 1
+        curves = {
+            p: monitor.miss_curve(self.total_lines, self.granule)
+            for p, monitor in self._monitors.items()
+            if monitor.accesses > 0}
+        decision = self.policy.decide(curves, dict(self._targets),
+                                      self.total_lines, self.granule)
+        if self.windowed:
+            for monitor in self._monitors.values():
+                monitor.reset()
+        if decision is None:
+            return None
+        for p, lines in decision.items():
+            self._targets[p] = int(lines)
+        self.decisions += 1
+        return dict(decision)

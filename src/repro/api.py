@@ -191,10 +191,10 @@ def run_experiment(name: str, *, scale: str = "scaled",
       with permanently failed cells raises
       :class:`~repro.errors.SweepError` carrying the
       :class:`~repro.runner.FailedCell` sentinels and partial results.
-    - The historical keyword style (``jobs=4, cache=..., retries=2``)
+    - The historical keyword style (``jobs=4, store=..., retries=2``)
       still works behind a deprecation shim emitting a single
-      :class:`DeprecationWarning`; ``cache=`` maps onto the ``store``
-      field.
+      :class:`DeprecationWarning`; the removed ``cache=`` alias of
+      ``store`` is an error.
     - ``telemetry`` names a directory: the run records metrics, per-cell
       spans, per-partition time series (one sample every
       ``telemetry_interval`` accesses) and, with

@@ -52,8 +52,6 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-import warnings
-from collections.abc import Mapping
 from contextlib import nullcontext
 from pathlib import Path
 
@@ -69,44 +67,7 @@ from ..store import open_store
 from .registry import experiment_names, get_experiment
 from .tableii import render_table_ii  # noqa: F401  (backward-compat export)
 
-__all__ = ["FIGURES", "main", "render_table_ii"]
-
-
-class _DeprecatedFigures(Mapping):
-    """Deprecated ``FIGURES`` alias over the experiment registry.
-
-    Preserves the historical ``{name: (ConfigCls, run, format)}`` triple
-    view of the ``fig*`` experiments for one release; use
-    :mod:`repro.experiments.registry` instead.
-    """
-
-    @staticmethod
-    def _warn() -> None:
-        warnings.warn(
-            "repro.experiments.__main__.FIGURES is deprecated; use "
-            "repro.experiments.registry (get_experiment/iter_experiments)",
-            DeprecationWarning, stacklevel=3)
-
-    @staticmethod
-    def _names():
-        return [n for n in experiment_names() if n.startswith("fig")]
-
-    def __getitem__(self, name):
-        self._warn()
-        if name not in self._names():
-            raise KeyError(name)
-        spec = get_experiment(name)
-        return (spec.config_cls, spec.run, spec.format)
-
-    def __iter__(self):
-        self._warn()
-        return iter(self._names())
-
-    def __len__(self):
-        return len(self._names())
-
-
-FIGURES = _DeprecatedFigures()
+__all__ = ["main", "render_table_ii"]
 
 
 def main(argv=None) -> int:

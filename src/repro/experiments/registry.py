@@ -17,7 +17,7 @@ Registering an experiment::
         return [Cell("fig9", (x,), _run_cell, (config, x)) for x in ...]
 
 The decorated function is the spec's ``cells`` hook and is returned
-unchanged.  ``spec.run(config, jobs=..., cache=...)`` executes the full
+unchanged.  ``spec.run(config, run_config=...)`` executes the full
 sweep through :func:`repro.runner.run_cells`.
 """
 
@@ -95,9 +95,10 @@ class ExperimentSpec:
         queue-driven workers, telemetry.  With the defaults
         (``jobs=1``, no store, no retries) this is exactly the legacy
         sequential ``run_figN(config)`` behavior.  The historical
-        keyword style (``spec.run(cfg, jobs=4, cache=...)``) still
-        works through a deprecation shim emitting a single
-        :class:`DeprecationWarning`.
+        keyword style (``spec.run(cfg, jobs=4)``) still works through
+        a deprecation shim emitting a single
+        :class:`DeprecationWarning`; the removed ``cache=`` alias of
+        ``store`` is an error.
 
         Under ``keep_going`` a sweep that finishes with permanently
         failed cells raises :class:`~repro.errors.SweepError` instead

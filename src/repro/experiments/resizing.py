@@ -31,11 +31,14 @@ from ..cache.arrays import SetAssociativeArray
 from ..cache.cache import PartitionedCache
 from ..core.futility import CoarseTimestampLRURanking, LRURanking
 from ..core.schemes.base import make_scheme
+from ..runner import Cell, run_cells
 from ..trace.mixing import TraceCursor
 from ..trace.spec import get_profile
 from .common import ADDRESS_SPACING, DEFAULT_SCALE, format_table
+from .registry import register_experiment
 
 __all__ = ["ResizingConfig", "ResizingCell", "ResizingResult",
+           "cells_resizing", "reduce_resizing",
            "run_resizing", "format_resizing"]
 
 SCHEMES = ("fs-feedback", "pf", "cqvp", "way-partition")
@@ -86,6 +89,8 @@ class ResizingCell:
     steady_miss_rate: float        # shrinking thread, before the flip
     window_miss_rate: float        # shrinking thread, right after the flip
     disruption: float              # window - steady miss-rate delta
+    #: The flip as the control plane logged it (one "retarget" row).
+    lifecycle: List[dict]
 
 
 @dataclass
@@ -133,9 +138,13 @@ def _run_cell(config: ResizingConfig, scheme_name: str) -> ResizingCell:
     shrinking = 0 if config.split[0] > config.split[1] else 1
     steady_miss = cache.stats.miss_rate(shrinking)
 
-    # The flip.
+    # The flip, through the partition control plane: one retarget event,
+    # logged with the access index it happened at.
     flushes_before = cache.stats.flushes
+    log_before = len(cache.lifecycle_log)
     cache.set_targets(_targets(config, config.split[::-1]))
+    flip_log = [dict(row, access=2 * config.steady_accesses)
+                for row in cache.lifecycle_log[log_before:]]
     flushed = cache.stats.flushes - flushes_before
     cache.reset_stats()
 
@@ -167,13 +176,20 @@ def _run_cell(config: ResizingConfig, scheme_name: str) -> ResizingCell:
         scheme=scheme_name, flushed_lines=flushed,
         convergence_accesses=convergence, steady_miss_rate=steady_miss,
         window_miss_rate=window_miss,
-        disruption=window_miss - steady_miss)
+        disruption=window_miss - steady_miss,
+        lifecycle=flip_log)
+
+
+def reduce_resizing(config: ResizingConfig,
+                    results: List[ResizingCell]) -> ResizingResult:
+    return ResizingResult(
+        config=config,
+        cells={cell.scheme: cell for cell in results})
 
 
 def run_resizing(config: ResizingConfig = ResizingConfig.scaled()
                  ) -> ResizingResult:
-    cells = {name: _run_cell(config, name) for name in config.schemes}
-    return ResizingResult(config=config, cells=cells)
+    return reduce_resizing(config, run_cells(cells_resizing(config)))
 
 
 def format_resizing(result: ResizingResult) -> str:
@@ -196,3 +212,13 @@ def format_resizing(result: ResizingResult) -> str:
         title=(f"Extension: smooth resizing — flip "
                f"{split[0]:.0%}/{split[1]:.0%} -> "
                f"{split[1]:.0%}/{split[0]:.0%}"))
+
+
+@register_experiment(name="resizing", config_cls=ResizingConfig,
+                     reduce=reduce_resizing, format=format_resizing,
+                     description="Extension: smooth-resizing measurement "
+                                 "(paper property 1)")
+def cells_resizing(config: ResizingConfig) -> List[Cell]:
+    """One cell per enforcement scheme."""
+    return [Cell("resizing", (name,), _run_cell, (config, name))
+            for name in config.schemes]

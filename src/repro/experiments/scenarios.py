@@ -1,0 +1,282 @@
+"""Extension experiment: the lifecycle scenario suite.
+
+Futility scaling's pitch is that replacement-based partitioning keeps its
+guarantees *while the partition map is in motion* — targets move without
+flushes and orphaned lines drain under normal replacement.  The per-figure
+experiments all hold the tenant set fixed; this suite exercises the
+partition control plane (:meth:`~repro.cache.cache.PartitionedCache.
+create_partition` / ``retire_partition`` / ``set_targets``) with four
+deterministic :class:`~repro.sim.scenario.ScenarioScript` timelines:
+
+* ``churn`` — a tenant arrives at 25% of the run, another departs at 60%,
+  shares are re-apportioned online (the acceptance scenario).
+* ``hotset`` — a tenant's hot set migrates to a fresh address region
+  mid-run; the dead lines must drain while the new set warms.
+* ``diurnal`` — day/night share waves: the priority tenant flips twice.
+* ``scanflood`` — an adversarial streaming tenant floods the cache
+  mid-run; partitioning must contain the damage to its own share.
+
+Each (scenario, scheme) cell reports the fairness triple — unfairness
+factor, STP, ANTT — plus the lifecycle event log depth and final
+occupancy/targets, under an online
+:class:`~repro.alloc.reapportion.ReapportionController` when the config
+asks for one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..alloc.reapportion import (
+    FairnessReapportionPolicy,
+    PhaseAwareReapportionPolicy,
+    ReapportionController,
+    UCPReapportionPolicy,
+)
+from ..cache.arrays import SetAssociativeArray
+from ..cache.cache import PartitionedCache
+from ..core.futility import CoarseTimestampLRURanking
+from ..core.schemes.base import make_scheme
+from ..errors import ConfigurationError
+from ..runner import Cell, run_cells
+from ..sim.scenario import (
+    PhaseShift,
+    Reapportion,
+    ScenarioResult,
+    ScenarioScript,
+    Tenant,
+    TenantArrival,
+    TenantDeparture,
+    WorkloadSpec,
+    run_scenario,
+)
+from .common import format_table
+from .registry import register_experiment
+
+__all__ = ["ScenariosConfig", "ScenarioCell", "ScenariosResult",
+           "build_script", "cells_scenarios", "reduce_scenarios",
+           "run_scenarios", "format_scenarios", "SCENARIO_NAMES"]
+
+SCENARIO_NAMES = ("churn", "hotset", "diurnal", "scanflood")
+
+_POLICIES = {
+    "ucp": UCPReapportionPolicy,
+    "phase-aware": PhaseAwareReapportionPolicy,
+    "fairness": FairnessReapportionPolicy,
+}
+
+
+@dataclass(frozen=True)
+class ScenariosConfig:
+    total_lines: int
+    accesses: int
+    ways: int = 16
+    schemes: Tuple[str, ...] = ("fs", "fs-feedback", "vantage")
+    scenarios: Tuple[str, ...] = SCENARIO_NAMES
+    #: Online controller policy ("ucp" / "phase-aware" / "fairness");
+    #: None runs on share-based targets alone.
+    policy: Optional[str] = "phase-aware"
+    #: Controller epoch, in observed accesses (0 picks accesses // 24).
+    controller_interval: int = 0
+    hit_latency: float = 1.0
+    miss_latency: float = 10.0
+    seed: int = 0
+
+    @classmethod
+    def paper(cls) -> "ScenariosConfig":
+        return cls(total_lines=131_072, accesses=4_000_000)
+
+    @classmethod
+    def scaled(cls) -> "ScenariosConfig":
+        return cls(total_lines=8_192, accesses=250_000)
+
+    @classmethod
+    def smoke(cls) -> "ScenariosConfig":
+        return cls(total_lines=256, accesses=3_000, ways=8,
+                   scenarios=("churn", "scanflood"),
+                   schemes=("fs", "fs-feedback", "vantage"))
+
+
+@dataclass
+class ScenarioCell:
+    scenario: str
+    scheme: str
+    unfairness: float
+    stp: float
+    antt: float
+    lifecycle_events: int
+    controller_decisions: int
+    #: Lines still held by retired partitions when the run ended (the
+    #: orphan drain backlog — replacement schemes should be near zero).
+    retired_residue: int
+    tenant_slowdowns: Dict[str, float]
+
+
+@dataclass
+class ScenariosResult:
+    config: ScenariosConfig
+    cells: Dict[Tuple[str, str], ScenarioCell]
+
+
+def build_script(name: str, total_lines: int,
+                 accesses: int, seed: int = 0) -> ScenarioScript:
+    """The named scenario's deterministic timeline, scaled to the cache."""
+    ws = total_lines  # shorthand: footprints are fractions of capacity
+    if name == "churn":
+        return ScenarioScript(
+            initial=(
+                Tenant("steady", WorkloadSpec("loop", ws // 2)),
+                Tenant("mixed", WorkloadSpec("random", (3 * ws) // 4,
+                                             seed=seed + 1)),
+            ),
+            events=(
+                TenantArrival(at=accesses // 4, tenant=Tenant(
+                    "newcomer", WorkloadSpec("loop", ws // 3), share=2.0)),
+                TenantDeparture(at=(3 * accesses) // 5, name="mixed"),
+                Reapportion(at=(4 * accesses) // 5,
+                            shares=(("steady", 1.5), ("newcomer", 1.0))),
+            ),
+            total_accesses=accesses)
+    if name == "hotset":
+        return ScenarioScript(
+            initial=(
+                Tenant("migrant", WorkloadSpec("loop", ws // 2)),
+                Tenant("anchor", WorkloadSpec("random", ws // 2,
+                                              seed=seed + 2)),
+            ),
+            events=(
+                # The hot set jumps to a disjoint region: every resident
+                # line of "migrant" turns dead at once.
+                PhaseShift(at=accesses // 2, name="migrant",
+                           workload=WorkloadSpec("loop", ws // 2,
+                                                 offset=4 * ws)),
+            ),
+            total_accesses=accesses)
+    if name == "diurnal":
+        return ScenarioScript(
+            initial=(
+                Tenant("day", WorkloadSpec("loop", (2 * ws) // 3),
+                       share=3.0),
+                Tenant("night", WorkloadSpec("random", (2 * ws) // 3,
+                                             seed=seed + 3)),
+            ),
+            events=(
+                Reapportion(at=accesses // 3,
+                            shares=(("day", 1.0), ("night", 3.0))),
+                Reapportion(at=(2 * accesses) // 3,
+                            shares=(("day", 3.0), ("night", 1.0))),
+            ),
+            total_accesses=accesses)
+    if name == "scanflood":
+        return ScenarioScript(
+            initial=(
+                Tenant("victim", WorkloadSpec("loop", ws // 2)),
+                Tenant("bystander", WorkloadSpec("random", ws // 3,
+                                                 seed=seed + 4)),
+            ),
+            events=(
+                # share=0.5: the flood is entitled to little capacity;
+                # containment is the property under test.
+                TenantArrival(at=accesses // 4, tenant=Tenant(
+                    "flood", WorkloadSpec("scan", 1), share=0.5)),
+                TenantDeparture(at=(3 * accesses) // 4, name="flood"),
+            ),
+            total_accesses=accesses)
+    raise ConfigurationError(
+        f"unknown scenario {name!r}; expected one of {SCENARIO_NAMES}")
+
+
+def _cache_factory(config: ScenariosConfig, scheme_name: str):
+    def factory(num_partitions: int) -> PartitionedCache:
+        kwargs = {"seed": config.seed} if scheme_name == "prism" else {}
+        return PartitionedCache(
+            SetAssociativeArray(config.total_lines, config.ways),
+            CoarseTimestampLRURanking(),
+            make_scheme(scheme_name, **kwargs), num_partitions,
+            track_eviction_futility=False)
+    return factory
+
+
+def _make_controller(config: ScenariosConfig
+                     ) -> Optional[ReapportionController]:
+    if config.policy is None:
+        return None
+    try:
+        policy_cls = _POLICIES[config.policy]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown reapportion policy {config.policy!r}; expected one "
+            f"of {sorted(_POLICIES)}") from None
+    interval = config.controller_interval or max(64, config.accesses // 24)
+    return ReapportionController(
+        config.total_lines, interval=interval,
+        granule=max(1, config.total_lines // 64), policy=policy_cls())
+
+
+def _run_cell(config: ScenariosConfig, scenario_name: str,
+              scheme_name: str) -> ScenarioCell:
+    script = build_script(scenario_name, config.total_lines,
+                          config.accesses, seed=config.seed)
+    factory = _cache_factory(config, scheme_name)
+    controller = _make_controller(config)
+    result: ScenarioResult = run_scenario(
+        script, factory, hit_latency=config.hit_latency,
+        miss_latency=config.miss_latency, controller=controller)
+    retired_parts = {r.part for r in result.tenants
+                     if r.departed_at is not None}
+    residue = sum(result.final_occupancy[p] for p in sorted(retired_parts))
+    return ScenarioCell(
+        scenario=scenario_name, scheme=scheme_name,
+        unfairness=result.unfairness, stp=result.stp, antt=result.antt,
+        lifecycle_events=len(result.lifecycle),
+        controller_decisions=(controller.decisions
+                              if controller is not None else 0),
+        retired_residue=residue,
+        tenant_slowdowns={r.name: r.slowdown for r in result.tenants
+                          if r.slowdown is not None})
+
+
+def reduce_scenarios(config: ScenariosConfig,
+                     results: List[ScenarioCell]) -> ScenariosResult:
+    cells = {(cell.scenario, cell.scheme): cell for cell in results}
+    return ScenariosResult(config=config, cells=cells)
+
+
+def run_scenarios(config: ScenariosConfig = ScenariosConfig.scaled()
+                  ) -> ScenariosResult:
+    return reduce_scenarios(config, run_cells(cells_scenarios(config)))
+
+
+def format_scenarios(result: ScenariosResult) -> str:
+    rows = []
+    for scenario in result.config.scenarios:
+        for scheme in result.config.schemes:
+            cell = result.cells[(scenario, scheme)]
+            rows.append([
+                scenario, scheme,
+                f"{cell.unfairness:.3f}",
+                f"{cell.stp:.3f}",
+                f"{cell.antt:.3f}",
+                cell.lifecycle_events,
+                cell.controller_decisions,
+                cell.retired_residue,
+            ])
+    policy = result.config.policy or "static shares"
+    return format_table(
+        ["scenario", "scheme", "unfairness", "STP", "ANTT",
+         "lifecycle events", "reapportions", "retired residue"],
+        rows,
+        title=f"Extension: lifecycle scenario suite (policy: {policy})")
+
+
+@register_experiment(name="scenarios", config_cls=ScenariosConfig,
+                     reduce=reduce_scenarios, format=format_scenarios,
+                     description="Extension: tenant churn / lifecycle "
+                                 "scenario suite with fairness metrics")
+def cells_scenarios(config: ScenariosConfig) -> List[Cell]:
+    """One cell per (scenario, scheme) pair."""
+    return [Cell("scenarios", (scenario, scheme), _run_cell,
+                 (config, scenario, scheme))
+            for scenario in config.scenarios
+            for scheme in config.schemes]

@@ -53,6 +53,7 @@ from .runtime import (
     record_series,
     series_config,
     set_cell,
+    write_lifecycle,
 )
 from .schema import validate_run_dir
 from .session import TelemetrySession
@@ -77,4 +78,5 @@ __all__ = [
     "series_config",
     "set_cell",
     "validate_run_dir",
+    "write_lifecycle",
 ]

@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Tuple, Union
 
 __all__ = [
+    "validate_lifecycle_row",
     "validate_manifest",
     "validate_metrics_row",
     "validate_run_dir",
@@ -126,6 +127,45 @@ def validate_series_row(row: Any, where: str = "series") -> List[str]:
     return problems
 
 
+_LIFECYCLE_KEYS = ("seq", "event", "part", "targets")
+_LIFECYCLE_EVENTS = ("create", "retire", "retarget")
+
+
+def validate_lifecycle_row(row: Any, where: str = "lifecycle") -> List[str]:
+    """Problems with one ``lifecycle/*.jsonl`` row (empty list = valid).
+
+    Rows mirror :attr:`PartitionedCache.lifecycle_log`: a sequence
+    number, the event kind, the partition acted on (``-1`` for whole-
+    cache retargets) and a snapshot of the full target vector.  Drivers
+    that know the global access index stamp it as an optional
+    ``"access"`` key.
+    """
+    if not isinstance(row, dict):
+        return [f"{where}: row must be an object, got {type(row).__name__}"]
+    problems = []
+    for key in _LIFECYCLE_KEYS:
+        if key not in row:
+            problems.append(f"{where}: missing key {key!r}")
+    for key in row:
+        if key not in _LIFECYCLE_KEYS and key != "access":
+            problems.append(f"{where}: unexpected key {key!r}")
+    if not _is_int(row.get("seq")) or row.get("seq", 0) < 0:
+        problems.append(f"{where}: 'seq' must be an int >= 0")
+    if row.get("event") not in _LIFECYCLE_EVENTS:
+        problems.append(
+            f"{where}: 'event' must be one of {list(_LIFECYCLE_EVENTS)}")
+    if not _is_int(row.get("part")) or row.get("part", 0) < -1:
+        problems.append(f"{where}: 'part' must be an int >= -1")
+    targets = row.get("targets")
+    if (not isinstance(targets, list) or not targets
+            or not all(_is_int(t) and t >= 0 for t in targets)):
+        problems.append(
+            f"{where}: 'targets' must be a non-empty list of ints >= 0")
+    if "access" in row and (not _is_int(row["access"]) or row["access"] < 0):
+        problems.append(f"{where}: 'access' must be an int >= 0")
+    return problems
+
+
 _SPAN_KEYS = ("index", "cell", "experiment", "key", "status", "attempts",
               "retries", "losses", "cache_hit", "errors", "wall")
 _WALL_KEYS = ("queued_s", "started_s", "finished_s", "duration_s")
@@ -200,17 +240,25 @@ def validate_manifest(doc: Any, where: str = "manifest") -> List[str]:
     if not isinstance(artifacts, dict):
         problems.append(f"{where}: 'artifacts' must be an object")
     else:
-        problems.extend(_check_keys(
-            artifacts, ("metrics", "spans", "series"), f"{where}.artifacts"))
+        # "lifecycle" is optional: it appears only for runs whose cells
+        # saw partition control-plane activity.
+        for key in ("metrics", "spans", "series"):
+            if key not in artifacts:
+                problems.append(f"{where}.artifacts: missing key {key!r}")
+        for key in artifacts:
+            if key not in ("metrics", "spans", "series", "lifecycle"):
+                problems.append(
+                    f"{where}.artifacts: unexpected key {key!r}")
         for key in ("metrics", "spans"):
             if not isinstance(artifacts.get(key), str):
                 problems.append(
                     f"{where}.artifacts: {key!r} must be a string")
-        series = artifacts.get("series")
-        if not isinstance(series, list) or not all(
-                isinstance(s, str) for s in series):
-            problems.append(
-                f"{where}.artifacts: 'series' must be a list of strings")
+        for key in ("series", "lifecycle"):
+            listed = artifacts.get(key, [])
+            if not isinstance(listed, list) or not all(
+                    isinstance(s, str) for s in listed):
+                problems.append(
+                    f"{where}.artifacts: {key!r} must be a list of strings")
     if not isinstance(doc.get("wall"), dict):
         problems.append(f"{where}: 'wall' must be an object")
     return problems
@@ -237,9 +285,10 @@ def _validate_jsonl(path: Path, checker: Callable[[Any, str], List[str]],
 def validate_run_dir(path: Union[str, Path]) -> List[str]:
     """Validate every telemetry artifact of one run directory.
 
-    Checks ``manifest.json``, ``metrics.jsonl``, ``spans.jsonl`` and
-    every ``series/*.jsonl``, plus manifest/directory agreement on the
-    series file list.  Returns all problems found (empty = valid run).
+    Checks ``manifest.json``, ``metrics.jsonl``, ``spans.jsonl``, every
+    ``series/*.jsonl`` and (when present) every ``lifecycle/*.jsonl``,
+    plus manifest/directory agreement on the series and lifecycle file
+    lists.  Returns all problems found (empty = valid run).
     """
     root = Path(path)
     problems: List[str] = []
@@ -253,15 +302,20 @@ def validate_run_dir(path: Union[str, Path]) -> List[str]:
             problems.append(f"manifest.json: invalid JSON ({exc.msg})")
         else:
             problems.extend(validate_manifest(doc, "manifest.json"))
-            listed = doc.get("artifacts", {}).get("series")
-            if isinstance(listed, list):
-                actual = sorted(
-                    p.name for p in (root / "series").glob("*.jsonl")
-                ) if (root / "series").is_dir() else []
-                if sorted(listed) != actual:
-                    problems.append(
-                        f"manifest.json: artifacts.series {sorted(listed)} "
-                        f"does not match series/ contents {actual}")
+            artifacts = doc.get("artifacts", {})
+            if not isinstance(artifacts, dict):
+                artifacts = {}
+            for key in ("series", "lifecycle"):
+                listed = artifacts.get(key, [])
+                if isinstance(listed, list):
+                    actual = sorted(
+                        p.name for p in (root / key).glob("*.jsonl")
+                    ) if (root / key).is_dir() else []
+                    if sorted(listed) != actual:
+                        problems.append(
+                            f"manifest.json: artifacts.{key} "
+                            f"{sorted(listed)} does not match {key}/ "
+                            f"contents {actual}")
     for name, checker in (("metrics.jsonl", validate_metrics_row),
                           ("spans.jsonl", validate_span_row)):
         file_path = root / name
@@ -273,4 +327,9 @@ def validate_run_dir(path: Union[str, Path]) -> List[str]:
     if series_dir.is_dir():
         for file_path in sorted(series_dir.glob("*.jsonl")):
             problems.extend(_validate_jsonl(file_path, validate_series_row))
+    lifecycle_dir = root / "lifecycle"
+    if lifecycle_dir.is_dir():
+        for file_path in sorted(lifecycle_dir.glob("*.jsonl")):
+            problems.extend(
+                _validate_jsonl(file_path, validate_lifecycle_row))
     return problems

@@ -9,6 +9,9 @@ experiment run::
         spans.jsonl       one span per cell (wall fields under "wall")
         series/*.jsonl    per-partition time series, one file per
                           simulation a cell ran (deterministic)
+        lifecycle/*.jsonl partition control-plane events (create /
+                          retire / retarget), written only by cells
+                          whose caches saw lifecycle activity
         profile/*.prof    optional cProfile captures (wall-clock)
 
 Used as a context manager around the runner call::
@@ -121,19 +124,34 @@ class TelemetrySession:
             return []
         return sorted(p.name for p in series_dir.glob("*.jsonl"))
 
+    def _lifecycle_files(self) -> List[str]:
+        lifecycle_dir = self.dir / "lifecycle"
+        if not lifecycle_dir.is_dir():
+            return []
+        return sorted(p.name for p in lifecycle_dir.glob("*.jsonl"))
+
     def manifest(self) -> Dict[str, Any]:
-        """The run manifest; wall-clock facts live under ``"wall"``."""
+        """The run manifest; wall-clock facts live under ``"wall"``.
+
+        The ``artifacts.lifecycle`` key appears only when a cell wrote
+        partition-lifecycle events, so runs without control-plane
+        activity produce manifests identical to pre-lifecycle ones.
+        """
+        artifacts: Dict[str, Any] = {
+            "metrics": "metrics.jsonl",
+            "spans": "spans.jsonl",
+            "series": self._series_files(),
+        }
+        lifecycle = self._lifecycle_files()
+        if lifecycle:
+            artifacts["lifecycle"] = lifecycle
         return {
             "version": _package_version(),
             "experiment": self.experiment,
             "interval": self.interval,
             "profile": self.profile,
             "cells": self.telemetry.counts(),
-            "artifacts": {
-                "metrics": "metrics.jsonl",
-                "spans": "spans.jsonl",
-                "series": self._series_files(),
-            },
+            "artifacts": artifacts,
             "wall": {
                 "started_utc": self._started_iso,
                 "total_s": (time.monotonic() - self._t0

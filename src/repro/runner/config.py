@@ -13,10 +13,11 @@ execution all travel together as one validated, immutable value::
                     retries=2, keep_going=True)
     results = run_cells(cells, cfg)
 
-The legacy keyword style (``run_cells(cells, jobs=4, cache=...)``)
-still works through :func:`coerce_run_config`, which emits a single
-:class:`DeprecationWarning` per call and maps ``cache=`` onto the
-``store`` field; new code should construct a :class:`RunConfig`.
+The legacy keyword style (``run_cells(cells, jobs=4)``) still works
+through :func:`coerce_run_config`, which emits a single
+:class:`DeprecationWarning` per call; the removed ``cache=`` alias of
+the ``store`` field is now an error.  New code should construct a
+:class:`RunConfig`.
 """
 
 from __future__ import annotations
@@ -146,12 +147,11 @@ class RunConfig:
         return dataclasses.replace(self, **changes)
 
 
-#: Legacy keyword names accepted by the deprecation shim; ``cache`` is
-#: the old name of the ``store`` field.
-_LEGACY_ALIASES: Dict[str, str] = {"cache": "store"}
+#: Removed legacy keyword names and their modern replacements; passing
+#: one is an error naming the field to use instead.
+_REMOVED_ALIASES: Dict[str, str] = {"cache": "store"}
 
-_LEGACY_FIELDS = frozenset(
-    f.name for f in dataclasses.fields(RunConfig)) | frozenset(_LEGACY_ALIASES)
+_LEGACY_FIELDS = frozenset(f.name for f in dataclasses.fields(RunConfig))
 
 
 def coerce_run_config(config: Optional[RunConfig],
@@ -161,10 +161,10 @@ def coerce_run_config(config: Optional[RunConfig],
 
     The shim behind every runner entry point: ``config`` (the new
     style) passes through untouched; a non-empty ``legacy`` dict (the
-    old ``jobs=... cache=...`` style) emits **one**
-    :class:`DeprecationWarning` and is mapped onto a fresh
-    :class:`RunConfig`.  Mixing both styles, or passing a keyword that
-    was never a runner knob, is an error.
+    old ``jobs=...`` style) emits **one** :class:`DeprecationWarning`
+    and is mapped onto a fresh :class:`RunConfig`.  Mixing both styles,
+    passing a keyword that was never a runner knob, or using the
+    removed ``cache=`` alias is an error.
     """
     if config is not None:
         if legacy:
@@ -174,14 +174,19 @@ def coerce_run_config(config: Optional[RunConfig],
         return config
     if not legacy:
         return RunConfig()
+    removed = sorted(set(legacy) & set(_REMOVED_ALIASES))
+    if removed:
+        replacements = ", ".join(
+            f"{name}= was renamed to {_REMOVED_ALIASES[name]}="
+            for name in removed)
+        raise TypeError(
+            f"{where}(): {replacements}; pass a RunConfig")
     unknown = sorted(set(legacy) - _LEGACY_FIELDS)
     if unknown:
         raise TypeError(
             f"{where}() got unexpected keyword argument(s) {unknown}")
     warnings.warn(
         f"{where}: keyword arguments {sorted(legacy)} are deprecated; "
-        f"pass a RunConfig (note: cache= is now the store= field)",
+        f"pass a RunConfig",
         DeprecationWarning, stacklevel=stacklevel)
-    mapped = {_LEGACY_ALIASES.get(name, name): value
-              for name, value in legacy.items()}
-    return RunConfig(**mapped)
+    return RunConfig(**legacy)

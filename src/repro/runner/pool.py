@@ -161,8 +161,9 @@ def run_cells(cells: Sequence[Cell], config: Optional[RunConfig] = None,
     resilience policy (``retries`` / ``cell_timeout`` / ``keep_going``)
     and the progress/telemetry sinks in one value; see its docstring
     for every field.  The legacy keyword style
-    (``run_cells(cells, jobs=4, cache=...)``) still works and emits a
-    single :class:`DeprecationWarning` per call.
+    (``run_cells(cells, jobs=4, store=...)``) still works and emits a
+    single :class:`DeprecationWarning` per call; the removed ``cache=``
+    alias of ``store`` is an error.
 
     Execution modes (all byte-identical in output):
 

@@ -1,0 +1,493 @@
+"""Deterministic lifecycle scenarios: tenant churn driven off access counts.
+
+A :class:`ScenarioScript` is a timeline of control-plane events — tenants
+arriving and departing, shares being re-apportioned, workloads shifting
+phase — each pinned to an exact *global access index*.  The engine replays
+the script against a :class:`~repro.cache.cache.PartitionedCache` built
+through the partition control plane (``create_partition`` /
+``retire_partition`` / ``set_targets``), so the same script exercises
+tenant churn under every enforcement scheme.
+
+Determinism is load-bearing: event times are access counts (never wall
+clock), workload address streams are pure functions of each tenant's own
+access index, and the round-robin interleaving depends only on the set of
+active tenants.  Two replays of one script are byte-identical regardless
+of host, parallelism or scheduling — the property the reprolint DET004
+rule pins for this module.
+
+Fairness accounting: the engine records every tenant's address stream,
+replays it into an *alone* baseline cache (the tenant owning the whole
+capacity), and reports per-tenant slowdowns plus the scenario-level
+unfairness factor, STP and ANTT from :mod:`repro.analysis.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..analysis.metrics import antt, slowdowns, stp, unfairness_factor
+from ..errors import ConfigurationError
+
+__all__ = [
+    "WorkloadSpec",
+    "Tenant",
+    "TenantArrival",
+    "TenantDeparture",
+    "Reapportion",
+    "PhaseShift",
+    "ScenarioScript",
+    "TenantReport",
+    "ScenarioResult",
+    "run_scenario",
+    "apportion_by_shares",
+]
+
+#: Address-space stride separating tenants (each arrival gets a fresh
+#: disjoint region, so a recreated partition's orphans never alias the
+#: new tenant's lines).
+ADDRESS_SPACING = 1 << 40
+
+_KINDS = ("loop", "scan", "random")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A synthetic access pattern as a pure function of the access index.
+
+    ``kind``:
+
+    * ``"loop"`` — cyclic sweep over ``working_set`` lines (LRU-friendly,
+      hit rate tracks allocated capacity).
+    * ``"scan"`` — streaming with no reuse (the adversarial flood: every
+      access a cold miss, profits from zero capacity).
+    * ``"random"`` — uniform over ``working_set`` lines via a hash of the
+      access index (no clock, no RNG state).
+
+    ``offset`` shifts the footprint within the tenant's address region, so
+    a :class:`PhaseShift` to a different offset models hot-set migration
+    (the old lines become dead weight the scheme must drain).
+    """
+
+    kind: str
+    working_set: int
+    seed: int = 0
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"workload kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.working_set < 1:
+            raise ConfigurationError(
+                f"working_set must be >= 1, got {self.working_set}")
+        if self.offset < 0:
+            raise ConfigurationError(
+                f"offset must be >= 0, got {self.offset}")
+
+    def address(self, i: int) -> int:
+        """Line address of this workload's ``i``-th access (``i`` counts
+        from 0 within the current phase)."""
+        if self.kind == "loop":
+            return self.offset + i % self.working_set
+        if self.kind == "scan":
+            return self.offset + i
+        # Knuth-style multiplicative hash: deterministic stand-in for a
+        # uniform draw, keyed only by (seed, i).
+        mixed = (i * 2654435761 + self.seed * 40503 + 12345) & 0x7FFFFFFF
+        return self.offset + mixed % self.working_set
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """A scenario participant: a named workload with a capacity share."""
+
+    name: str
+    workload: WorkloadSpec
+    share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenant name must be non-empty")
+        if self.share <= 0:
+            raise ConfigurationError(
+                f"tenant share must be positive, got {self.share}")
+
+
+@dataclass(frozen=True)
+class TenantArrival:
+    """At global access ``at``, ``tenant`` joins (a partition is created
+    or a drained retired slot is reused) and targets are re-apportioned."""
+
+    at: int
+    tenant: Tenant
+
+
+@dataclass(frozen=True)
+class TenantDeparture:
+    """At global access ``at``, the named tenant leaves: its partition is
+    retired (orphans drain under normal replacement — no flush) and the
+    freed share is re-apportioned among the remaining tenants."""
+
+    at: int
+    name: str
+
+
+@dataclass(frozen=True)
+class Reapportion:
+    """At global access ``at``, replace the named tenants' shares and
+    recompute every target (tenants not named keep their share)."""
+
+    at: int
+    shares: Tuple[Tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        for _, share in self.shares:
+            if share <= 0:
+                raise ConfigurationError(
+                    f"shares must be positive, got {share}")
+
+
+@dataclass(frozen=True)
+class PhaseShift:
+    """At global access ``at``, the named tenant switches to a new
+    workload (its per-phase access index restarts at 0)."""
+
+    at: int
+    name: str
+    workload: WorkloadSpec
+
+
+ScenarioEvent = Union[TenantArrival, TenantDeparture, Reapportion, PhaseShift]
+
+
+@dataclass(frozen=True)
+class ScenarioScript:
+    """An initial tenant mix plus an event timeline, both deterministic.
+
+    Events fire *before* the access with the same global index, in
+    timeline order; ties at one index apply in listed order.
+    """
+
+    initial: Tuple[Tenant, ...]
+    events: Tuple[ScenarioEvent, ...] = ()
+    total_accesses: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.initial:
+            raise ConfigurationError(
+                "a scenario needs at least one initial tenant")
+        names = [t.name for t in self.initial]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"duplicate initial tenant names: {names}")
+        if self.total_accesses < 1:
+            raise ConfigurationError(
+                f"total_accesses must be >= 1, got {self.total_accesses}")
+        last = 0
+        for event in self.events:
+            if event.at < last:
+                raise ConfigurationError(
+                    "events must be ordered by access index "
+                    f"({event.at} after {last})")
+            last = event.at
+            if event.at >= self.total_accesses:
+                raise ConfigurationError(
+                    f"event at access {event.at} is beyond the scenario "
+                    f"length {self.total_accesses}")
+
+
+def apportion_by_shares(shares: Sequence[float], total_lines: int,
+                        *, minimum: int = 1) -> List[int]:
+    """Largest-remainder apportionment of ``total_lines`` by ``shares``.
+
+    Every share gets at least ``minimum`` lines (the control plane keeps
+    even a starved tenant schedulable), remainders break ties toward the
+    earlier index — stable and independent of float summation order.
+    """
+    if not shares:
+        raise ConfigurationError("shares must not be empty")
+    if total_lines < minimum * len(shares):
+        raise ConfigurationError(
+            f"cannot give {len(shares)} tenants {minimum} line(s) each "
+            f"out of {total_lines}")
+    total_share = float(sum(shares))
+    quotas = [share / total_share * total_lines for share in shares]
+    out = [max(minimum, int(q)) for q in quotas]
+    remainders = sorted(
+        range(len(shares)), key=lambda i: (-(quotas[i] - int(quotas[i])), i))
+    excess = total_lines - sum(out)
+    i = 0
+    while excess > 0:
+        out[remainders[i % len(remainders)]] += 1
+        excess -= 1
+        i += 1
+    while excess < 0:
+        # Overshoot from minimum floors: shave the largest holdings.
+        biggest = max(range(len(out)), key=lambda i: (out[i], -i))
+        if out[biggest] <= minimum:
+            break
+        out[biggest] -= 1
+        excess += 1
+    return out
+
+
+@dataclass
+class TenantReport:
+    """One tenant's scenario outcome."""
+
+    name: str
+    part: int
+    arrived_at: int
+    departed_at: Optional[int]
+    accesses: int
+    hits: int
+    misses: int
+    shared_cpi: float
+    alone_cpi: Optional[float] = None
+    slowdown: Optional[float] = None
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario run produced, fairness metrics included."""
+
+    tenants: List[TenantReport]
+    total_accesses: int
+    events_applied: int
+    #: ``cache.lifecycle_log`` rows stamped with the global access index.
+    lifecycle: List[dict] = field(default_factory=list)
+    unfairness: Optional[float] = None
+    stp: Optional[float] = None
+    antt: Optional[float] = None
+    final_occupancy: List[int] = field(default_factory=list)
+    final_targets: List[int] = field(default_factory=list)
+
+    def tenant(self, name: str) -> TenantReport:
+        for report in self.tenants:
+            if report.name == name:
+                return report
+        raise ConfigurationError(f"no tenant named {name!r} in the result")
+
+
+class _TenantState:
+    __slots__ = ("tenant", "part", "addr_base", "workload", "phase_index",
+                 "accesses", "hits", "stream", "arrived_at", "departed_at")
+
+    def __init__(self, tenant: Tenant, part: int, addr_base: int,
+                 arrived_at: int) -> None:
+        self.tenant = tenant
+        self.part = part
+        self.addr_base = addr_base
+        self.workload = tenant.workload
+        self.phase_index = 0
+        self.accesses = 0
+        self.hits = 0
+        self.stream: List[int] = []
+        self.arrived_at = arrived_at
+        self.departed_at: Optional[int] = None
+
+
+def run_scenario(script: ScenarioScript,
+                 cache_factory: Callable[[int], "object"], *,
+                 hit_latency: float = 1.0,
+                 miss_latency: float = 10.0,
+                 controller=None,
+                 baselines: bool = True) -> ScenarioResult:
+    """Replay ``script`` against a cache built by ``cache_factory``.
+
+    ``cache_factory(num_partitions)`` must return a fresh
+    :class:`~repro.cache.cache.PartitionedCache`; it is called once with
+    the initial tenant count for the shared run and, when ``baselines``
+    is on, once per tenant with ``1`` for the alone run that anchors the
+    slowdown metrics.
+
+    ``controller`` is an optional
+    :class:`~repro.alloc.reapportion.ReapportionController`; when given,
+    it observes every shared access and its epoch decisions override the
+    share-based targets online.
+    """
+    if hit_latency <= 0 or miss_latency <= 0:
+        raise ConfigurationError(
+            "hit_latency and miss_latency must be positive")
+    cache = cache_factory(len(script.initial))
+    if getattr(cache.ranking, "needs_future", False):
+        raise ConfigurationError(
+            "scenario replay cannot drive future-knowledge (OPT) rankings")
+
+    states: Dict[str, _TenantState] = {}
+    history: List[_TenantState] = []
+    active: List[str] = []
+    arrivals = 0
+    for tenant in script.initial:
+        state = _TenantState(tenant, part=arrivals,
+                             addr_base=(arrivals + 1) * ADDRESS_SPACING,
+                             arrived_at=0)
+        states[tenant.name] = state
+        history.append(state)
+        active.append(tenant.name)
+        arrivals += 1
+        if controller is not None:
+            controller.register(state.part)
+
+    log_mark = len(cache.lifecycle_log)
+
+    def stamp(access_index: int) -> None:
+        nonlocal log_mark
+        while log_mark < len(cache.lifecycle_log):
+            cache.lifecycle_log[log_mark]["access"] = access_index
+            log_mark += 1
+
+    def apportion(access_index: int) -> None:
+        shares = [states[name].tenant.share for name in active]
+        lines = apportion_by_shares(shares, cache.num_lines)
+        targets = [0] * cache.num_partitions
+        for name, amount in zip(active, lines):
+            targets[states[name].part] = amount
+        cache.set_targets(targets)
+        stamp(access_index)
+
+    def apply_controller(decision: Dict[int, int], access_index: int) -> None:
+        targets = [0] * cache.num_partitions
+        for part, amount in decision.items():
+            targets[part] = amount
+        spill = sum(targets) - cache.num_lines
+        if spill > 0:
+            targets[max(decision, key=lambda p: (targets[p], -p))] -= spill
+        cache.set_targets(targets)
+        stamp(access_index)
+
+    def apply_event(event: ScenarioEvent, access_index: int) -> None:
+        nonlocal arrivals
+        if isinstance(event, TenantArrival):
+            if event.tenant.name in states and \
+                    states[event.tenant.name].departed_at is None:
+                raise ConfigurationError(
+                    f"tenant {event.tenant.name!r} is already active")
+            part = cache.create_partition()
+            state = _TenantState(event.tenant, part,
+                                 addr_base=(arrivals + 1) * ADDRESS_SPACING,
+                                 arrived_at=access_index)
+            arrivals += 1
+            states[event.tenant.name] = state
+            history.append(state)
+            active.append(event.tenant.name)
+            if controller is not None:
+                controller.register(part)
+            apportion(access_index)
+        elif isinstance(event, TenantDeparture):
+            state = _require_active(states, active, event.name)
+            cache.retire_partition(state.part)
+            state.departed_at = access_index
+            active.remove(event.name)
+            if controller is not None:
+                controller.deregister(state.part)
+            apportion(access_index)
+        elif isinstance(event, Reapportion):
+            for name, share in event.shares:
+                state = _require_active(states, active, name)
+                # Tenant is frozen; rebind with the new share.
+                states[name].tenant = Tenant(
+                    name=state.tenant.name, workload=state.tenant.workload,
+                    share=share)
+            apportion(access_index)
+        else:  # PhaseShift
+            state = _require_active(states, active, event.name)
+            state.workload = event.workload
+            state.phase_index = 0
+
+    apportion(0)
+
+    events = list(script.events)
+    next_event = 0
+    applied = 0
+    for g in range(script.total_accesses):
+        while next_event < len(events) and events[next_event].at == g:
+            apply_event(events[next_event], g)
+            next_event += 1
+            applied += 1
+        name = active[g % len(active)]
+        state = states[name]
+        addr = state.addr_base + state.workload.address(state.phase_index)
+        state.phase_index += 1
+        hit = cache.access(addr, state.part)
+        state.accesses += 1
+        if hit:
+            state.hits += 1
+        state.stream.append(addr)
+        if controller is not None:
+            decision = controller.observe(state.part, addr)
+            if decision:
+                apply_controller(decision, g)
+    stamp(script.total_accesses)
+    cache.check_invariants()
+
+    # Telemetry-enabled runs persist the control-plane event log as a
+    # lifecycle/*.jsonl artifact; with telemetry off this is a no-op.
+    from ..obs.runtime import write_lifecycle
+    write_lifecycle(cache)
+
+    reports: List[TenantReport] = []
+    for state in history:
+        misses = state.accesses - state.hits
+        shared_cpi = (
+            (state.hits * hit_latency + misses * miss_latency)
+            / state.accesses) if state.accesses else hit_latency
+        reports.append(TenantReport(
+            name=state.tenant.name, part=state.part,
+            arrived_at=state.arrived_at, departed_at=state.departed_at,
+            accesses=state.accesses, hits=state.hits, misses=misses,
+            shared_cpi=shared_cpi))
+
+    measurable = [(state, report) for state, report in zip(history, reports)
+                  if report.accesses > 0]
+    if baselines and measurable:
+        for state, report in measurable:
+            report.alone_cpi = _alone_cpi(
+                cache_factory, state.stream, hit_latency, miss_latency)
+        slows = slowdowns([r.shared_cpi for _, r in measurable],
+                          [r.alone_cpi for _, r in measurable])
+        for (_, report), value in zip(measurable, slows):
+            report.slowdown = value
+        result_unfairness = unfairness_factor(slows)
+        result_stp = stp(slows)
+        result_antt = antt(slows)
+    else:
+        result_unfairness = result_stp = result_antt = None
+
+    return ScenarioResult(
+        tenants=reports,
+        total_accesses=script.total_accesses,
+        events_applied=applied,
+        lifecycle=[dict(row) for row in cache.lifecycle_log],
+        unfairness=result_unfairness,
+        stp=result_stp,
+        antt=result_antt,
+        final_occupancy=list(cache.actual_sizes),
+        final_targets=list(cache.targets),
+    )
+
+
+def _require_active(states: Dict[str, _TenantState], active: List[str],
+                    name: str) -> _TenantState:
+    if name not in active:
+        raise ConfigurationError(f"tenant {name!r} is not active")
+    return states[name]
+
+
+def _alone_cpi(cache_factory, stream: List[int],
+               hit_latency: float, miss_latency: float) -> float:
+    """Replay one tenant's recorded stream into a single-partition cache
+    (the tenant alone, owning the whole capacity)."""
+    alone = cache_factory(1)
+    access = alone.access
+    hits = 0
+    for addr in stream:
+        if access(addr, 0):
+            hits += 1
+    misses = len(stream) - hits
+    return (hits * hit_latency + misses * miss_latency) / len(stream)

@@ -1,0 +1,30 @@
+"""Known-bad scenario engine: event schedules read host clocks.
+
+A lifecycle timeline keyed to wall or monotonic time fires at different
+access indices on different machines (and across ``--jobs``), so the
+resulting tenant histories — and every fairness metric derived from
+them — stop being byte-reproducible.  Linted under the virtual path
+``repro/sim/scenario.py``, where DET004 bans every host-clock read.
+"""
+
+import time
+
+
+class ClockScenario:
+    def __init__(self, events):
+        self.events = events
+        self.started = time.monotonic()  # schedule epoch: host clock
+
+    def due(self):
+        elapsed = time.monotonic() - self.started
+        return [e for e in self.events if e.after_s <= elapsed]
+
+    def run(self, cache, workload, seconds):
+        deadline = time.time() + seconds
+        accesses = 0
+        while time.time() < deadline:  # run length in wall time
+            for event in self.due():
+                event.apply(cache)
+            cache.access(workload.address(accesses), 0)
+            accesses += 1
+        return accesses

@@ -1,0 +1,27 @@
+"""Known-good scenario engine: schedules are pure functions of access
+counts.
+
+The shape the real ``repro/sim/scenario.py`` follows: every event fires
+at a scripted global access index, workload addresses are arithmetic in
+the tenant's own access counter, and the run length is an access count
+— no host clock anywhere, so two runs of the same script are
+byte-identical by construction.
+"""
+
+
+class PureScenario:
+    def __init__(self, events, total_accesses):
+        self.events = sorted(events, key=lambda e: e.at)
+        self.total_accesses = total_accesses
+
+    def run(self, cache, workload):
+        next_event = 0
+        hits = 0
+        for g in range(self.total_accesses):
+            while (next_event < len(self.events)
+                    and self.events[next_event].at == g):
+                self.events[next_event].apply(cache)
+                next_event += 1
+            if cache.access(workload.address(g), 0):
+                hits += 1
+        return hits

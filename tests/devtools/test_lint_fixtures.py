@@ -99,6 +99,25 @@ def test_det002_sanctions_leases_only_in_the_queue_module():
             f"{virtual}, got {fired}")
 
 
+def test_det004_pins_scenario_schedules_to_access_counts():
+    """The scenario engine's determinism contract, as a lint gate: a
+    lifecycle timeline keyed to host clocks trips DET004 under the
+    engine's path, while the access-count-driven shape the real
+    ``repro/sim/scenario.py`` uses lints clean under the full ruleset."""
+    virtual = "repro/sim/scenario.py"
+    dirty = lint_fixture("det004_scenario_clock.py", virtual)
+    fired = [f for f in dirty if f.rule_id == "DET004"]
+    assert len(fired) >= 4, (
+        f"every host-clock read in the scheduler must fire: {dirty}")
+    assert lint_fixture("det004_scenario_pure.py", virtual) == []
+    # The include gate is the simulation substrate, not the file name:
+    # identical clock code outside repro/{cache,core,sim}/ is DET004-free
+    # (DET002 still judges its wall-clock reads on its own terms).
+    elsewhere = lint_fixture("det004_scenario_clock.py",
+                             "repro/runner/scenario_driver.py")
+    assert [f for f in elsewhere if f.rule_id == "DET004"] == []
+
+
 def test_suppressed_fixture_is_clean():
     findings = lint_fixture("suppressed.py", "fixtures/suppressed.py")
     assert findings == []

@@ -2,13 +2,24 @@
 
 import pytest
 
-from repro.experiments.__main__ import FIGURES, main, render_table_ii
-from repro.experiments.registry import register_experiment, unregister
+from repro.experiments.__main__ import main, render_table_ii
+from repro.experiments.registry import (
+    experiment_names,
+    register_experiment,
+    unregister,
+)
 
 
-def test_figures_registry_complete():
-    with pytest.deprecated_call():
-        assert set(FIGURES) == {f"fig{i}" for i in range(2, 9)}
+def test_cli_choices_track_the_registry(capsys):
+    """Every registered experiment is a CLI choice (plus "all")."""
+    for name in list(experiment_names()) + ["all"]:
+        with pytest.raises(SystemExit):
+            main([name, "--scale", "bogus"])
+        err = capsys.readouterr().err
+        # The rejection is the bogus --scale, not the experiment name —
+        # proving the name itself passed choice validation.
+        assert "invalid choice: 'bogus'" in err
+        assert f"invalid choice: '{name}'" not in err
 
 
 def test_table_ii_command(capsys):

@@ -1,4 +1,4 @@
-"""Experiment registry round-trip and the deprecated FIGURES alias."""
+"""Experiment registry round-trip."""
 
 import warnings
 
@@ -20,7 +20,8 @@ from repro.runner import Cell
 
 def test_all_paper_artifacts_registered():
     assert experiment_names() == [
-        "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "tableII"]
+        "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+        "resizing", "scenarios", "tableII"]
 
 
 def test_iter_experiments_sorted():
@@ -84,19 +85,13 @@ def _double(config, i):
     return 2 * i
 
 
-def test_figures_alias_warns_and_delegates():
-    from repro.experiments.__main__ import FIGURES
+def test_figures_alias_is_gone():
+    """The deprecated FIGURES mapping was removed with the deprecation
+    cycle; the registry is the only way to enumerate experiments."""
+    import repro.experiments.__main__ as cli
 
-    with pytest.deprecated_call():
-        config_cls, run, fmt = FIGURES["fig5"]
-    assert config_cls is Fig5Config
-    assert fmt is format_fig5
-    with pytest.deprecated_call():
-        assert list(FIGURES) == [f"fig{i}" for i in range(2, 9)]
-    assert len(FIGURES) == 7
-    with pytest.deprecated_call():
-        with pytest.raises(KeyError):
-            FIGURES["tableII"]
+    assert not hasattr(cli, "FIGURES")
+    assert "FIGURES" not in cli.__all__
 
 
 def test_registry_access_does_not_warn():
@@ -104,54 +99,3 @@ def test_registry_access_does_not_warn():
         warnings.simplefilter("error")
         get_experiment("fig5")
         experiment_names()
-
-
-def _deprecations(caught):
-    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
-
-
-def test_figures_alias_warns_exactly_once_per_access():
-    from repro.experiments.__main__ import FIGURES
-
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        list(FIGURES)
-    assert len(_deprecations(caught)) == 1
-
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        FIGURES["fig5"]
-    assert len(_deprecations(caught)) == 1
-
-    # len() is a counter, not a data access — it must stay silent.
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        len(FIGURES)
-    assert _deprecations(caught) == []
-
-
-def test_figures_alias_stays_in_sync_with_registry():
-    """FIGURES is a live view of the ExperimentSpec registry: figure
-    experiments registered (or removed) later appear (or vanish)."""
-    from repro.experiments.__main__ import FIGURES
-
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        expected = [n for n in experiment_names() if n.startswith("fig")]
-        assert list(FIGURES) == expected
-
-        @register_experiment(name="fig9z", config_cls=Fig5Config,
-                             reduce=lambda config, results: results,
-                             format=str, description="sync probe")
-        def cells_fig9z(config):
-            return []
-
-        try:
-            assert "fig9z" in list(FIGURES)
-            assert len(FIGURES) == len(expected) + 1
-            config_cls, run, fmt = FIGURES["fig9z"]
-            assert config_cls is Fig5Config
-        finally:
-            unregister("fig9z")
-        assert "fig9z" not in list(FIGURES)
-        assert len(FIGURES) == len(expected)

@@ -1,0 +1,117 @@
+"""The lifecycle/*.jsonl artifact: writer, schema, manifest agreement."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.obs import TelemetrySession, validate_run_dir, write_lifecycle
+from repro.obs.runtime import set_cell
+from repro.obs.schema import validate_lifecycle_row
+
+GOOD_ROW = {"seq": 1, "event": "create", "part": 2,
+            "targets": [64, 64, 0], "access": 500}
+
+
+def _cache(parts=2):
+    return api.build_cache(array=api.build_array("set-assoc", 128, ways=8),
+                           ranking="lru", scheme="fs",
+                           num_partitions=parts)
+
+
+# -- row schema ---------------------------------------------------------------
+
+def test_good_rows_validate():
+    assert validate_lifecycle_row(GOOD_ROW) == []
+    # The access stamp is optional: raw cache logs lack it.
+    bare = {k: v for k, v in GOOD_ROW.items() if k != "access"}
+    assert validate_lifecycle_row(bare) == []
+    retarget = dict(GOOD_ROW, event="retarget", part=-1)
+    assert validate_lifecycle_row(retarget) == []
+
+
+@pytest.mark.parametrize("mutate,fragment", [
+    (lambda r: r.pop("seq"), "missing key 'seq'"),
+    (lambda r: r.update(seq=-1), "'seq' must be an int >= 0"),
+    (lambda r: r.update(event="destroy"), "'event' must be one of"),
+    (lambda r: r.update(part=-2), "'part' must be an int >= -1"),
+    (lambda r: r.update(targets=[]), "non-empty list"),
+    (lambda r: r.update(targets=[1, -1]), "ints >= 0"),
+    (lambda r: r.update(access=-5), "'access' must be an int >= 0"),
+    (lambda r: r.update(extra=1), "unexpected key 'extra'"),
+])
+def test_bad_rows_rejected(mutate, fragment):
+    row = dict(GOOD_ROW)
+    mutate(row)
+    problems = validate_lifecycle_row(row)
+    assert any(fragment in p for p in problems), problems
+
+
+# -- the writer ---------------------------------------------------------------
+
+def test_writer_is_a_noop_without_telemetry():
+    cache = _cache()
+    cache.create_partition()
+    assert write_lifecycle(cache) is None
+
+
+def test_writer_skips_retarget_only_logs(tmp_path):
+    """Steady-state runs (set_targets only) leave no lifecycle files, so
+    their telemetry directories match pre-control-plane ones."""
+    with TelemetrySession(tmp_path / "run", experiment="lc"):
+        cache = _cache()
+        cache.set_targets([100, 28])
+        assert write_lifecycle(cache) is None
+    assert not (tmp_path / "run" / "lifecycle").exists()
+    manifest = json.loads(
+        (tmp_path / "run" / "manifest.json").read_text())
+    assert "lifecycle" not in manifest["artifacts"]
+
+
+def test_writer_round_trips_and_validates(tmp_path):
+    with TelemetrySession(tmp_path / "run", experiment="lc") as session:
+        set_cell("lc[churn]")
+        cache = _cache()
+        part = cache.create_partition()
+        cache.set_targets([64, 32, 32])
+        cache.retire_partition(part)
+        out = write_lifecycle(cache)
+        assert out is not None
+        assert out.name == "lc_churn_-000.jsonl"
+    rows = [json.loads(line) for line in out.read_text().splitlines()]
+    assert [r["event"] for r in rows] == ["create", "retarget", "retire"]
+    assert all(validate_lifecycle_row(r) == [] for r in rows)
+    manifest = json.loads(session.dir.joinpath("manifest.json").read_text())
+    assert manifest["artifacts"]["lifecycle"] == ["lc_churn_-000.jsonl"]
+    assert validate_run_dir(session.dir) == []
+
+
+def test_run_dir_flags_unlisted_lifecycle_files(tmp_path):
+    with TelemetrySession(tmp_path / "run", experiment="lc") as session:
+        pass
+    extra = session.dir / "lifecycle"
+    extra.mkdir()
+    (extra / "stray.jsonl").write_text(json.dumps(GOOD_ROW) + "\n")
+    problems = validate_run_dir(session.dir)
+    assert any("artifacts.lifecycle" in p for p in problems), problems
+
+
+def test_scenario_run_emits_the_artifact(tmp_path):
+    from repro.sim.scenario import (ScenarioScript, Tenant, TenantDeparture,
+                                    WorkloadSpec, run_scenario)
+
+    script = ScenarioScript(
+        initial=(Tenant("a", WorkloadSpec("loop", 64)),
+                 Tenant("b", WorkloadSpec("random", 64, seed=2))),
+        events=(TenantDeparture(at=300, name="b"),),
+        total_accesses=600)
+    with TelemetrySession(tmp_path / "run", experiment="scn") as session:
+        set_cell("scn[churn]")
+        run_scenario(script, lambda n: _cache(n), baselines=False)
+    files = sorted((session.dir / "lifecycle").glob("*.jsonl"))
+    assert len(files) == 1
+    rows = [json.loads(line) for line in files[0].read_text().splitlines()]
+    assert "retire" in {r["event"] for r in rows}
+    # Scenario-stamped rows carry the global access index.
+    assert all("access" in r for r in rows)
+    assert validate_run_dir(session.dir) == []

@@ -45,9 +45,9 @@ def test_fresh_run_spans():
 
 def test_cached_run_spans(tmp_path):
     cache = ResultCache(tmp_path / "cache")
-    run_cells(_cells(), jobs=1, cache=cache)
+    run_cells(_cells(), jobs=1, store=cache)
     telemetry = RunTelemetry()
-    run_cells(_cells(), jobs=1, cache=cache, telemetry=telemetry)
+    run_cells(_cells(), jobs=1, store=cache, telemetry=telemetry)
     assert all(r["status"] == "cached" and r["cache_hit"]
                for r in telemetry.rows())
     assert telemetry.counts()["cached"] == 3

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import warnings
-
 import pytest
 
 from repro.errors import ConfigurationError
@@ -70,15 +68,23 @@ class TestCoerceRunConfig:
         assert len(recwarn.list) == 0
 
     def test_legacy_kwargs_warn_once_and_map(self, tmp_path):
-        cache = LocalFileStore(tmp_path)
+        store = LocalFileStore(tmp_path)
         with pytest.warns(DeprecationWarning,
-                          match="cache= is now the store= field") as rec:
+                          match="pass a RunConfig") as rec:
             cfg = coerce_run_config(
-                None, {"jobs": 3, "cache": cache, "retries": 1}, where="t")
+                None, {"jobs": 3, "store": store, "retries": 1}, where="t")
         assert len(rec.list) == 1  # a single warning per call
         assert cfg.jobs == 3
-        assert cfg.store is cache
+        assert cfg.store is store
         assert cfg.retries == 1
+
+    def test_removed_cache_alias_is_an_error(self, tmp_path):
+        """The cache= -> store= deprecation cycle is over: passing
+        cache= now fails fast, naming the replacement field."""
+        store = LocalFileStore(tmp_path)
+        with pytest.raises(TypeError,
+                           match="cache= was renamed to store="):
+            coerce_run_config(None, {"jobs": 3, "cache": store}, where="t")
 
     def test_mixing_styles_is_an_error(self):
         with pytest.raises(ConfigurationError, match="not both"):
@@ -100,13 +106,15 @@ class TestRunnerEntryPoints:
                     if issubclass(w.category, DeprecationWarning)]
 
     def test_run_cells_legacy_kwargs_still_work(self, tmp_path):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            cache = ResultCache(tmp_path)
+        store = LocalFileStore(tmp_path)
         with pytest.warns(DeprecationWarning, match="repro.runner.run_cells"):
-            assert run_cells(self.cells(), cache=cache) == [0, 1, 4]
+            assert run_cells(self.cells(), store=store) == [0, 1, 4]
         # The legacy run populated the store under the new protocol.
-        assert len(cache) == 3
+        assert len(store) == 3
+
+    def test_run_cells_rejects_removed_cache_alias(self, tmp_path):
+        with pytest.raises(TypeError, match="cache= was renamed"):
+            run_cells(self.cells(), cache=LocalFileStore(tmp_path))
 
     def test_experiment_run_accepts_run_config(self, capsys):
         from repro.experiments.registry import get_experiment

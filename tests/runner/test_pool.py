@@ -95,7 +95,7 @@ class TestResumeAfterInterrupt:
                       (str(tmp_path / "cache"), 3))
 
         with pytest.raises(WorkerError):
-            run_cells(good + [killer], jobs=2, cache=cache)
+            run_cells(good + [killer], jobs=2, store=cache)
         # Every completed cell was persisted before the crash surfaced.
         assert len(cache) == 3
 
@@ -103,5 +103,5 @@ class TestResumeAfterInterrupt:
         for f in sentinels.iterdir():
             f.unlink()
         fixed = Cell("t", (3,), touch_and_return, (str(sentinels), "c3", 3))
-        assert run_cells(good + [fixed], jobs=2, cache=cache) == [0, 1, 2, 3]
+        assert run_cells(good + [fixed], jobs=2, store=cache) == [0, 1, 2, 3]
         assert [f.name for f in sentinels.iterdir()] == ["c3"]

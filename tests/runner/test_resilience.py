@@ -119,7 +119,7 @@ class TestKeepGoing:
             Cell("t", (1,), raise_value_error, ("broken",)),
             Cell("t", (2,), square, (None, 4)),
         ]
-        results = run_cells(cells, jobs=jobs, cache=cache, keep_going=True,
+        results = run_cells(cells, jobs=jobs, store=cache, keep_going=True,
                             **FAST)
         assert results[0] == 9 and results[2] == 16
         failed = results[1]
@@ -154,7 +154,7 @@ class TestTimeouts:
         cache = ResultCache(tmp_path)
         cells = [Cell("t", (0,), square, (None, 3)),
                  Cell("t", ("hang",), sleep_forever, ())]
-        results = run_cells(cells, jobs=2, cache=cache, cell_timeout=0.5,
+        results = run_cells(cells, jobs=2, store=cache, cell_timeout=0.5,
                             keep_going=True, **FAST)
         assert results[0] == 9
         failed = results[1]
@@ -187,7 +187,7 @@ class TestPoolRecovery:
         cells = square_cells(3) + [
             Cell("t", ("k",), kill_after_cached, (str(tmp_path), 3))]
         with pytest.raises(WorkerError, match="worker pool broke"):
-            run_cells(cells, jobs=2, cache=cache, **FAST)
+            run_cells(cells, jobs=2, store=cache, **FAST)
         # The innocent cells all completed and were persisted.
         assert len(cache) == 3
 
@@ -195,7 +195,7 @@ class TestPoolRecovery:
         cache = ResultCache(tmp_path)
         cells = square_cells(2) + [
             Cell("t", ("k",), kill_after_cached, (str(tmp_path), 2))]
-        results = run_cells(cells, jobs=2, cache=cache, keep_going=True,
+        results = run_cells(cells, jobs=2, store=cache, keep_going=True,
                             **FAST)
         assert results[:2] == [0, 1]
         assert isinstance(results[2], FailedCell)
@@ -278,11 +278,11 @@ class TestFaultInjection:
             self, monkeypatch, tmp_path):
         cache = ResultCache(tmp_path)
         cells = square_cells(2)
-        assert run_cells(cells, cache=cache) == [0, 1]
+        assert run_cells(cells, store=cache) == [0, 1]
         plan = FaultPlan((Fault(cell="squares[0]", kind="corrupt"),))
         monkeypatch.setenv(FAULTS_ENV, plan.to_json())
         with pytest.warns(CacheCorruptionWarning, match="quarantined"):
-            assert run_cells(cells, cache=cache) == [0, 1]
+            assert run_cells(cells, store=cache) == [0, 1]
         path = cache.path_for(cell_key(cells[0]))
         assert path.exists()  # recomputed and rewritten
         assert path.with_name(path.name + ".corrupt").exists()

@@ -1,0 +1,186 @@
+"""Scenario engine: determinism, zero-event equivalence, churn fairness."""
+
+import pytest
+
+from repro import api
+from repro.errors import ConfigurationError
+from repro.sim.scenario import (
+    PhaseShift,
+    Reapportion,
+    ScenarioScript,
+    Tenant,
+    TenantArrival,
+    TenantDeparture,
+    WorkloadSpec,
+    apportion_by_shares,
+    run_scenario,
+)
+
+LINES = 256
+ACCESSES = 2_000
+
+
+def _factory(scheme="fs-feedback"):
+    def build(num_partitions):
+        return api.build_cache(
+            array=api.build_array("set-assoc", LINES, ways=8, seed=3),
+            ranking="coarse-ts-lru", scheme=scheme,
+            num_partitions=num_partitions)
+    return build
+
+
+def _two_tenants():
+    return (Tenant("a", WorkloadSpec("loop", LINES // 2)),
+            Tenant("b", WorkloadSpec("random", LINES // 2, seed=5)))
+
+
+CHURN = ScenarioScript(
+    initial=_two_tenants(),
+    events=(
+        TenantArrival(at=ACCESSES // 4,
+                      tenant=Tenant("c", WorkloadSpec("loop", LINES // 3),
+                                    share=2.0)),
+        TenantDeparture(at=(3 * ACCESSES) // 5, name="b"),
+        Reapportion(at=(4 * ACCESSES) // 5, shares=(("a", 3.0),)),
+    ),
+    total_accesses=ACCESSES)
+
+
+# -- script validation --------------------------------------------------------
+
+def test_events_must_be_ordered():
+    with pytest.raises(ConfigurationError, match="ordered"):
+        ScenarioScript(initial=_two_tenants(),
+                       events=(PhaseShift(at=100, name="a",
+                                          workload=WorkloadSpec("scan", 1)),
+                               TenantDeparture(at=50, name="b")),
+                       total_accesses=200)
+
+
+def test_events_must_fit_the_run():
+    with pytest.raises(ConfigurationError, match="beyond"):
+        ScenarioScript(initial=_two_tenants(),
+                       events=(TenantDeparture(at=500, name="b"),),
+                       total_accesses=500)
+
+
+def test_workloads_are_pure_functions_of_the_index():
+    for spec in (WorkloadSpec("loop", 37), WorkloadSpec("scan", 1),
+                 WorkloadSpec("random", 64, seed=9, offset=1000)):
+        first = [spec.address(i) for i in range(200)]
+        assert [spec.address(i) for i in range(200)] == first
+
+
+# -- apportionment ------------------------------------------------------------
+
+def test_apportion_exact_and_ordered():
+    assert apportion_by_shares([1.0, 1.0], 256) == [128, 128]
+    assert sum(apportion_by_shares([3.0, 1.0, 1.0], 257)) == 257
+    assert apportion_by_shares([2.0, 1.0], 9) == [6, 3]
+
+
+def test_apportion_enforces_minimum():
+    out = apportion_by_shares([1000.0, 0.001], 64, minimum=1)
+    assert out[1] >= 1
+    assert sum(out) == 64
+
+
+def test_apportion_rejects_impossible_minimum():
+    with pytest.raises(ConfigurationError, match="minimum|each"):
+        apportion_by_shares([1.0, 1.0, 1.0], 2)
+
+
+# -- the zero-event guarantee -------------------------------------------------
+
+def test_zero_event_scenario_equals_plain_loop():
+    """An empty timeline is exactly the pre-lifecycle steady loop: same
+    round-robin, same hits, and one lone initial retarget in the log."""
+    script = ScenarioScript(initial=_two_tenants(),
+                            total_accesses=ACCESSES)
+    result = run_scenario(script, _factory(), baselines=False)
+
+    cache = _factory()(2)
+    cache.set_targets(apportion_by_shares([1.0, 1.0], LINES))
+    tenants = [t.workload for t in _two_tenants()]
+    hits = [0, 0]
+    counts = [0, 0]
+    for g in range(ACCESSES):
+        tid = g % 2
+        base = (tid + 1) * (1 << 40)
+        if cache.access(base + tenants[tid].address(counts[tid]), tid):
+            hits[tid] += 1
+        counts[tid] += 1
+    assert [t.hits for t in result.tenants] == hits
+    assert [t.accesses for t in result.tenants] == counts
+    assert result.final_occupancy == list(cache.actual_sizes)
+    assert [row["event"] for row in result.lifecycle] == ["retarget"]
+
+
+def test_scenario_is_deterministic():
+    a = run_scenario(CHURN, _factory())
+    b = run_scenario(CHURN, _factory())
+    assert a.final_occupancy == b.final_occupancy
+    assert [t.hits for t in a.tenants] == [t.hits for t in b.tenants]
+    assert a.unfairness == b.unfairness
+    assert a.lifecycle == b.lifecycle
+
+
+# -- churn mechanics ----------------------------------------------------------
+
+@pytest.mark.parametrize("scheme", ["fs", "fs-feedback", "vantage"])
+def test_churn_scenario_end_to_end(scheme):
+    result = run_scenario(CHURN, _factory(scheme))
+    assert result.events_applied == 3
+    by_name = {t.name: t for t in result.tenants}
+    assert by_name["c"].arrived_at == ACCESSES // 4
+    assert by_name["b"].departed_at == (3 * ACCESSES) // 5
+    # Fairness triple present and sane.
+    assert result.unfairness >= 1.0
+    assert 0 < result.stp <= len(result.tenants)
+    assert result.antt > 0
+    for t in result.tenants:
+        assert t.slowdown is not None and t.slowdown > 0
+    # The departed tenant's partition is retired with target zero.
+    assert result.final_targets[by_name["b"].part] == 0
+    # Lifecycle rows are stamped with their global access index.
+    events = [(row["event"], row.get("access")) for row in result.lifecycle]
+    assert ("create", ACCESSES // 4) in events
+    assert ("retire", (3 * ACCESSES) // 5) in events
+
+
+def test_phase_shift_restarts_the_workload():
+    script = ScenarioScript(
+        initial=_two_tenants(),
+        events=(PhaseShift(at=ACCESSES // 2, name="a",
+                           workload=WorkloadSpec("loop", LINES // 2,
+                                                 offset=10 * LINES)),),
+        total_accesses=ACCESSES)
+    result = run_scenario(script, _factory(), baselines=False)
+    assert result.events_applied == 1
+    assert result.tenant("a").accesses == ACCESSES // 2
+
+
+def test_departed_tenant_cannot_be_addressed():
+    script = ScenarioScript(
+        initial=_two_tenants(),
+        events=(TenantDeparture(at=100, name="b"),
+                PhaseShift(at=200, name="b",
+                           workload=WorkloadSpec("scan", 1))),
+        total_accesses=400)
+    with pytest.raises(ConfigurationError, match="not active"):
+        run_scenario(script, _factory(), baselines=False)
+
+
+def test_controller_reapportions_online():
+    from repro.alloc import ReapportionController, UCPReapportionPolicy
+
+    controller = ReapportionController(
+        LINES, interval=250, granule=16, policy=UCPReapportionPolicy())
+    result = run_scenario(CHURN, _factory(), controller=controller,
+                          baselines=False)
+    assert controller.epochs >= ACCESSES // 250
+    assert controller.decisions > 0
+    # Online decisions appear in the lifecycle log as retargets.
+    retargets = [row for row in result.lifecycle
+                 if row["event"] == "retarget"]
+    assert len(retargets) > 3  # more than the share-driven ones alone
