@@ -3,7 +3,7 @@
 .PHONY: install test bench bench-smoke bench-paper bench-throughput \
 	bench-regression figures figures-parallel report examples lint \
 	lint-baseline typecheck check clean clean-cache telemetry-smoke \
-	chaos-smoke scenario-smoke
+	chaos-smoke scenario-smoke trace-smoke
 
 # PYTHONPATH=src keeps every target usable from a bare checkout
 # (no editable install required), matching the tier-1 test invocation.
@@ -81,6 +81,40 @@ chaos-smoke:
 		--queue-workers 2 --queue-lease 0.5 > chaos-run/chaos.out
 	cmp chaos-run/baseline.out chaos-run/chaos.out
 	$(PY) -m repro.store status --store sqlite:chaos-run/results.db
+
+# Local mirror of the CI tracing job: a fig3 sweep drained by 2 queue
+# workers with --trace must print exactly the bytes a sequential
+# untraced run prints, leave schema-valid trace artifacts that stitch
+# into one complete span tree, project to a canonical form that is
+# byte-identical whatever the worker count, and pass the live
+# aggregator's alert gate (steals/failures/stragglers all zero).
+trace-smoke:
+	rm -rf trace-run && mkdir -p trace-run
+	$(PY) -m repro.experiments fig3 --scale smoke --jobs 1 \
+		--cache-dir trace-run/baseline > trace-run/baseline.out
+	$(PY) -m repro.experiments fig3 --scale smoke \
+		--store sqlite:trace-run/results.db --queue-workers 2 \
+		--trace --telemetry=trace-run/obs > trace-run/fleet.out
+	cmp trace-run/baseline.out trace-run/fleet.out
+	$(PY) -m repro.obs validate trace-run/obs/fig3
+	$(PY) -m repro.obs trace --check trace-run/obs/fig3
+	$(PY) -m repro.obs trace trace-run/obs/fig3 > trace-run/tree.txt
+	$(PY) -m repro.obs trace --canonical trace-run/obs/fig3 \
+		> trace-run/canon-2w.txt
+	$(PY) -m repro.experiments fig3 --scale smoke \
+		--store sqlite:trace-run/solo.db --queue-workers 1 \
+		--trace --telemetry=trace-run/obs-solo > trace-run/solo.out
+	cmp trace-run/baseline.out trace-run/solo.out
+	$(PY) -m repro.obs trace --canonical trace-run/obs-solo/fig3 \
+		> trace-run/canon-1w.txt
+	cmp trace-run/canon-2w.txt trace-run/canon-1w.txt
+	$(PY) -m repro.obs top trace-run/obs/fig3 \
+		--store sqlite:trace-run/results.db --once \
+		--rule "steals > 0" --rule "failed > 0" --rule "unfinished > 0"
+	$(PY) -m repro.obs report --json trace-run/obs/fig3 \
+		> trace-run/report.json
+	$(PY) -m repro.store status --store sqlite:trace-run/results.db --json \
+		> trace-run/queue.json
 
 figures:
 	python -m repro.experiments all

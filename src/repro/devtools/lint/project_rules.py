@@ -255,8 +255,11 @@ class WallTaintRule(ProjectRule):
     the global ``random`` state is *tainted*, taint survives
     assignments, arithmetic, f-strings, returns, attribute fields and
     calls along the project call graph, and it must never reach a cache
-    key hash, a store entry payload, or a telemetry field outside the
-    ``"wall"`` namespace.  Findings carry the full provenance chain.
+    key hash, a store entry payload, a telemetry field outside the
+    ``"wall"`` namespace, or — since the distributed tracer ships span
+    identity across process boundaries — the trace/span ID derivation
+    functions, whose outputs must be byte-identical at any ``--jobs``.
+    Findings carry the full provenance chain.
     """
 
     rule_id = "TNT001"
@@ -291,6 +294,11 @@ class WallTaintRule(ProjectRule):
                  methods=frozenset({".put"})),
         SinkSpec(label="telemetry",
                  dict_field_paths=("repro/obs/", "obs/")),
+        SinkSpec(label="trace-id derivation",
+                 calls=frozenset({
+                     "repro.obs.trace.trace_id_for",
+                     "repro.obs.trace.span_id",
+                 })),
     )
 
     def check_project(self, index: ProjectIndex) -> Iterator[Finding]:

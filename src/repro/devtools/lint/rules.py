@@ -123,20 +123,26 @@ class WallClockRule(Rule):
     ``repro/store/queue.py`` — lease expiries must be comparable
     *across worker processes*, which monotonic clocks are not, and
     lease timing only schedules work (it never feeds results or cache
-    keys); and the read-only queue-status CLI in
+    keys); the read-only queue-status CLI in
     ``repro/store/__main__.py``, which compares those stored lease
-    deadlines against the wall clock for time-to-expiry display.  The
+    deadlines against the wall clock for time-to-expiry display; and
+    the live fleet dashboard ``repro/obs/top.py``, a pure *observer*
+    (lease countdowns, throughput rates, refresh stamps — display and
+    alert evaluation only, nothing feeds results or cache keys).  The
     store backends, proxies and the fault-injection harness
     (``repro/store/faults.py``) stay *unsanctioned*: injection
     schedules must be pure functions of call counts and seeds or chaos
-    runs stop being reproducible.
+    runs stop being reproducible.  Note ``repro/obs/trace.py`` is *not*
+    allow-listed: its single clock read (``wall_now``) carries an
+    explicit suppression, so any new clock read there — e.g. one that
+    could leak into a trace ID — fires.
     """
 
     rule_id = "DET002"
     summary = ("wall-clock read (time.time / datetime.now) in code that "
                "may feed results or cache keys")
     allow = ("repro/experiments/__main__.py", "repro/store/queue.py",
-             "repro/store/__main__.py")
+             "repro/store/__main__.py", "repro/obs/top.py")
 
     WALL_CLOCK: FrozenSet[str] = frozenset({
         "time.time", "time.time_ns", "time.localtime", "time.gmtime",
@@ -171,12 +177,21 @@ class SimulationTimingRule(Rule):
     the deterministic access counter, or byte-reproducibility across
     machines and ``--jobs N`` is lost.  Timing the simulation from the
     outside belongs in ``repro/runner/`` or ``repro/obs/``.
+
+    ``repro/obs/trace.py`` is held to the same bar: trace and span IDs
+    are pure hashes of the sweep fingerprint, cell key and attempt —
+    byte-identical at any ``--jobs`` — so the module may touch a host
+    clock only at its one fenced ``wall_now()`` site (explicitly
+    suppressed, and its value confined to ``"wall"`` sub-objects).  Any
+    other clock read in the tracer is an identity bug waiting to
+    happen, and fires here.
     """
 
     rule_id = "DET004"
     summary = ("host clock read (time.time / perf_counter / monotonic) in "
                "simulation code; drive timing off the access counter")
-    include = ("repro/cache/", "repro/core/", "repro/sim/")
+    include = ("repro/cache/", "repro/core/", "repro/sim/",
+               "repro/obs/trace.py")
 
     TIMING_CALLS: FrozenSet[str] = frozenset({
         "time.time", "time.time_ns",

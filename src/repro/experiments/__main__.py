@@ -142,7 +142,16 @@ def main(argv=None) -> int:
     parser.add_argument("--telemetry-profile", action="store_true",
                         help="additionally capture a cProfile of every "
                              "executed cell under <telemetry>/profile/")
+    parser.add_argument("--trace", action="store_true",
+                        help="record a distributed trace of each sweep "
+                             "(coordinator + every worker process) under "
+                             "<telemetry>/traces/; requires --telemetry. "
+                             "Inspect with python -m repro.obs trace DIR")
     args = parser.parse_args(argv)
+
+    if args.trace and not args.telemetry:
+        parser.error("--trace requires --telemetry (trace artifacts "
+                     "live in the telemetry run directory)")
 
     if args.figure == "all":
         # Table II leads, then the figures in order — the registry
@@ -172,7 +181,8 @@ def main(argv=None) -> int:
                 jobs=jobs, store=store, force=args.force,
                 retries=args.retries, cell_timeout=args.cell_timeout,
                 keep_going=args.keep_going, progress=progress,
-                telemetry=telemetry, queue_workers=args.queue_workers,
+                telemetry=telemetry, trace=args.trace,
+                queue_workers=args.queue_workers,
                 queue_name=name, queue_lease=args.queue_lease,
                 queue_renew_interval=args.queue_renew_interval,
                 store_retries=args.store_retries)
@@ -236,7 +246,8 @@ def _make_session(args, store, name):
         root = Path("telemetry")
     return TelemetrySession(root / name, experiment=name,
                             interval=args.telemetry_interval,
-                            profile=args.telemetry_profile)
+                            profile=args.telemetry_profile,
+                            trace=args.trace)
 
 
 def _write_failure_manifest(store, name, failures, progress):

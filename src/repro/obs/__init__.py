@@ -44,7 +44,7 @@ and the runner performs no telemetry calls.
 """
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .report import render_report
+from .report import render_report, report_data
 from .runtime import (
     TELEMETRY_ENV,
     TELEMETRY_INTERVAL_ENV,
@@ -58,25 +58,49 @@ from .runtime import (
 from .schema import validate_run_dir
 from .session import TelemetrySession
 from .spans import CellSpan, RunTelemetry
+from .stitch import (canonical, completeness, critical_path, load_trace_rows,
+                     render_critical_path, render_tree, stitch)
 from .timeseries import TimeSeriesRecorder
+from .top import AlertRule, sample_fleet, top
+from .trace import (TRACE_ENV, Span, Tracer, TraceWriter, ambient_tracer,
+                    execute_span, span_id, trace_id_for)
 
 __all__ = [
+    "AlertRule",
     "CellSpan",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "RunTelemetry",
+    "Span",
     "TELEMETRY_ENV",
     "TELEMETRY_INTERVAL_ENV",
     "TELEMETRY_PROFILE_ENV",
+    "TRACE_ENV",
     "TelemetrySession",
     "TimeSeriesRecorder",
+    "TraceWriter",
+    "Tracer",
+    "ambient_tracer",
+    "canonical",
+    "completeness",
+    "critical_path",
+    "execute_span",
+    "load_trace_rows",
     "maybe_profile",
     "record_series",
+    "render_critical_path",
     "render_report",
+    "render_tree",
+    "report_data",
+    "sample_fleet",
     "series_config",
     "set_cell",
+    "span_id",
+    "stitch",
+    "top",
+    "trace_id_for",
     "validate_run_dir",
     "write_lifecycle",
 ]

@@ -244,9 +244,11 @@ class MetricsRegistry:
 
     def export_jsonl(self, path: Union[str, Path]) -> Path:
         """Write one JSON object per series; byte-stable across runs."""
+        from .schema import header_line
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         with open(path, "w", encoding="utf-8") as fh:
+            fh.write(header_line("metrics") + "\n")
             for row in self.rows():
                 fh.write(json.dumps(row, sort_keys=True,
                                     separators=(",", ":")) + "\n")

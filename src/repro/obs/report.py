@@ -22,20 +22,16 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from ..analysis.text_plots import sparkline
+from .schema import load_jsonl
 
-__all__ = ["render_report"]
+__all__ = ["render_report", "report_data"]
 
 
 def _load_jsonl(path: Path) -> List[Dict[str, Any]]:
-    rows: List[Dict[str, Any]] = []
+    """Data rows of one artifact file (schema header skipped)."""
     if not path.is_file():
-        return rows
-    with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                rows.append(json.loads(line))
-    return rows
+        return []
+    return load_jsonl(path)
 
 
 def _fmt_seconds(value: Optional[float]) -> str:
@@ -151,6 +147,56 @@ def _series_section(path: Path, width: int) -> List[str]:
                          f"{_spark([float(r) for r in rates], width, low=0.0, high=1.0)}"
                          f"  mean={mean:.4f}")
     return lines
+
+
+def report_data(run_dir: Union[str, Path], *,
+                top_n: int = 10) -> Dict[str, Any]:
+    """The report's facts as one JSON-serializable dict (``--json``).
+
+    Mirrors the text sections — manifest header, slowest cells, fault
+    summary, series file inventory — without any rendering, so CI can
+    assert on fields instead of scraping the dashboard text.
+    """
+    root = Path(run_dir)
+    manifest: Dict[str, Any] = {}
+    manifest_path = root / "manifest.json"
+    if manifest_path.is_file():
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    spans = _load_jsonl(root / "spans.jsonl")
+    timed = [s for s in spans
+             if s.get("wall", {}).get("duration_s") is not None]
+    timed.sort(key=lambda s: (-s["wall"]["duration_s"], s.get("index", 0)))
+    by_error: Dict[str, int] = {}
+    for span in spans:
+        for error in span.get("errors", []):
+            by_error[error] = by_error.get(error, 0) + 1
+    series_files = sorted(p.name for p in (root / "series").glob("*.jsonl")) \
+        if (root / "series").is_dir() else []
+    trace_files = sorted(p.name for p in (root / "traces").glob("*.jsonl")) \
+        if (root / "traces").is_dir() else []
+    return {
+        "run_dir": str(root),
+        "experiment": manifest.get("experiment", ""),
+        "version": manifest.get("version", ""),
+        "cells": manifest.get("cells", {}),
+        "wall": manifest.get("wall", {}),
+        "slowest": [
+            {"cell": s.get("cell", "?"),
+             "duration_s": s["wall"]["duration_s"],
+             "retries": s.get("retries", 0),
+             "losses": s.get("losses", 0),
+             "status": s.get("status", "")}
+            for s in timed[:top_n]],
+        "faults": {
+            "retries": sum(s.get("retries", 0) for s in spans),
+            "losses": sum(s.get("losses", 0) for s in spans),
+            "failed_cells": sum(1 for s in spans
+                                if s.get("status") == "failed"),
+            "by_error": {k: by_error[k] for k in sorted(by_error)},
+        },
+        "series": series_files,
+        "traces": trace_files,
+    }
 
 
 def render_report(run_dir: Union[str, Path], *, top_n: int = 10,

@@ -161,7 +161,9 @@ def write_lifecycle(cache) -> Optional[Path]:
     _lifecycle_seq = seq + 1
     out = root / "lifecycle" / f"{_slug(_cell_label)}-{seq:03d}.jsonl"
     out.parent.mkdir(parents=True, exist_ok=True)
+    from .schema import header_line
     with open(out, "w", encoding="utf-8") as fh:
+        fh.write(header_line("lifecycle") + "\n")
         for row in log:
             fh.write(json.dumps(row, sort_keys=True))
             fh.write("\n")

@@ -19,13 +19,66 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Tuple, Union
 
 __all__ = [
+    "SCHEMA_VERSIONS",
+    "header_line",
+    "header_row",
+    "is_header_row",
+    "load_jsonl",
     "validate_lifecycle_row",
     "validate_manifest",
     "validate_metrics_row",
     "validate_run_dir",
     "validate_series_row",
     "validate_span_row",
+    "validate_trace_row",
 ]
+
+#: Current schema version of every JSONL artifact kind.  The first row
+#: of each file is a header — ``{"artifact": kind, "schema_version": N}``
+#: — so readers can reject files written by an incompatible future
+#: build with a clear error instead of a KeyError three fields in.
+SCHEMA_VERSIONS = {
+    "metrics": 1,
+    "spans": 1,
+    "series": 1,
+    "lifecycle": 1,
+    "trace": 1,
+}
+
+
+def header_row(kind: str) -> Dict[str, Any]:
+    """The header row every ``kind`` JSONL artifact starts with."""
+    return {"artifact": kind, "schema_version": SCHEMA_VERSIONS[kind]}
+
+
+def header_line(kind: str) -> str:
+    """:func:`header_row` serialized exactly as the writers emit it."""
+    return json.dumps(header_row(kind), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def is_header_row(row: Any) -> bool:
+    """True for a schema header row (of any artifact kind/version)."""
+    return isinstance(row, dict) and "schema_version" in row
+
+
+def load_jsonl(path: Union[str, Path]) -> List[Any]:
+    """Read a JSONL artifact's data rows, skipping the schema header.
+
+    The lenient reader the dashboards use: no validation beyond JSON
+    parsing (run ``validate_run_dir`` for that), tolerant of files
+    predating the header row.
+    """
+    rows = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if not is_header_row(row):
+                rows.append(row)
+    return rows
 
 #: JSON numbers (bool is an int subclass in Python; exclude explicitly).
 def _is_num(value: Any) -> bool:
@@ -208,6 +261,74 @@ def validate_span_row(row: Any, where: str = "spans") -> List[str]:
     return problems
 
 
+_TRACE_KEYS = ("trace", "span", "parent", "kind", "name", "key",
+               "attempt", "status", "events", "wall")
+_TRACE_KINDS = ("sweep", "cell", "claim", "execute", "ack", "nack", "lost")
+_TRACE_STATUSES = ("ok", "error", "cached", "failed", "pending")
+_TRACE_WALL_KEYS = ("start", "end", "worker")
+
+
+def validate_trace_row(row: Any, where: str = "trace") -> List[str]:
+    """Problems with one ``traces/*.jsonl`` row (empty list = valid)."""
+    if not isinstance(row, dict):
+        return [f"{where}: row must be an object, got {type(row).__name__}"]
+    problems = _check_keys(row, _TRACE_KEYS, where)
+    for key in ("trace", "span"):
+        value = row.get(key)
+        if not isinstance(value, str) or not value:
+            problems.append(f"{where}: {key!r} must be a non-empty string")
+    parent = row.get("parent")
+    if parent is not None and not (isinstance(parent, str) and parent):
+        problems.append(
+            f"{where}: 'parent' must be a non-empty string or null")
+    if row.get("kind") not in _TRACE_KINDS:
+        problems.append(
+            f"{where}: 'kind' must be one of {list(_TRACE_KINDS)}")
+    for key in ("name", "key"):
+        if not isinstance(row.get(key), str):
+            problems.append(f"{where}: {key!r} must be a string")
+    if not _is_int(row.get("attempt")) or row.get("attempt", 0) < 0:
+        problems.append(f"{where}: 'attempt' must be an int >= 0")
+    if row.get("status") not in _TRACE_STATUSES:
+        problems.append(
+            f"{where}: 'status' must be one of {list(_TRACE_STATUSES)}")
+    events = row.get("events")
+    if not isinstance(events, list):
+        problems.append(f"{where}: 'events' must be a list")
+    else:
+        for n, event in enumerate(events):
+            ewhere = f"{where}.events[{n}]"
+            if not isinstance(event, dict):
+                problems.append(f"{ewhere}: must be an object")
+                continue
+            if not isinstance(event.get("name"), str) or not event["name"]:
+                problems.append(
+                    f"{ewhere}: 'name' must be a non-empty string")
+            if not isinstance(event.get("det"), bool):
+                problems.append(f"{ewhere}: 'det' must be a bool")
+            for key in sorted(event):
+                if key in ("name", "det"):
+                    continue
+                value = event[key]
+                if not isinstance(value, (str, bool)) and not _is_num(value):
+                    problems.append(
+                        f"{ewhere}: {key!r} must be a scalar")
+    wall = row.get("wall")
+    if not isinstance(wall, dict):
+        problems.append(f"{where}: 'wall' must be an object")
+    else:
+        problems.extend(
+            _check_keys(wall, _TRACE_WALL_KEYS, f"{where}.wall"))
+        for key in ("start", "end"):
+            value = wall.get(key)
+            if value is not None and not _is_num(value):
+                problems.append(
+                    f"{where}.wall: {key!r} must be a number or null")
+        if not isinstance(wall.get("worker"), str):
+            problems.append(f"{where}.wall: 'worker' must be a string")
+    return problems
+
+
 _MANIFEST_KEYS = ("version", "experiment", "interval", "profile", "cells",
                   "artifacts", "wall")
 _CELL_COUNT_KEYS = ("total", "completed", "cached", "failed", "retries",
@@ -240,20 +361,22 @@ def validate_manifest(doc: Any, where: str = "manifest") -> List[str]:
     if not isinstance(artifacts, dict):
         problems.append(f"{where}: 'artifacts' must be an object")
     else:
-        # "lifecycle" is optional: it appears only for runs whose cells
-        # saw partition control-plane activity.
+        # "lifecycle" and "traces" are optional: lifecycle appears only
+        # for runs whose cells saw partition control-plane activity,
+        # traces only for runs recorded with tracing enabled.
         for key in ("metrics", "spans", "series"):
             if key not in artifacts:
                 problems.append(f"{where}.artifacts: missing key {key!r}")
         for key in artifacts:
-            if key not in ("metrics", "spans", "series", "lifecycle"):
+            if key not in ("metrics", "spans", "series", "lifecycle",
+                           "traces"):
                 problems.append(
                     f"{where}.artifacts: unexpected key {key!r}")
         for key in ("metrics", "spans"):
             if not isinstance(artifacts.get(key), str):
                 problems.append(
                     f"{where}.artifacts: {key!r} must be a string")
-        for key in ("series", "lifecycle"):
+        for key in ("series", "lifecycle", "traces"):
             listed = artifacts.get(key, [])
             if not isinstance(listed, list) or not all(
                     isinstance(s, str) for s in listed):
@@ -264,9 +387,37 @@ def validate_manifest(doc: Any, where: str = "manifest") -> List[str]:
     return problems
 
 
+def _validate_header(row: Any, kind: str, where: str) -> List[str]:
+    """Problems with one artifact's schema header row."""
+    if not is_header_row(row):
+        return [f"{where}: missing schema header row; expected "
+                f"{header_line(kind)} as the first line"]
+    problems = []
+    artifact = row.get("artifact")
+    if artifact != kind:
+        problems.append(
+            f"{where}: header names artifact {artifact!r}, "
+            f"expected {kind!r}")
+    version = row.get("schema_version")
+    supported = SCHEMA_VERSIONS[kind]
+    if not _is_int(version):
+        problems.append(
+            f"{where}: 'schema_version' must be an int, got {version!r}")
+    elif version != supported:
+        problems.append(
+            f"{where}: unsupported {kind} schema_version {version}; "
+            f"this build reads version {supported} — re-record the run "
+            f"or validate with a matching repro build")
+    for key in sorted(row):
+        if key not in ("artifact", "schema_version"):
+            problems.append(f"{where}: unexpected header key {key!r}")
+    return problems
+
+
 def _validate_jsonl(path: Path, checker: Callable[[Any, str], List[str]],
-                    ) -> List[str]:
+                    kind: str) -> List[str]:
     problems: List[str] = []
+    saw_header = False
     with open(path, encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -278,7 +429,18 @@ def _validate_jsonl(path: Path, checker: Callable[[Any, str], List[str]],
             except json.JSONDecodeError as exc:
                 problems.append(f"{where}: invalid JSON ({exc.msg})")
                 continue
+            if not saw_header:
+                saw_header = True
+                problems.extend(_validate_header(row, kind, where))
+                if is_header_row(row):
+                    continue
+                # Fall through: a headerless first row is still checked
+                # as data so one problem doesn't mask another.
             problems.extend(checker(row, where))
+    if not saw_header:
+        problems.append(
+            f"{path.name}: empty artifact; expected at least the "
+            f"schema header row {header_line(kind)}")
     return problems
 
 
@@ -286,9 +448,10 @@ def validate_run_dir(path: Union[str, Path]) -> List[str]:
     """Validate every telemetry artifact of one run directory.
 
     Checks ``manifest.json``, ``metrics.jsonl``, ``spans.jsonl``, every
-    ``series/*.jsonl`` and (when present) every ``lifecycle/*.jsonl``,
-    plus manifest/directory agreement on the series and lifecycle file
-    lists.  Returns all problems found (empty = valid run).
+    ``series/*.jsonl`` and (when present) every ``lifecycle/*.jsonl``
+    and ``traces/*.jsonl`` — including each file's ``schema_version``
+    header — plus manifest/directory agreement on the series, lifecycle
+    and traces file lists.  Returns all problems found (empty = valid).
     """
     root = Path(path)
     problems: List[str] = []
@@ -305,7 +468,7 @@ def validate_run_dir(path: Union[str, Path]) -> List[str]:
             artifacts = doc.get("artifacts", {})
             if not isinstance(artifacts, dict):
                 artifacts = {}
-            for key in ("series", "lifecycle"):
+            for key in ("series", "lifecycle", "traces"):
                 listed = artifacts.get(key, [])
                 if isinstance(listed, list):
                     actual = sorted(
@@ -316,20 +479,27 @@ def validate_run_dir(path: Union[str, Path]) -> List[str]:
                             f"manifest.json: artifacts.{key} "
                             f"{sorted(listed)} does not match {key}/ "
                             f"contents {actual}")
-    for name, checker in (("metrics.jsonl", validate_metrics_row),
-                          ("spans.jsonl", validate_span_row)):
+    for name, checker, kind in (
+            ("metrics.jsonl", validate_metrics_row, "metrics"),
+            ("spans.jsonl", validate_span_row, "spans")):
         file_path = root / name
         if not file_path.is_file():
             problems.append(f"{name}: missing")
         else:
-            problems.extend(_validate_jsonl(file_path, checker))
+            problems.extend(_validate_jsonl(file_path, checker, kind))
     series_dir = root / "series"
     if series_dir.is_dir():
         for file_path in sorted(series_dir.glob("*.jsonl")):
-            problems.extend(_validate_jsonl(file_path, validate_series_row))
+            problems.extend(
+                _validate_jsonl(file_path, validate_series_row, "series"))
     lifecycle_dir = root / "lifecycle"
     if lifecycle_dir.is_dir():
         for file_path in sorted(lifecycle_dir.glob("*.jsonl")):
+            problems.extend(_validate_jsonl(
+                file_path, validate_lifecycle_row, "lifecycle"))
+    traces_dir = root / "traces"
+    if traces_dir.is_dir():
+        for file_path in sorted(traces_dir.glob("*.jsonl")):
             problems.extend(
-                _validate_jsonl(file_path, validate_lifecycle_row))
+                _validate_jsonl(file_path, validate_trace_row, "trace"))
     return problems

@@ -12,6 +12,9 @@ experiment run::
         lifecycle/*.jsonl partition control-plane events (create /
                           retire / retarget), written only by cells
                           whose caches saw lifecycle activity
+        traces/*.jsonl    distributed-trace spans (``trace=True``):
+                          coordinator.jsonl plus one file per worker
+                          process; see repro.obs.trace
         profile/*.prof    optional cProfile captures (wall-clock)
 
 Used as a context manager around the runner call::
@@ -47,6 +50,7 @@ from .runtime import (
     TELEMETRY_PROFILE_ENV,
 )
 from .spans import RunTelemetry
+from .trace import TRACE_ENV
 
 __all__ = ["TelemetrySession"]
 
@@ -61,7 +65,7 @@ class TelemetrySession:
 
     def __init__(self, path: Union[str, Path], *, experiment: str = "",
                  interval: int = DEFAULT_INTERVAL,
-                 profile: bool = False) -> None:
+                 profile: bool = False, trace: bool = False) -> None:
         if interval < 1:
             raise ConfigurationError(
                 f"sampling interval must be >= 1, got {interval}")
@@ -69,9 +73,14 @@ class TelemetrySession:
         self.experiment = experiment
         self.interval = int(interval)
         self.profile = bool(profile)
+        self.trace = bool(trace)
         self.metrics = MetricsRegistry()
         #: Hand this to ``run_cells(..., telemetry=...)`` to collect spans.
         self.telemetry = RunTelemetry(self.metrics, experiment)
+        if self.trace:
+            # Points RunTelemetry.begin at traces/; activation exports
+            # $REPRO_TRACE so worker processes write their own files.
+            self.telemetry.trace_dir = self.dir / "traces"
         self._phases: List[Tuple[str, float]] = []
         self._saved_env: Dict[str, Optional[str]] = {}
         self._t0: Optional[float] = None
@@ -90,6 +99,14 @@ class TelemetrySession:
             TELEMETRY_INTERVAL_ENV: str(self.interval),
             TELEMETRY_PROFILE_ENV: "1" if self.profile else "0",
         }
+        if self.trace:
+            traces = self.dir / "traces"
+            traces.mkdir(exist_ok=True)
+            # Trace files are append-mode (workers reopen across
+            # items), so a fresh run must start from an empty dir.
+            for stale in sorted(traces.glob("*.jsonl")):
+                stale.unlink()
+            env[TRACE_ENV] = str(traces)
         self._saved_env = {key: os.environ.get(key) for key in env}
         os.environ.update(env)
         self._t0 = time.monotonic()
@@ -130,6 +147,12 @@ class TelemetrySession:
             return []
         return sorted(p.name for p in lifecycle_dir.glob("*.jsonl"))
 
+    def _trace_files(self) -> List[str]:
+        traces_dir = self.dir / "traces"
+        if not traces_dir.is_dir():
+            return []
+        return sorted(p.name for p in traces_dir.glob("*.jsonl"))
+
     def manifest(self) -> Dict[str, Any]:
         """The run manifest; wall-clock facts live under ``"wall"``.
 
@@ -145,6 +168,9 @@ class TelemetrySession:
         lifecycle = self._lifecycle_files()
         if lifecycle:
             artifacts["lifecycle"] = lifecycle
+        traces = self._trace_files()
+        if traces:
+            artifacts["traces"] = traces
         return {
             "version": _package_version(),
             "experiment": self.experiment,
@@ -174,6 +200,8 @@ class TelemetrySession:
             self._active = False
         self.metrics.export_jsonl(self.dir / "metrics.jsonl")
         self.telemetry.write_jsonl(self.dir / "spans.jsonl")
+        if self.trace:
+            self.telemetry.write_trace()
         manifest_path = self.dir / "manifest.json"
         with open(manifest_path, "w", encoding="utf-8") as fh:
             json.dump(self.manifest(), fh, indent=2, sort_keys=True)

@@ -21,12 +21,15 @@ and figure outputs never see any of this.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
+from typing import (TYPE_CHECKING, Any, Dict, List, Optional, Sequence,
+                    Tuple, Union)
 
 from ..errors import ConfigurationError
 from .metrics import MetricsRegistry
+from .trace import TRACE_ID_ENV, TraceWriter, span_id, trace_id_for, wall_now
 
 if TYPE_CHECKING:  # avoid a runtime repro.runner <-> repro.obs cycle
     from ..runner.cells import Cell
@@ -100,11 +103,32 @@ class RunTelemetry:
         self.spans: List[CellSpan] = []
         self._by_index: Dict[int, CellSpan] = {}
         self._t0: Optional[float] = None
+        #: Distributed-tracing state: a :class:`TelemetrySession` with
+        #: ``trace=True`` points this at its ``traces/`` directory
+        #: before the run; ``None`` keeps tracing fully off.
+        self.trace_dir: Optional[Path] = None
+        self.trace_id: str = ""
+        self._trace_wall0: Optional[float] = None
+        #: ``(index, error_type, attempts)`` of cells that died without
+        #: a worker-side terminal span (lease exhausted, fleet aborted).
+        self._trace_lost: List[Tuple[int, str, int]] = []
 
     # -- lifecycle hooks (called by repro.runner) ----------------------------
     def begin(self, cells: Sequence["Cell"], keys: Sequence[str]) -> None:
-        """Open one span per cell; all cells are queued at sweep start."""
+        """Open one span per cell; all cells are queued at sweep start.
+
+        With tracing enabled this also opens the sweep's trace: the
+        trace ID (a pure function of the cell keys) is computed here
+        and exported as ``$REPRO_TRACE_ID`` so pool and inline workers
+        — which see no queue payload — join the trace from the
+        inherited environment.
+        """
         self._t0 = time.monotonic()
+        if self.trace_dir is not None:
+            self.trace_id = trace_id_for(list(keys))
+            self._trace_wall0 = wall_now()
+            self._trace_lost = []
+            os.environ[TRACE_ID_ENV] = self.trace_id
         self.spans = [
             CellSpan(i, cell.label, cell.experiment, keys[i])
             for i, cell in enumerate(cells)]
@@ -231,6 +255,94 @@ class RunTelemetry:
         self.metrics.gauge("queue.steals", labels).set(
             steals, queue=queue)
 
+    # -- distributed tracing -------------------------------------------------
+    def trace_context(self, index: int) -> Optional[Dict[str, str]]:
+        """Trace context to stamp into cell ``index``'s queue payload.
+
+        ``{"trace": ..., "parent": ...}`` — the parent is the cell
+        span's derived ID, so a worker on any machine can hang its
+        ``claim``/``execute`` spans under the right node without
+        talking to the coordinator.  ``None`` when tracing is off.
+        """
+        if not self.trace_id:
+            return None
+        span = self._span(index)
+        return {"trace": self.trace_id,
+                "parent": span_id(self.trace_id, "cell", span.key)}
+
+    def trace_lost(self, index: int, error_type: str,
+                   attempts: int) -> None:
+        """Record a coordinator-side terminal for a worker-less failure.
+
+        Only for cells whose workers died *without* nacking (lease
+        stolen past the loss budget, fleet aborted): worker-side
+        failures already wrote their own ``nack`` terminal span, and a
+        second terminal would break the one-leaf-per-cell invariant.
+        """
+        if self.trace_id:
+            self._trace_lost.append((index, error_type, attempts))
+
+    def write_trace(self) -> Optional[Path]:
+        """Write the coordinator's trace file (root sweep + cell spans).
+
+        Timestamps are the sweep-relative monotonic offsets the cell
+        spans already carry, rebased onto the wall-clock epoch captured
+        at :meth:`begin` — so coordinator rows and worker rows (which
+        stamp :func:`repro.obs.trace.wall_now` directly) share one
+        timeline.  Returns ``None`` when tracing is off.
+        """
+        if self.trace_dir is None or not self.trace_id:
+            return None
+        os.environ.pop(TRACE_ID_ENV, None)
+        tid = self.trace_id
+        wall0 = self._trace_wall0
+
+        def at(offset: Optional[float]) -> Optional[float]:
+            if offset is None or wall0 is None:
+                return None
+            return wall0 + offset
+
+        root_sid = span_id(tid, "sweep")
+        rows: List[Dict[str, Any]] = [{
+            "trace": tid, "span": root_sid, "parent": None,
+            "kind": "sweep", "name": self.experiment or "sweep",
+            "key": "", "attempt": 0, "status": "ok", "events": [],
+            "wall": {"start": wall0, "end": wall_now(),
+                     "worker": "coordinator"},
+        }]
+        for span in self.spans:
+            rows.append({
+                "trace": tid,
+                "span": span_id(tid, "cell", span.key),
+                "parent": root_sid, "kind": "cell", "name": span.cell,
+                "key": span.key, "attempt": span.attempts,
+                "status": span.status, "events": [],
+                "wall": {"start": at(span.queued_s),
+                         "end": at(span.finished_s),
+                         "worker": "coordinator"},
+            })
+        for index, error_type, attempts in self._trace_lost:
+            span = self._by_index[index]
+            rows.append({
+                "trace": tid,
+                "span": span_id(tid, "lost", span.key, attempts),
+                "parent": span_id(tid, "cell", span.key), "kind": "lost",
+                "name": span.cell, "key": span.key, "attempt": attempts,
+                "status": "error",
+                # Which failures end in a coordinator-side loss is a
+                # fact of the schedule (who died when), not of the
+                # computation, hence det=False.
+                "events": [{"name": "lost", "det": False,
+                            "error_type": error_type}],
+                "wall": {"start": None, "end": at(span.finished_s),
+                         "worker": "coordinator"},
+            })
+        writer = TraceWriter(self.trace_dir / "coordinator.jsonl")
+        for row in rows:
+            writer.write(row)
+        writer.close()
+        return writer.path
+
     # -- export ---------------------------------------------------------------
     def rows(self) -> List[Dict[str, Any]]:
         """Span rows in cell order (deterministic modulo ``"wall"``)."""
@@ -250,9 +362,11 @@ class RunTelemetry:
 
     def write_jsonl(self, path: Union[str, Path]) -> Path:
         """Write one JSON object per span, in cell order."""
+        from .schema import header_line
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         with open(path, "w", encoding="utf-8") as fh:
+            fh.write(header_line("spans") + "\n")
             for row in self.rows():
                 fh.write(json.dumps(row, sort_keys=True,
                                     separators=(",", ":")) + "\n")

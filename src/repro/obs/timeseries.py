@@ -187,9 +187,11 @@ class TimeSeriesRecorder(CacheObserver):
 
     def write_jsonl(self, path: Union[str, Path]) -> Path:
         """Write one JSON object per sample row; byte-stable across runs."""
+        from .schema import header_line
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         with open(path, "w", encoding="utf-8") as fh:
+            fh.write(header_line("series") + "\n")
             for row in self._rows:
                 fh.write(json.dumps(row, sort_keys=True,
                                     separators=(",", ":")) + "\n")

@@ -1,0 +1,338 @@
+"""Live fleet dashboard: ``python -m repro.obs top``.
+
+Tails the observable surfaces of a running (or finished) distributed
+sweep — the store's work-queue tables and the telemetry run directory's
+``traces/*.jsonl`` and ``series/*.jsonl`` — and renders a refreshing
+plain-text dashboard: queue counts, per-worker state with lease
+time-to-expiry, steal/renewal/retry rates, throughput, and
+per-partition occupancy against target.
+
+Everything here is *read-only observation of schedule facts*: nothing
+it computes feeds results, artifacts, or cache keys, which is why this
+module (like the store status CLI) may look at the wall clock directly.
+
+Alerting makes it a CI gate: ``--rule "steals > 0" --rule
+"loss_budget_remaining < 2"`` declares invariants over the sampled
+metrics; any rule that fires makes the process exit ``1``
+(``--once`` samples a single time, for scripted checks).  Unknown
+metric names are a configuration error (exit ``2``) listing what is
+available — a typo must not become a silently green check.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple, Union
+
+from ..errors import ConfigurationError
+from .schema import load_jsonl
+
+__all__ = ["AlertRule", "sample_fleet", "render_dashboard", "top"]
+
+#: Every metric an alert rule may reference, with its origin.  ``None``
+#: values (surface absent: no store, no traces, ...) make rules on that
+#: metric evaluate as "not fired" rather than erroring mid-run.
+KNOWN_METRICS = {
+    "pending": "queue items not yet claimed",
+    "claimed": "queue items currently claimed",
+    "done": "queue items acked",
+    "failed": "queue items permanently failed",
+    "unfinished": "pending + claimed",
+    "workers": "distinct workers currently holding claims",
+    "steals": "total lease-expiry steals (sum of item losses)",
+    "renewals": "total heartbeat lease renewals",
+    "retries": "failed attempts so far (sum of attempts beyond first)",
+    "lease_tte_min": "seconds until the soonest claimed lease expires",
+    "loss_budget_remaining": "min remaining loss budget over live items",
+    "claims": "claim spans in the trace tail",
+    "executes": "execute spans in the trace tail",
+    "acks": "ack spans in the trace tail",
+    "nacks": "nack spans in the trace tail",
+    "cells_per_sec": "acks / trace wall window",
+    "occupancy_gap_max": "max |occupancy - target| over partitions",
+}
+
+_RULE_RE = re.compile(
+    r"^\s*([a-z_][a-z0-9_]*)\s*(<=|>=|==|!=|<|>)\s*(-?\d+(?:\.\d+)?)\s*$")
+
+_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative alert: ``<metric> <op> <number>`` fires when true."""
+
+    metric: str
+    op: str
+    threshold: float
+    text: str
+
+    @classmethod
+    def parse(cls, text: str) -> "AlertRule":
+        match = _RULE_RE.match(text)
+        if match is None:
+            raise ConfigurationError(
+                f"cannot parse alert rule {text!r}; expected "
+                f"'<metric> <op> <number>', e.g. 'steals > 0'")
+        metric, op, threshold = match.groups()
+        if metric not in KNOWN_METRICS:
+            known = ", ".join(sorted(KNOWN_METRICS))
+            raise ConfigurationError(
+                f"unknown metric {metric!r} in alert rule {text!r}; "
+                f"known metrics: {known}")
+        return cls(metric=metric, op=op, threshold=float(threshold),
+                   text=text.strip())
+
+    def fired(self, metrics: Dict[str, Optional[float]]) -> Optional[str]:
+        """The alert message when this rule fires, else ``None``."""
+        value = metrics.get(self.metric)
+        if value is None:
+            return None
+        if _OPS[self.op](float(value), self.threshold):
+            return f"ALERT {self.text}  (value: {float(value):g})"
+        return None
+
+
+def _wall() -> float:
+    """Display-only wall clock (lease countdowns, refresh stamps)."""
+    return time.time()
+
+
+# -- sampling -----------------------------------------------------------------
+
+def _sample_queue(store_url: str, queue_name: Optional[str],
+                  ) -> Tuple[Dict[str, Optional[float]], List[str]]:
+    from ..store import open_store
+
+    store = open_store(store_url)
+    try:
+        names = store.queues()
+        if queue_name is None:
+            if not names:
+                return {}, [f"== no work queues in {store.url} =="]
+            if len(names) > 1:
+                raise ConfigurationError(
+                    f"store {store.url} holds several queues "
+                    f"({', '.join(sorted(names))}); pick one with --queue")
+            queue_name = names[0]
+        elif queue_name not in names:
+            raise ConfigurationError(
+                f"no queue named {queue_name!r} in {store.url} "
+                f"(found: {', '.join(sorted(names)) or 'none'})")
+        queue = store.make_queue(queue_name)
+        states = queue.snapshot()
+        now = _wall()
+        counts = {status: 0 for status in
+                  ("pending", "claimed", "done", "failed")}
+        ttes: List[float] = []
+        budgets: List[float] = []
+        per_worker: Dict[str, List[str]] = {}
+        retries = 0
+        for item_id in sorted(states):
+            state = states[item_id]
+            counts[state.status] = counts.get(state.status, 0) + 1
+            retries += max(0, state.attempts - (0 if state.status in
+                                                ("pending", "claimed")
+                                                else 1))
+            if state.status in ("pending", "claimed"):
+                item = queue.peek(item_id)
+                if item is not None:
+                    budgets.append(item.loss_budget - state.losses)
+            if state.status == "claimed" and state.worker:
+                tte = state.lease_expires - now
+                ttes.append(tte)
+                item = queue.peek(item_id)
+                label = item.label if item is not None else f"#{item_id}"
+                per_worker.setdefault(state.worker, []).append(
+                    f"{label} (lease {tte:+.1f}s, "
+                    f"{state.renewals} renewals)")
+        metrics: Dict[str, Optional[float]] = {
+            "pending": float(counts["pending"]),
+            "claimed": float(counts["claimed"]),
+            "done": float(counts["done"]),
+            "failed": float(counts["failed"]),
+            "unfinished": float(counts["pending"] + counts["claimed"]),
+            "workers": float(len(per_worker)),
+            "steals": float(sum(s.losses for s in states.values())),
+            "renewals": float(sum(s.renewals for s in states.values())),
+            "retries": float(retries),
+            "lease_tte_min": min(ttes) if ttes else None,
+            "loss_budget_remaining": min(budgets) if budgets else None,
+        }
+        lines = [f"== queue {queue_name} @ {store.url} ==",
+                 (f"pending={counts['pending']}  "
+                  f"claimed={counts['claimed']}  done={counts['done']}  "
+                  f"failed={counts['failed']}  "
+                  f"steals={metrics['steals']:g}  "
+                  f"renewals={metrics['renewals']:g}")]
+        for worker in sorted(per_worker):
+            for note in per_worker[worker]:
+                lines.append(f"  {worker}: {note}")
+        if not per_worker:
+            lines.append("  (no live claims)")
+        return metrics, lines
+    finally:
+        store.close()
+
+
+def _sample_traces(run_dir: Path,
+                   ) -> Tuple[Dict[str, Optional[float]], List[str]]:
+    traces = run_dir / "traces"
+    files = sorted(traces.glob("*.jsonl")) if traces.is_dir() else []
+    if not files:
+        return {}, []
+    counts = {"claim": 0, "execute": 0, "ack": 0, "nack": 0}
+    stamps: List[float] = []
+    events = {"steal": 0, "lease_renew": 0, "store_retry": 0, "fault": 0}
+    for path in files:
+        for row in load_jsonl(path):
+            kind = row.get("kind")
+            if kind in counts:
+                counts[kind] += 1
+            wall = row.get("wall") or {}
+            for stamp in (wall.get("start"), wall.get("end")):
+                if isinstance(stamp, (int, float)):
+                    stamps.append(float(stamp))
+            for event in row.get("events", []):
+                name = event.get("name")
+                if name in events:
+                    events[name] += 1
+    window = (max(stamps) - min(stamps)) if len(stamps) > 1 else 0.0
+    metrics: Dict[str, Optional[float]] = {
+        "claims": float(counts["claim"]),
+        "executes": float(counts["execute"]),
+        "acks": float(counts["ack"]),
+        "nacks": float(counts["nack"]),
+        "cells_per_sec": (counts["ack"] / window) if window > 0 else None,
+    }
+    rate = (f"{metrics['cells_per_sec']:.2f}"
+            if metrics["cells_per_sec"] is not None else "-")
+    lines = [
+        f"== trace tail ({len(files)} file(s)) ==",
+        (f"claims={counts['claim']}  executes={counts['execute']}  "
+         f"acks={counts['ack']}  nacks={counts['nack']}  "
+         f"cells/sec={rate}"),
+        (f"events: steals={events['steal']}  "
+         f"renewals={events['lease_renew']}  "
+         f"store-retries={events['store_retry']}  "
+         f"faults={events['fault']}"),
+    ]
+    return metrics, lines
+
+
+def _sample_series(run_dir: Path,
+                   ) -> Tuple[Dict[str, Optional[float]], List[str]]:
+    series = run_dir / "series"
+    files = sorted(series.glob("*.jsonl")) if series.is_dir() else []
+    if not files:
+        return {}, []
+    gaps: List[float] = []
+    lines = [f"== partitions ({len(files)} series file(s)) =="]
+    for path in files[-4:]:
+        rows = load_jsonl(path)
+        last: Dict[int, Dict[str, Any]] = {}
+        for row in rows:
+            if "part" in row:
+                last[int(row["part"])] = row
+        for part in sorted(last):
+            row = last[part]
+            occupancy = float(row.get("occupancy", 0))
+            target = float(row.get("target", 0))
+            gaps.append(abs(occupancy - target))
+            lines.append(f"  {path.name} part {part}: "
+                         f"occupancy={occupancy:g} target={target:g}")
+    metrics: Dict[str, Optional[float]] = {
+        "occupancy_gap_max": max(gaps) if gaps else None,
+    }
+    return metrics, lines
+
+
+def sample_fleet(*, store_url: Optional[str] = None,
+                 queue_name: Optional[str] = None,
+                 run_dir: Optional[Union[str, Path]] = None,
+                 ) -> Tuple[Dict[str, Optional[float]], List[str]]:
+    """One dashboard sample: ``(metrics, rendered lines)``.
+
+    Every metric in :data:`KNOWN_METRICS` is present in the dict;
+    surfaces that are absent (no store URL, no ``traces/`` dir yet)
+    contribute ``None`` values, which alert rules skip.
+    """
+    metrics: Dict[str, Optional[float]] = dict.fromkeys(KNOWN_METRICS)
+    lines: List[str] = []
+    if store_url:
+        queue_metrics, queue_lines = _sample_queue(store_url, queue_name)
+        metrics.update(queue_metrics)
+        lines.extend(queue_lines)
+    if run_dir is not None:
+        root = Path(run_dir)
+        for sampler in (_sample_traces, _sample_series):
+            part_metrics, part_lines = sampler(root)
+            metrics.update(part_metrics)
+            if part_lines:
+                if lines:
+                    lines.append("")
+                lines.extend(part_lines)
+    if not lines:
+        lines = ["(nothing to sample: pass --store and/or a run dir)"]
+    return metrics, lines
+
+
+def render_dashboard(lines: Sequence[str], alerts: Sequence[str],
+                     *, clear: bool = False) -> str:
+    """The dashboard text for one refresh (ANSI clear when looping)."""
+    out = "\x1b[2J\x1b[H" if clear else ""
+    body = list(lines)
+    if alerts:
+        body.append("")
+        body.extend(alerts)
+    return out + "\n".join(body) + "\n"
+
+
+def top(*, store_url: Optional[str] = None,
+        queue_name: Optional[str] = None,
+        run_dir: Optional[Union[str, Path]] = None,
+        rules: Sequence[AlertRule] = (), once: bool = False,
+        interval: float = 1.0, max_samples: Optional[int] = None,
+        stream: Optional[TextIO] = None) -> int:
+    """Run the dashboard; ``0`` clean, ``1`` if any alert ever fired.
+
+    Loops every ``interval`` seconds until the queue drains
+    (``unfinished == 0``), ``max_samples`` is reached, or — with
+    ``--once`` — after a single sample (the CI mode: sample, evaluate
+    rules, exit).
+    """
+    if interval <= 0:
+        raise ConfigurationError(
+            f"refresh interval must be positive, got {interval}")
+    import sys
+
+    out = stream if stream is not None else sys.stdout
+    ever_fired = False
+    samples = 0
+    while True:
+        metrics, lines = sample_fleet(
+            store_url=store_url, queue_name=queue_name, run_dir=run_dir)
+        alerts = [msg for msg in (rule.fired(metrics) for rule in rules)
+                  if msg is not None]
+        ever_fired = ever_fired or bool(alerts)
+        samples += 1
+        out.write(render_dashboard(
+            lines, alerts, clear=not once and samples > 1))
+        out.flush()
+        if once or (max_samples is not None and samples >= max_samples):
+            break
+        unfinished = metrics.get("unfinished")
+        if store_url and unfinished is not None and unfinished <= 0:
+            break
+        time.sleep(interval)
+    return 1 if ever_fired else 0

@@ -67,6 +67,13 @@ class RunConfig:
         Optional :class:`~repro.runner.Progress` stderr reporter.
     telemetry:
         Optional :class:`~repro.obs.spans.RunTelemetry` span collector.
+    trace:
+        Record a distributed trace of the sweep (``traces/*.jsonl``
+        under the telemetry directory; see :mod:`repro.obs.trace`).
+        Requires a ``telemetry`` collector wired to a
+        :class:`~repro.obs.session.TelemetrySession` constructed with
+        ``trace=True`` — the session owns the trace directory.  Off by
+        default; when off, no trace code runs and no artifacts appear.
     queue_workers:
         When set, route pending cells through the store's work queue
         and execute them in that many *independent worker processes*
@@ -103,6 +110,7 @@ class RunConfig:
     backoff_cap: float = 2.0
     progress: Optional[Progress] = None  # reprolint: cli-exempt
     telemetry: Optional["RunTelemetry"] = None
+    trace: bool = False
     queue_workers: Optional[int] = None
     queue_name: str = "sweep"  # reprolint: cli-exempt
     queue_lease: float = 60.0
@@ -130,6 +138,11 @@ class RunConfig:
             raise ConfigurationError(
                 "queue-driven execution (queue_workers=...) requires a "
                 "store — workers hand results back through it")
+        if self.trace and self.telemetry is None:
+            raise ConfigurationError(
+                "trace=True requires a telemetry collector "
+                "(TelemetrySession(..., trace=True).telemetry) — the "
+                "trace artifacts live in the telemetry run directory")
 
     def policy(self) -> RetryPolicy:
         """The :class:`~repro.runner.RetryPolicy` these fields define."""

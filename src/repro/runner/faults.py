@@ -222,6 +222,13 @@ def inject(label: str, attempt: int) -> None:
     for fault in plan.faults:
         if fault.kind == "corrupt" or not fault.triggers(label, attempt):
             continue
+        if os.environ.get("REPRO_TRACE"):
+            # Which fault fired where is a deterministic fact of the
+            # plan, so the trace event survives canonical projection.
+            from ..obs.trace import add_event
+
+            add_event("fault", det=True, kind=fault.kind, cell=label,
+                      attempt=attempt)
         if fault.kind == "raise":
             raise InjectedFaultError(
                 f"{fault.message} (cell {label}, attempt {attempt})")

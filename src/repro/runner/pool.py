@@ -36,7 +36,7 @@ import random
 import time
 from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
-from ..errors import ReproError, WorkerError
+from ..errors import ConfigurationError, ReproError, WorkerError
 from ..store import ExperimentStore
 from .cache import cell_key
 from .cells import Cell
@@ -75,15 +75,36 @@ def _seed_from_key(key: str) -> None:
         pass
 
 
-def _execute(payload: Tuple[int, str, Cell, int]) -> Tuple[int, float, Any]:
+def _execute(payload: Sequence[Any]) -> Tuple[int, float, Any]:
     """Worker body: run one cell attempt, returning (index, elapsed, result).
+
+    ``payload`` is ``(index, key, cell, attempt)`` with an optional
+    fifth element: the distributed-trace context a queue item carries
+    (``{"trace": ..., "parent": ...}``; see :mod:`repro.obs.trace`).
+    Pool submissions stay 4-tuples — with tracing on, pool and inline
+    attempts join the trace through the inherited environment instead.
 
     Reseeds the global RNGs from the cell key before *every* attempt, so
     a retried cell is byte-identical to a first-try run; then gives the
     fault-injection harness its chance to misbehave (a no-op unless a
     plan is active in the environment).
     """
-    index, key, cell, attempt = payload
+    index, key, cell, attempt = payload[:4]
+    if os.environ.get("REPRO_TRACE"):
+        # Tracing is on (workers learn via the inherited environment):
+        # wrap the attempt in an `execute` span so retries, faults and
+        # errors are causally attributed.  Zero code runs without the
+        # variable — the determinism contract's zero-overhead clause.
+        from ..obs.trace import execute_span
+
+        ctx = payload[4] if len(payload) > 4 else None
+        with execute_span(cell.label, key, attempt, ctx):
+            return _run_attempt(index, key, cell, attempt)
+    return _run_attempt(index, key, cell, attempt)
+
+
+def _run_attempt(index: int, key: str, cell: Cell,
+                 attempt: int) -> Tuple[int, float, Any]:
     _seed_from_key(key)
     inject(cell.label, attempt)
     if os.environ.get("REPRO_TELEMETRY"):
@@ -192,6 +213,10 @@ def run_cells(cells: Sequence[Cell], config: Optional[RunConfig] = None,
     store = cfg.open_store()
     progress = cfg.progress
     telemetry = cfg.telemetry
+    if cfg.trace and (telemetry is None or telemetry.trace_dir is None):
+        raise ConfigurationError(
+            "trace=True but the telemetry collector has no trace "
+            "directory; construct it via TelemetrySession(..., trace=True)")
     cells = list(cells)
     keys = [cell_key(cell) for cell in cells]
     results: List[Any] = [_PENDING] * len(cells)

@@ -58,8 +58,8 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 from ..errors import WorkerError
 from ..store import ExperimentStore, open_store
 from ..store.faults import maybe_faulty_store
-from ..store.queue import QueueItem, WorkQueue
-from ..store.retry import (RetryingStore, StoreRetryPolicy,
+from ..store.queue import LOST_ERROR_TYPE, QueueItem, WorkQueue
+from ..store.retry import (RetryingStore, RetryObserver, StoreRetryPolicy,
                            is_transient_store_error)
 from .cells import Cell
 from .pool import _execute
@@ -77,16 +77,31 @@ __all__ = ["EXIT_STORE_PERMANENT", "work_loop", "run_queued", "main"]
 EXIT_STORE_PERMANENT = 3
 
 
-def _wrap_store(store: ExperimentStore,
-                store_retries: int) -> ExperimentStore:
+def _wrap_store(store: ExperimentStore, store_retries: int,
+                on_retry: Optional[RetryObserver] = None) -> ExperimentStore:
     """The standard resilience stack around a freshly opened store.
 
     Fault injection (when ``$REPRO_STORE_FAULTS`` is set) goes innermost
     so the retry layer sees — and absorbs — the injected transients,
-    exactly as it would absorb real ones.
+    exactly as it would absorb real ones.  ``on_retry`` observes each
+    absorbed transient (tracing hangs ``store_retry`` events off it).
     """
     return RetryingStore(maybe_faulty_store(store),
-                         StoreRetryPolicy(retries=store_retries))
+                         StoreRetryPolicy(retries=store_retries),
+                         on_retry)
+
+
+def _trace_event(name: str, det: bool = False, **fields: Any) -> None:
+    """Forward a point event to the active trace span, if tracing is on.
+
+    The ``$REPRO_TRACE`` guard keeps the tracing-off path at one dict
+    lookup and zero imports — the zero-overhead contract of
+    :mod:`repro.obs.trace`.
+    """
+    if os.environ.get("REPRO_TRACE"):
+        from ..obs.trace import add_event
+
+        add_event(name, det=det, **fields)
 
 
 class _Heartbeat:
@@ -132,8 +147,12 @@ class _Heartbeat:
                 # outcome is protected by at-least-once delivery anyway.
                 continue
             if not renewed:
+                # Someone stole the lease: a schedule fact, not a
+                # computation fact, hence det=False.
+                _trace_event("lease_lost", worker=self.worker)
                 self.lost.set()
                 return
+            _trace_event("lease_renew", worker=self.worker)
 
 
 def work_loop(store_url: str, queue_name: str = "sweep", *,
@@ -160,12 +179,27 @@ def work_loop(store_url: str, queue_name: str = "sweep", *,
     :data:`EXIT_STORE_PERMANENT`.
     """
     interval = lease / 3.0 if renew_interval is None else renew_interval
-    store = _wrap_store(open_store(store_url), store_retries)
-    queue = store.make_queue(queue_name)
     wid = worker_id or f"worker-{os.getpid()}"
+    tracing = bool(os.environ.get("REPRO_TRACE"))
+    on_retry: Optional[RetryObserver] = None
+    if tracing:
+        from ..obs.trace import (add_event, ambient_tracer, set_worker,
+                                 span_id, wall_now)
+
+        set_worker(wid)  # names this process's traces/<wid>.jsonl file
+
+        def _store_retry(operation: str, exc: BaseException,
+                         failures: int) -> None:
+            add_event("store_retry", op=operation,
+                      error=type(exc).__name__, n=failures)
+
+        on_retry = _store_retry
+    store = _wrap_store(open_store(store_url), store_retries, on_retry)
+    queue = store.make_queue(queue_name)
     processed = 0
     try:
         while max_items is None or processed < max_items:
+            claim_t0 = wall_now() if tracing else None
             item = queue.claim(wid, lease)
             if item is None:
                 if queue.unfinished() == 0:
@@ -174,19 +208,60 @@ def work_loop(store_url: str, queue_name: str = "sweep", *,
                 # backing off); poll until a lease frees or expires.
                 time.sleep(poll)
                 continue
-            index, key, cell = pickle.loads(item.payload)
+            loaded = pickle.loads(item.payload)
+            index, key, cell = loaded[:3]
+            # Coordinators with tracing on publish a 4th element: the
+            # trace context ({"trace", "parent"}); plain 3-tuples from
+            # untraced (or older) coordinators still work everywhere.
+            ctx = loaded[3] if len(loaded) > 3 else None
+            attempt = item.attempts + 1
             processed += 1
+            tracer = (ambient_tracer(ctx.get("trace"))
+                      if tracing and ctx else None)
+            exec_ctx: Optional[Dict[str, Any]] = None
+            if tracer is not None:
+                # The claim span covers queue.claim itself (claim_t0 ..
+                # now); a re-claim of a stolen item carries the same
+                # attempt number, so its span ID — and the stitched
+                # tree — deduplicate instead of forking.
+                claim = tracer.span("claim", cell.label, key=key,
+                                    attempt=attempt,
+                                    parent=ctx.get("parent"),
+                                    start=claim_t0)
+                if item.stolen:
+                    claim.event("steal", worker=wid)
+                claim.end()
+                # Derived from the pure ID function (== claim.span), so
+                # the context provably carries no wall-clock taint.
+                exec_ctx = {"trace": tracer.trace_id,
+                            "parent": span_id(tracer.trace_id, "claim",
+                                              key, attempt)}
             beat: Optional[_Heartbeat] = None
             if interval > 0:
                 beat = _Heartbeat(queue, item.item_id, wid, lease, interval)
                 beat.start()
             try:
                 _, elapsed, value = _execute(
-                    (index, key, cell, item.attempts + 1))
+                    (index, key, cell, attempt, exec_ctx))
             except Exception as exc:
                 if beat is not None:
                     beat.stop()
-                if queue.nack(item.item_id, type(exc).__name__, str(exc)):
+                if tracer is not None and exec_ctx is not None:
+                    with tracer.span("nack", cell.label, key=key,
+                                     attempt=attempt,
+                                     parent=exec_ctx["parent"]) as nspan:
+                        nspan.status = "error"
+                        nspan.event("error", det=True,
+                                    error=type(exc).__name__)
+                        retry = queue.nack(item.item_id,
+                                           type(exc).__name__, str(exc))
+                        nspan.event(
+                            "retry_scheduled" if retry
+                            else "attempts_exhausted", det=True)
+                else:
+                    retry = queue.nack(item.item_id, type(exc).__name__,
+                                       str(exc))
+                if retry:
                     # Same deterministic capped backoff as the pool.
                     time.sleep(min(backoff_cap,
                                    backoff_base * 2 ** item.attempts))
@@ -198,10 +273,21 @@ def work_loop(store_url: str, queue_name: str = "sweep", *,
             # the put is idempotent (deterministic cells, same bytes)
             # and an ack of an already-reassigned item merely marks it
             # done — exactly the at-least-once contract.
-            store.put(key, value)
-            queue.ack(item.item_id, elapsed)
+            if tracer is not None and exec_ctx is not None:
+                with tracer.span("ack", cell.label, key=key,
+                                 attempt=attempt,
+                                 parent=exec_ctx["parent"]):
+                    store.put(key, value)
+                    queue.ack(item.item_id, elapsed)
+            else:
+                store.put(key, value)
+                queue.ack(item.item_id, elapsed)
     finally:
         store.close()
+        if tracing:
+            from ..obs.trace import close_ambient_writers
+
+            close_ambient_writers()
     return processed
 
 
@@ -259,11 +345,19 @@ def run_queued(cells: Sequence[Cell], keys: Sequence[str],
     # raw backend through the proxies.
     store = _wrap_store(store, store_retries)
     queue = store.make_queue(queue_name)
+
+    def _payload(i: int) -> bytes:
+        # With tracing on, items carry their trace context so a worker
+        # on any machine can parent its spans without the coordinator.
+        # Untraced payloads keep the historical 3-tuple shape.
+        ctx = telemetry.trace_context(i) if telemetry is not None else None
+        body: Tuple[Any, ...] = ((i, keys[i], cells[i], ctx) if ctx
+                                 else (i, keys[i], cells[i]))
+        return pickle.dumps(body, protocol=pickle.HIGHEST_PROTOCOL)
+
     queue.publish([
         QueueItem(item_id=i, key=keys[i], label=cells[i].label,
-                  payload=pickle.dumps((i, keys[i], cells[i]),
-                                       protocol=pickle.HIGHEST_PROTOCOL),
-                  max_attempts=policy.retries + 1)
+                  payload=_payload(i), max_attempts=policy.retries + 1)
         for i in pending])
     # A rerun after failures retries exactly the failed cells, matching
     # the failure-manifest contract of pool execution.
@@ -327,6 +421,12 @@ def run_queued(cells: Sequence[Cell], keys: Sequence[str],
         results[i] = failed
         if telemetry is not None:
             telemetry.failed(i, exc, attempts, elapsed)
+            if error_type in (LOST_ERROR_TYPE, "WorkerError"):
+                # The worker died (or the fleet aborted) without
+                # nacking, so no worker-side terminal span exists; the
+                # coordinator writes a ``lost`` leaf instead.  Worker-
+                # nacked failures already have their nack terminal.
+                telemetry.trace_lost(i, error_type, attempts)
         if progress is not None:
             progress.cell(cells[i], failed=True)
 

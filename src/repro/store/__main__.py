@@ -24,15 +24,16 @@ results.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from .base import ExperimentStore, open_store
 from .queue import STATUSES, ItemState, WorkQueue
 
-__all__ = ["main", "render_queue_status"]
+__all__ = ["main", "queue_status_data", "render_queue_status"]
 
 
 def _format_lease(state: ItemState, now: float) -> str:
@@ -94,6 +95,44 @@ def render_queue_status(store: ExperimentStore, name: str, *,
     return lines
 
 
+def queue_status_data(store: ExperimentStore, name: str, *,
+                      now: Optional[float] = None) -> Dict[str, Any]:
+    """One queue's status as a JSON-serializable dict (``--json``).
+
+    The machine-readable twin of :func:`render_queue_status`, so CI
+    scripts assert on fields instead of scraping the text output.
+    """
+    queue: WorkQueue = store.make_queue(name)
+    snapshot = queue.snapshot()
+    if now is None:
+        now = time.time()
+    counts = {status: 0 for status in STATUSES}
+    items = []
+    for item_id in sorted(snapshot):
+        state = snapshot[item_id]
+        counts[state.status] = counts.get(state.status, 0) + 1
+        item = queue.peek(item_id)
+        entry: Dict[str, Any] = {
+            "item_id": item_id,
+            "label": item.label if item is not None else None,
+            "status": state.status,
+            "attempts": state.attempts,
+            "losses": state.losses,
+            "renewals": state.renewals,
+        }
+        if state.status == "claimed":
+            entry["worker"] = state.worker
+            entry["lease_remaining_s"] = state.lease_expires - now
+        if state.status == "failed":
+            entry["error_type"] = state.error_type
+            entry["message"] = state.message
+        if state.status == "done":
+            entry["elapsed_s"] = state.elapsed
+        items.append(entry)
+    return {"queue": name, "store": store.url, "counts": counts,
+            "items": items}
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     store = open_store(args.store)
     try:
@@ -104,6 +143,10 @@ def _cmd_status(args: argparse.Namespace) -> int:
                       f"(found: {names or 'none'})", file=sys.stderr)
                 return 1
             names = [args.queue]
+        if args.json:
+            payload = [queue_status_data(store, name) for name in names]
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
         if not names:
             print(f"no work queues in {store.url}")
             return 0
@@ -131,6 +174,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="only this queue (default: every queue)")
     status.add_argument("-v", "--verbose", action="store_true",
                         help="list every item, not just the interesting ones")
+    status.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
     status.set_defaults(func=_cmd_status)
     return parser
 

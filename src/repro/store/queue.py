@@ -89,7 +89,10 @@ class QueueItem:
     ``item_id`` is the cell's index within the sweep (stable across
     runs of the same config — that is what makes resume work);
     ``payload`` is the pickled :class:`~repro.runner.cells.Cell`,
-    opaque to the queue.
+    opaque to the queue.  ``stolen`` is stamped by :meth:`claim` when
+    this claim took the item from an expired lease — observability
+    only (trace events, dashboards), never part of queue identity, and
+    always ``False`` on rows returned by :meth:`publish`/``peek``.
     """
 
     item_id: int
@@ -98,6 +101,7 @@ class QueueItem:
     payload: bytes
     attempts: int = 0
     max_attempts: int = 1
+    stolen: bool = False
 
     @property
     def loss_budget(self) -> int:
@@ -293,7 +297,8 @@ class SQLiteWorkQueue(WorkQueue):
                     item = QueueItem(
                         item_id=int(item_id), key=key, label=label,
                         payload=bytes(payload), attempts=int(attempts),
-                        max_attempts=int(max_attempts))
+                        max_attempts=int(max_attempts),
+                        stolen=(status == "claimed"))
                     if status == "claimed":
                         # Lease expired under another worker: a loss.
                         losses = int(losses) + 1
@@ -601,7 +606,8 @@ class LocalWorkQueue(WorkQueue):
             return QueueItem(item_id=item.item_id, key=item.key,
                              label=item.label, payload=item.payload,
                              attempts=state.attempts,
-                             max_attempts=item.max_attempts)
+                             max_attempts=item.max_attempts,
+                             stolen=stolen)
         return None
 
     def renew(self, item_id: int, worker: str, lease: float) -> bool:

@@ -1,0 +1,14 @@
+"""Half of the TNT001 trace-identity pair: a *sanctioned* clock read.
+
+Linted per-file under its virtual path (``repro/store/queue.py``) this
+module is clean: DET002 allows wall-clock leases in the queue module,
+and nothing here derives an ID from the value.  The identity bug only
+exists across the module boundary — see ``tnt001_trace_sink.py``.
+"""
+
+import time
+
+
+def claim_stamp():
+    """Wall-clock claim timestamp (sanctioned: lease bookkeeping)."""
+    return time.time()

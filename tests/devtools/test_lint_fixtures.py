@@ -172,6 +172,33 @@ def test_tnt001_catches_cross_module_clock_leak():
     assert any("lease_stamp" in f.message for f in fired)
 
 
+def test_tnt001_guards_trace_id_derivation():
+    """Span identity is a reproducibility surface: trace/span IDs must
+    be pure hashes of sweep fingerprint + cell key + attempt, or the
+    stitcher's duplicate-merging and the canonical projection's
+    byte-identity across ``--jobs`` both break.  A wall-clock value
+    that reaches ``span_id`` — even laundered through another module's
+    sanctioned lease stamp and an f-string — fires the trace-id
+    derivation sink."""
+    source = _fixture("tnt001_trace_source.py")
+    sink = _fixture("tnt001_trace_sink.py")
+    src_path = "repro/store/queue.py"
+    sink_path = "repro/runner/traced.py"
+
+    # Each half is clean on its own (the source's clock read is the
+    # queue module's sanctioned lease stamp).
+    assert Checker().check_sources([(src_path, source)]) == []
+    assert Checker().check_sources([(sink_path, sink)]) == []
+
+    findings = Checker().check_sources([(src_path, source),
+                                        (sink_path, sink)])
+    fired = [f for f in findings if f.rule_id == "TNT001"]
+    assert fired, f"whole-program pass must flag the leak: {findings}"
+    assert all(f.path == sink_path for f in fired)
+    assert any("trace-id derivation" in f.message for f in fired)
+    assert any("claim_stamp" in f.message for f in fired)
+
+
 def test_api002_flags_unimported_backend():
     pairs = [("repro/store/rocks.py", _fixture("api002_backend.py")),
              ("repro/store/__init__.py", _fixture("api002_store_init.py"))]

@@ -7,7 +7,7 @@ import pytest
 from repro import api
 from repro.obs import TelemetrySession, validate_run_dir, write_lifecycle
 from repro.obs.runtime import set_cell
-from repro.obs.schema import validate_lifecycle_row
+from repro.obs.schema import load_jsonl, validate_lifecycle_row
 
 GOOD_ROW = {"seq": 1, "event": "create", "part": 2,
             "targets": [64, 64, 0], "access": 500}
@@ -78,7 +78,9 @@ def test_writer_round_trips_and_validates(tmp_path):
         out = write_lifecycle(cache)
         assert out is not None
         assert out.name == "lc_churn_-000.jsonl"
-    rows = [json.loads(line) for line in out.read_text().splitlines()]
+    first = json.loads(out.read_text().splitlines()[0])
+    assert first == {"artifact": "lifecycle", "schema_version": 1}
+    rows = load_jsonl(out)
     assert [r["event"] for r in rows] == ["create", "retarget", "retire"]
     assert all(validate_lifecycle_row(r) == [] for r in rows)
     manifest = json.loads(session.dir.joinpath("manifest.json").read_text())
@@ -110,7 +112,7 @@ def test_scenario_run_emits_the_artifact(tmp_path):
         run_scenario(script, lambda n: _cache(n), baselines=False)
     files = sorted((session.dir / "lifecycle").glob("*.jsonl"))
     assert len(files) == 1
-    rows = [json.loads(line) for line in files[0].read_text().splitlines()]
+    rows = load_jsonl(files[0])
     assert "retire" in {r["event"] for r in rows}
     # Scenario-stamped rows carry the global access index.
     assert all("access" in r for r in rows)

@@ -87,9 +87,12 @@ class TestRegistry:
         first = registry.export_jsonl(tmp_path / "one.jsonl").read_bytes()
         second = registry.export_jsonl(tmp_path / "two.jsonl").read_bytes()
         assert first == second
-        lines = first.decode().splitlines()
-        # Sorted by instrument name; rows all schema-clean.
         import json
+        lines = first.decode().splitlines()
+        assert json.loads(lines[0]) == {"artifact": "metrics",
+                                        "schema_version": 1}
+        lines = lines[1:]
+        # Sorted by instrument name; rows all schema-clean.
         names = [json.loads(line)["name"] for line in lines]
         assert names == sorted(names)
         for line in lines:

@@ -86,8 +86,8 @@ def test_two_runs_byte_identical_modulo_wall(tmp_path):
             (b.dir / "series" / name).read_bytes()
 
     def stripped_spans(root):
-        rows = [json.loads(line) for line
-                in (root / "spans.jsonl").read_text().splitlines()]
+        from repro.obs.schema import load_jsonl
+        rows = load_jsonl(root / "spans.jsonl")
         for row in rows:
             row.pop("wall")
         return rows

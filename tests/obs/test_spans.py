@@ -114,5 +114,8 @@ def test_write_jsonl_in_cell_order(tmp_path):
     telemetry = RunTelemetry()
     run_cells(_cells(), jobs=2, telemetry=telemetry)
     path = telemetry.write_jsonl(tmp_path / "spans.jsonl")
-    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    lines = path.read_text().splitlines()
+    assert json.loads(lines[0]) == {"artifact": "spans",
+                                    "schema_version": 1}
+    rows = [json.loads(line) for line in lines[1:]]
     assert [r["index"] for r in rows] == [0, 1, 2]

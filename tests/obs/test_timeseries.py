@@ -177,4 +177,5 @@ def test_write_jsonl_byte_stable(tmp_path):
     a = rec.write_jsonl(tmp_path / "a.jsonl").read_bytes()
     b = rec.write_jsonl(tmp_path / "b.jsonl").read_bytes()
     assert a == b
-    assert len(a.splitlines()) == len(rec.rows())
+    # One schema header row, then one line per sampled row.
+    assert len(a.splitlines()) == len(rec.rows()) + 1

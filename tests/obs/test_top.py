@@ -1,0 +1,204 @@
+"""The live aggregator: alert rules, fleet sampling, CLI exit codes."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.__main__ import main as obs_main
+from repro.obs.schema import header_line
+from repro.obs.top import (
+    KNOWN_METRICS,
+    AlertRule,
+    render_dashboard,
+    sample_fleet,
+    top,
+)
+from repro.obs.trace import span_id, trace_id_for
+from repro.store import open_store
+from repro.store.queue import QueueItem
+
+
+class TestAlertRule:
+    def test_parses_each_operator(self):
+        for text in ("failed > 0", "unfinished<=3", " steals >= 1 ",
+                     "done == 2", "pending != 0", "lease_tte_min < 0.5"):
+            rule = AlertRule.parse(text)
+            assert rule.metric in KNOWN_METRICS
+
+    def test_fires_only_when_the_comparison_holds(self):
+        rule = AlertRule.parse("failed > 0")
+        assert rule.fired({"failed": 0}) is None
+        message = rule.fired({"failed": 2})
+        assert message is not None and "ALERT" in message
+        assert "value: 2" in message
+
+    def test_absent_metric_skips_rather_than_fires(self):
+        rule = AlertRule.parse("lease_tte_min < 1")
+        assert rule.fired({"lease_tte_min": None}) is None
+        assert rule.fired({}) is None
+
+    def test_malformed_expression_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="alert rule"):
+            AlertRule.parse("failed >")
+        with pytest.raises(ConfigurationError, match="alert rule"):
+            AlertRule.parse("failed ~ 2")
+
+    def test_unknown_metric_lists_the_known_ones(self):
+        with pytest.raises(ConfigurationError) as err:
+            AlertRule.parse("latency_p99 > 5")
+        assert "latency_p99" in str(err.value)
+        assert "unfinished" in str(err.value)  # the menu is in the error
+
+
+def seeded_store(tmp_path, *, queues=("fig3",)):
+    """A sqlite store with 3 published items per queue, one claimed."""
+    url = f"sqlite:{tmp_path / 'results.db'}"
+    store = open_store(url)
+    try:
+        for name in queues:
+            queue = store.make_queue(name)
+            queue.publish([QueueItem(
+                item_id=i, key=f"k{i}", label=f"{name}[{i}]",
+                payload=b"", max_attempts=3) for i in range(3)])
+            queue.claim("w1", lease=30.0)
+    finally:
+        store.close()
+    return url
+
+
+class TestSampleQueue:
+    def test_counts_and_lease_metrics_from_a_live_queue(self, tmp_path):
+        url = seeded_store(tmp_path)
+        metrics, lines = sample_fleet(store_url=url)
+        assert metrics["pending"] == 2
+        assert metrics["claimed"] == 1
+        assert metrics["unfinished"] == 3
+        assert metrics["workers"] == 1
+        assert metrics["steals"] == 0
+        # max_attempts=3 -> loss budget 2, nothing lost yet.
+        assert metrics["loss_budget_remaining"] == 2
+        assert metrics["lease_tte_min"] == pytest.approx(30.0, abs=5.0)
+        text = "\n".join(lines)
+        assert "fig3" in text and "w1" in text
+
+    def test_single_queue_is_auto_detected(self, tmp_path):
+        url = seeded_store(tmp_path)
+        auto, _ = sample_fleet(store_url=url)
+        named, _ = sample_fleet(store_url=url, queue_name="fig3")
+        # lease_tte_min decays between the two samples; drop it.
+        auto.pop("lease_tte_min"), named.pop("lease_tte_min")
+        assert auto == named
+
+    def test_several_queues_demand_an_explicit_name(self, tmp_path):
+        url = seeded_store(tmp_path, queues=("fig3", "fig7"))
+        with pytest.raises(ConfigurationError, match="--queue"):
+            sample_fleet(store_url=url)
+        metrics, _ = sample_fleet(store_url=url, queue_name="fig7")
+        assert metrics["pending"] == 2
+
+    def test_naming_a_missing_queue_is_an_error(self, tmp_path):
+        url = seeded_store(tmp_path)
+        with pytest.raises(ConfigurationError, match="fig3"):
+            sample_fleet(store_url=url, queue_name="nope")
+
+    def test_store_without_queues_reports_rather_than_errors(self, tmp_path):
+        url = f"sqlite:{tmp_path / 'empty.db'}"
+        open_store(url).close()
+        metrics, lines = sample_fleet(store_url=url)
+        assert metrics["pending"] is None
+        assert any("no work queues" in line for line in lines)
+
+
+def write_trace_tail(run_dir):
+    tid = trace_id_for(["k0", "k1"])
+    rows = []
+    for i, key in enumerate(["k0", "k1"]):
+        for kind, start in (("claim", i), ("execute", i + 0.1),
+                            ("ack", i + 2.0)):
+            rows.append({
+                "trace": tid,
+                "span": span_id(tid, kind, key, 1),
+                "parent": None, "kind": kind, "name": f"{kind}:{key}",
+                "key": key, "attempt": 1, "status": "ok",
+                "events": ([{"name": "steal", "det": False}]
+                           if kind == "claim" and i == 0 else []),
+                "wall": {"start": start, "end": start + 1.0,
+                         "worker": "w1"},
+            })
+    traces = run_dir / "traces"
+    traces.mkdir(parents=True)
+    (traces / "w1.jsonl").write_text(
+        "\n".join([header_line("trace")]
+                  + [json.dumps(r) for r in rows]) + "\n")
+
+
+class TestSampleTraces:
+    def test_span_counts_events_and_throughput(self, tmp_path):
+        write_trace_tail(tmp_path)
+        metrics, lines = sample_fleet(run_dir=tmp_path)
+        assert metrics["claims"] == 2
+        assert metrics["executes"] == 2
+        assert metrics["acks"] == 2
+        assert metrics["nacks"] == 0
+        # 2 acks over the 0.0..4.0 observed wall window.
+        assert metrics["cells_per_sec"] == pytest.approx(0.5)
+        # Steals observed in the trace tail surface on the event line.
+        assert any("steals=1" in line for line in lines)
+
+    def test_run_dir_without_traces_is_quietly_empty(self, tmp_path):
+        metrics, _ = sample_fleet(run_dir=tmp_path)
+        assert metrics["claims"] is None
+
+
+class TestTopLoop:
+    def test_returns_zero_when_no_rule_ever_fires(self, tmp_path):
+        url = seeded_store(tmp_path)
+        stream = io.StringIO()
+        code = top(store_url=url, rules=[AlertRule.parse("failed > 0")],
+                   once=True, stream=stream)
+        assert code == 0
+        assert "ALERT" not in stream.getvalue()
+
+    def test_fired_rule_latches_exit_one(self, tmp_path):
+        url = seeded_store(tmp_path)
+        stream = io.StringIO()
+        code = top(store_url=url,
+                   rules=[AlertRule.parse("unfinished > 0")],
+                   once=True, stream=stream)
+        assert code == 1
+        assert "ALERT unfinished > 0" in stream.getvalue()
+
+    def test_max_samples_bounds_the_loop(self, tmp_path):
+        url = seeded_store(tmp_path)
+        stream = io.StringIO()
+        code = top(store_url=url, rules=[], interval=0.01, max_samples=2,
+                   stream=stream)
+        assert code == 0
+
+    def test_non_positive_interval_is_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="interval"):
+            top(store_url=seeded_store(tmp_path), interval=0.0)
+
+    def test_render_dashboard_clear_prefixes_ansi(self):
+        plain = render_dashboard(["line"], [])
+        cleared = render_dashboard(["line"], [], clear=True)
+        assert not plain.startswith("\x1b")
+        assert cleared.startswith("\x1b[2J\x1b[H")
+
+
+class TestCli:
+    def test_exit_codes_clean_fired_and_config_error(self, tmp_path,
+                                                     capsys):
+        url = seeded_store(tmp_path)
+        assert obs_main(["top", "--store", url, "--once",
+                         "--rule", "failed > 0"]) == 0
+        assert obs_main(["top", "--store", url, "--once",
+                         "--rule", "pending > 0"]) == 1
+        assert "ALERT" in capsys.readouterr().out
+        assert obs_main(["top", "--store", url, "--once",
+                         "--rule", "bogus > 0"]) == 2
+        assert "error:" in capsys.readouterr().err
